@@ -1,0 +1,236 @@
+package repro
+
+// One benchmark per experiment of EXPERIMENTS.md (E1–E10), each
+// regenerating a row of the paper's Table 1 or a claimed bound. Every
+// benchmark reports ios/op — the quantity the paper's theorems bound —
+// alongside Go's wall-clock metrics. cmd/skybench prints the full
+// parameter sweeps; these benches pin one representative configuration
+// each.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpqa"
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/foursided"
+	"repro/internal/geom"
+	"repro/internal/lowerbound"
+	"repro/internal/ppb"
+	"repro/internal/rankspace"
+	"repro/internal/skyline"
+	"repro/internal/topopen"
+
+	"repro/internal/dyntop"
+)
+
+var benchCfg = emio.Config{B: 64, M: 64 * 64}
+
+func reportIOs(b *testing.B, d *emio.Disk, fn func()) {
+	b.Helper()
+	d.DropCache()
+	d.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+// BenchmarkE1StaticTopOpen — Table 1 row 1: O(log_B n + k/B) queries.
+func BenchmarkE1StaticTopOpen(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	pts := geom.GenUniform(1<<15, 1<<24, 1)
+	geom.SortByX(pts)
+	f := extsort.FromSlice(d, 2, pts)
+	ix := topopen.Build(d, f)
+	rng := rand.New(rand.NewSource(2))
+	reportIOs(b, d, func() {
+		x1 := geom.Coord(rng.Int63n(1 << 24))
+		ix.Query(x1, x1+(1<<20), geom.Coord(rng.Int63n(1<<24)))
+	})
+}
+
+// BenchmarkE2GridTopOpen — Table 1 row 2: O(log log_B U + k/B).
+func BenchmarkE2GridTopOpen(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	u := int64(1) << 40
+	pts := geom.GenUniform(1<<13, u, 3)
+	g := rankspace.BuildGrid(d, u, pts)
+	rng := rand.New(rand.NewSource(4))
+	reportIOs(b, d, func() {
+		x1 := geom.Coord(rng.Int63n(u))
+		g.Query(x1, x1+(1<<35), geom.Coord(rng.Int63n(u)))
+	})
+}
+
+// BenchmarkE3RankSpace — Table 1 row 3: O(1 + k/B).
+func BenchmarkE3RankSpace(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	n := 1 << 15
+	pts := geom.GenPermutation(n, 5)
+	ix := rankspace.Build(d, int64(n), pts)
+	rng := rand.New(rand.NewSource(6))
+	reportIOs(b, d, func() {
+		x1 := geom.Coord(rng.Int63n(int64(n)))
+		ix.Query(x1, x1+512, geom.Coord(rng.Int63n(int64(n))))
+	})
+}
+
+// BenchmarkE4AntiDominance — Table 1 row 4: the Lemma 8 adversarial
+// workload against the optimal Theorem 6 structure.
+func BenchmarkE4AntiDominance(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	pts := lowerbound.Input(16, 3) // 4096 points
+	qs := lowerbound.Queries(16, 3)
+	ix := foursided.Build(d, 0.5, pts)
+	i := 0
+	reportIOs(b, d, func() {
+		ix.Query(qs[i%len(qs)])
+		i++
+	})
+}
+
+// BenchmarkE5FourSided — Table 1 row 5: O((n/B)^ε + k/B).
+func BenchmarkE5FourSided(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	pts := geom.GenUniform(1<<14, 1<<24, 7)
+	ix := foursided.Build(d, 0.5, pts)
+	rng := rand.New(rand.NewSource(8))
+	reportIOs(b, d, func() {
+		x1 := geom.Coord(rng.Int63n(1 << 24))
+		y1 := geom.Coord(rng.Int63n(1 << 24))
+		ix.Query(geom.Rect{X1: x1, X2: x1 + (1 << 21), Y1: y1, Y2: y1 + (1 << 21)})
+	})
+}
+
+// BenchmarkE6DynamicTopOpen — Table 1 row 6: queries and updates of the
+// Theorem 4 structure across ε.
+func BenchmarkE6DynamicTopOpen(b *testing.B) {
+	for _, eps := range []float64{0, 0.5, 1} {
+		b.Run(epsName(eps)+"/query", func(b *testing.B) {
+			d := emio.NewDisk(benchCfg)
+			pts := geom.GenUniform(1<<14, 1<<24, 9)
+			geom.SortByX(pts)
+			tr := dyntop.BuildSABE(d, eps, pts)
+			rng := rand.New(rand.NewSource(10))
+			reportIOs(b, d, func() {
+				x1 := geom.Coord(rng.Int63n(1 << 24))
+				tr.Query(x1, x1+(1<<21), geom.Coord(rng.Int63n(1<<24)))
+			})
+		})
+		b.Run(epsName(eps)+"/update", func(b *testing.B) {
+			d := emio.NewDisk(benchCfg)
+			pts := geom.GenUniform(1<<14, 1<<24, 11)
+			geom.SortByX(pts)
+			tr := dyntop.BuildSABE(d, eps, pts)
+			rng := rand.New(rand.NewSource(12))
+			reportIOs(b, d, func() {
+				p := geom.Point{X: (1 << 25) + rng.Int63n(1<<24), Y: (1 << 25) + rng.Int63n(1<<24)}
+				tr.Insert(p)
+				tr.Delete(p)
+			})
+		})
+	}
+}
+
+func epsName(e float64) string {
+	switch e {
+	case 0:
+		return "eps0"
+	case 0.5:
+		return "eps0.5"
+	default:
+		return "eps1"
+	}
+}
+
+// BenchmarkE7DynamicFourSided — Table 1 row 7: O(log(n/B)) amortized
+// updates of the Theorem 6 structure.
+func BenchmarkE7DynamicFourSided(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	pts := geom.GenUniform(1<<13, 1<<24, 13)
+	ix := foursided.Build(d, 0.5, pts)
+	rng := rand.New(rand.NewSource(14))
+	reportIOs(b, d, func() {
+		p := geom.Point{X: (1 << 25) + rng.Int63n(1<<24), Y: (1 << 25) + rng.Int63n(1<<24)}
+		ix.Insert(p)
+		ix.Delete(p)
+	})
+}
+
+// BenchmarkE8CPQA — Theorem 3: I/O-CPQA operation cost (worst-case O(1);
+// o(1) amortized with resident criticals).
+func BenchmarkE8CPQA(b *testing.B) {
+	b.Run("mixed", func(b *testing.B) {
+		d := emio.NewDisk(emio.Config{B: 64, M: 1 << 22})
+		q := cpqa.New(d, 64)
+		rng := rand.New(rand.NewSource(15))
+		reportIOs(b, d, func() {
+			switch rng.Intn(3) {
+			case 0, 1:
+				q = q.InsertAndAttrite(cpqa.Elem{Key: rng.Int63n(1 << 30)})
+			default:
+				_, nq, _ := q.DeleteMin()
+				q = nq
+			}
+		})
+	})
+	b.Run("catenate", func(b *testing.B) {
+		d := emio.NewDisk(emio.Config{B: 64, M: 1 << 22})
+		rng := rand.New(rand.NewSource(16))
+		q := cpqa.New(d, 64)
+		reportIOs(b, d, func() {
+			q2 := cpqa.New(d, 64).InsertAndAttrite(cpqa.Elem{Key: rng.Int63n(1 << 30)})
+			q = cpqa.CatenateAndAttrite(q, q2)
+		})
+	})
+}
+
+// BenchmarkE9SABEBuild — §2.3: SABE O(n/B) PPB-tree load versus the
+// generic O(n log_B n) loader.
+func BenchmarkE9SABEBuild(b *testing.B) {
+	pts := geom.GenUniform(1<<14, 1<<24, 17)
+	geom.SortByX(pts)
+	b.Run("sabe", func(b *testing.B) {
+		var ios uint64
+		for i := 0; i < b.N; i++ {
+			d := emio.NewDisk(benchCfg)
+			f := extsort.FromSlice(d, 2, pts)
+			d.DropCache()
+			d.ResetStats()
+			ppb.BuildSABE(d, f)
+			d.DropCache()
+			ios += d.Stats().IOs()
+		}
+		b.ReportMetric(float64(ios)/float64(b.N), "ios/op")
+	})
+	b.Run("classic", func(b *testing.B) {
+		var ios uint64
+		for i := 0; i < b.N; i++ {
+			d := emio.NewDisk(benchCfg)
+			f := extsort.FromSlice(d, 2, pts)
+			d.DropCache()
+			d.ResetStats()
+			ppb.BuildClassic(d, f)
+			d.DropCache()
+			ios += d.Stats().IOs()
+		}
+		b.ReportMetric(float64(ios)/float64(b.N), "ios/op")
+	})
+}
+
+// BenchmarkE10NaiveBaseline — §1.2: the scan-and-sort baseline every
+// index is compared against.
+func BenchmarkE10NaiveBaseline(b *testing.B) {
+	d := emio.NewDisk(benchCfg)
+	pts := geom.GenUniform(1<<14, 1<<24, 18)
+	f := extsort.FromSlice(d, 2, pts)
+	rng := rand.New(rand.NewSource(19))
+	reportIOs(b, d, func() {
+		x1 := geom.Coord(rng.Int63n(1 << 24))
+		skyline.NaiveRangeSkyline(d, f, geom.TopOpen(x1, x1+(1<<20), geom.Coord(rng.Int63n(1<<24))))
+	})
+}

@@ -1,0 +1,312 @@
+// Command skybench regenerates the paper's evaluation artifacts: one
+// experiment per row of Table 1 plus the Theorem 3, SABE and baseline
+// claims (experiments E1–E10 of EXPERIMENTS.md). Each experiment prints
+// a table of measured I/O costs whose growth shape is the reproduced
+// result; absolute constants depend on the simulator, the shapes do not.
+//
+// Usage:
+//
+//	skybench            # run everything
+//	skybench -e E1,E4   # run selected experiments
+//	skybench -quick     # smaller sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cpqa"
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/foursided"
+	"repro/internal/geom"
+	"repro/internal/lowerbound"
+	"repro/internal/ppb"
+	"repro/internal/rankspace"
+	"repro/internal/skyline"
+	"repro/internal/topopen"
+)
+
+var (
+	flagExp   = flag.String("e", "", "comma-separated experiment ids (default: all)")
+	flagQuick = flag.Bool("quick", false, "smaller parameter sweeps")
+)
+
+var cfg = emio.Config{B: 64, M: 64 * 64}
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*flagExp, ",") {
+		if e != "" {
+			want[strings.ToUpper(strings.TrimSpace(e))] = true
+		}
+	}
+	run := func(id string, fn func()) {
+		if len(want) == 0 || want[id] {
+			fn()
+			fmt.Println()
+		}
+	}
+	run("E1", e1)
+	run("E2", e2)
+	run("E3", e3)
+	run("E4", e4)
+	run("E5", e5)
+	run("E6", e6)
+	run("E7", e7)
+	run("E8", e8)
+	run("E9", e9)
+	run("E10", e10)
+}
+
+func sizes(quickSizes, fullSizes []int) []int {
+	if *flagQuick {
+		return quickSizes
+	}
+	return fullSizes
+}
+
+// avgWorst runs queries and returns (mean I/Os, worst I/Os, mean k).
+func measure(d *emio.Disk, rounds int, fn func() int) (mean, worst, meanK float64) {
+	var tot, wk, kk uint64
+	for i := 0; i < rounds; i++ {
+		st := d.Measure(func() { kk += uint64(fn()) })
+		tot += st.IOs()
+		if st.IOs() > wk {
+			wk = st.IOs()
+		}
+	}
+	return float64(tot) / float64(rounds), float64(wk), float64(kk) / float64(rounds)
+}
+
+func e1() {
+	fmt.Println("E1  static top-open (Theorem 1): query ~ log_B n + k/B")
+	fmt.Printf("%10s %12s %12s %10s\n", "n", "mean I/Os", "worst I/Os", "mean k")
+	for _, n := range sizes([]int{1 << 12, 1 << 14}, []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}) {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*16, int64(n))
+		geom.SortByX(pts)
+		ix := topopen.Build(d, extsort.FromSlice(d, 2, pts))
+		rng := rand.New(rand.NewSource(1))
+		mean, worst, k := measure(d, 60, func() int {
+			x1 := geom.Coord(rng.Int63n(int64(n) * 16))
+			return len(ix.Query(x1, x1+int64(n), geom.Coord(rng.Int63n(int64(n)*16))))
+		})
+		fmt.Printf("%10d %12.1f %12.0f %10.1f\n", n, mean, worst, k)
+	}
+}
+
+func e2() {
+	fmt.Println("E2  grid top-open (Corollary 1): query ~ log log_B U + k/B")
+	fmt.Printf("%10s %12s %12s\n", "log2 U", "mean I/Os", "worst I/Os")
+	n := 1 << 12
+	for _, lu := range sizes([]int{20, 40}, []int{16, 24, 32, 40, 56}) {
+		u := int64(1) << lu
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, u, 3)
+		g := rankspace.BuildGrid(d, u, pts)
+		rng := rand.New(rand.NewSource(2))
+		mean, worst, _ := measure(d, 40, func() int {
+			x1 := geom.Coord(rng.Int63n(u))
+			return len(g.Query(x1, x1+u/16, geom.Coord(rng.Int63n(u))))
+		})
+		fmt.Printf("%10d %12.1f %12.0f\n", lu, mean, worst)
+	}
+}
+
+func e3() {
+	fmt.Println("E3  rank-space top-open (Theorem 2): query ~ 1 + k/B (flat in n)")
+	fmt.Printf("%10s %12s %12s %10s\n", "n", "mean I/Os", "worst I/Os", "mean k")
+	for _, n := range sizes([]int{1 << 11, 1 << 13}, []int{1 << 11, 1 << 13, 1 << 15}) {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenPermutation(n, int64(n))
+		ix := rankspace.Build(d, int64(n), pts)
+		rng := rand.New(rand.NewSource(4))
+		mean, worst, k := measure(d, 40, func() int {
+			x1 := geom.Coord(rng.Int63n(int64(n)))
+			return len(ix.Query(x1, x1+64, geom.Coord(rng.Int63n(int64(n)))))
+		})
+		fmt.Printf("%10d %12.1f %12.0f %10.1f\n", n, mean, worst, k)
+	}
+}
+
+func e4() {
+	fmt.Println("E4  anti-dominance on the Lemma 8 workload (Theorem 5):")
+	fmt.Println("    cost grows polynomially in n at linear space ((2,ω)-favorability verified)")
+	fmt.Printf("%10s %8s %12s %14s\n", "n", "queries", "mean I/Os", "(n/B)^0.5 ref")
+	for _, lam := range sizes([]int{2, 3}, []int{2, 3, 4}) {
+		omega := 16
+		pts := lowerbound.Input(omega, lam)
+		qs := lowerbound.Queries(omega, lam)
+		if ok, worst := lowerbound.Verify(omega, pts, qs); !ok {
+			fmt.Printf("    favorability FAILED (overlap %d)\n", worst)
+			continue
+		}
+		d := emio.NewDisk(cfg)
+		ix := foursided.Build(d, 0.5, pts)
+		i := 0
+		mean, _, _ := measure(d, min(len(qs), 60), func() int {
+			r := qs[i%len(qs)]
+			i++
+			return len(ix.Query(r))
+		})
+		nb := float64(len(pts)) / float64(cfg.B)
+		fmt.Printf("%10d %8d %12.1f %14.1f\n", len(pts), len(qs), mean, math.Sqrt(nb))
+	}
+}
+
+func e5() {
+	fmt.Println("E5  static 4-sided (Theorem 6): query ~ (n/B)^eps + k/B")
+	fmt.Printf("%10s %12s %12s %10s\n", "n", "mean I/Os", "worst I/Os", "mean k")
+	for _, n := range sizes([]int{1 << 12, 1 << 14}, []int{1 << 12, 1 << 14, 1 << 16}) {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*16, 7)
+		ix := foursided.Build(d, 0.5, pts)
+		rng := rand.New(rand.NewSource(8))
+		mean, worst, k := measure(d, 30, func() int {
+			x1 := geom.Coord(rng.Int63n(int64(n) * 16))
+			y1 := geom.Coord(rng.Int63n(int64(n) * 16))
+			return len(ix.Query(geom.Rect{X1: x1, X2: x1 + int64(n)*2, Y1: y1, Y2: y1 + int64(n)*2}))
+		})
+		fmt.Printf("%10d %12.1f %12.0f %10.1f\n", n, mean, worst, k)
+	}
+}
+
+func e6() {
+	fmt.Println("E6  dynamic top-open (Theorem 4): eps trades query vs update")
+	fmt.Printf("%6s %14s %14s\n", "eps", "query I/Os", "update I/Os")
+	n := 1 << 14
+	for _, eps := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*16, 9)
+		geom.SortByX(pts)
+		tr := dyntop.BuildSABE(d, eps, pts)
+		rng := rand.New(rand.NewSource(10))
+		qMean, _, _ := measure(d, 30, func() int {
+			x1 := geom.Coord(rng.Int63n(int64(n) * 16))
+			return len(tr.Query(x1, x1+int64(n), geom.Coord(rng.Int63n(int64(n)*16))))
+		})
+		uMean, _, _ := measure(d, 30, func() int {
+			p := geom.Point{X: int64(n)*32 + rng.Int63n(1<<30), Y: int64(n)*32 + rng.Int63n(1<<30)}
+			tr.Insert(p)
+			tr.Delete(p)
+			return 0
+		})
+		fmt.Printf("%6.2f %14.1f %14.1f\n", eps, qMean, uMean/2)
+	}
+}
+
+func e7() {
+	fmt.Println("E7  dynamic 4-sided (Theorem 6): updates ~ log(n/B) amortized")
+	fmt.Printf("%10s %16s\n", "n", "amortized I/Os")
+	for _, n := range sizes([]int{1 << 12}, []int{1 << 12, 1 << 14}) {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*16, 13)
+		ix := foursided.Build(d, 0.5, pts)
+		rng := rand.New(rand.NewSource(14))
+		d.ResetStats()
+		rounds := n / 4
+		for i := 0; i < rounds; i++ {
+			p := geom.Point{X: int64(n)*32 + rng.Int63n(1<<30), Y: int64(n)*32 + rng.Int63n(1<<30)}
+			ix.Insert(p)
+		}
+		fmt.Printf("%10d %16.1f\n", n, float64(d.Stats().IOs())/float64(rounds))
+	}
+}
+
+func e8() {
+	fmt.Println("E8  I/O-CPQA (Theorem 3): worst-case O(1), amortized o(1) per op")
+	fmt.Printf("%6s %16s %16s\n", "b", "worst I/Os (M=0)", "amortized I/Os")
+	for _, b := range []int{1, 8, 64} {
+		// Worst case: no cache at all.
+		d0 := emio.NewDisk(emio.Config{B: 64, M: 0})
+		q := cpqa.New(d0, b)
+		rng := rand.New(rand.NewSource(15))
+		var worst uint64
+		for op := 0; op < 4000; op++ {
+			before := d0.Stats().IOs()
+			if rng.Intn(3) == 0 {
+				_, nq, _ := q.DeleteMin()
+				q = nq
+			} else {
+				q = q.InsertAndAttrite(cpqa.Elem{Key: rng.Int63n(1 << 30)})
+			}
+			if c := d0.Stats().IOs() - before; c > worst {
+				worst = c
+			}
+		}
+		// Amortized: criticals resident.
+		d1 := emio.NewDisk(emio.Config{B: 64, M: 1 << 24})
+		q2 := cpqa.New(d1, b)
+		d1.ResetStats()
+		const ops = 20000
+		for op := 0; op < ops; op++ {
+			if rng.Intn(3) == 0 {
+				_, nq, _ := q2.DeleteMin()
+				q2 = nq
+			} else {
+				q2 = q2.InsertAndAttrite(cpqa.Elem{Key: rng.Int63n(1 << 30)})
+			}
+		}
+		fmt.Printf("%6d %16d %16.3f\n", b, worst, float64(d1.Stats().IOs())/ops)
+	}
+}
+
+func e9() {
+	fmt.Println("E9  PPB-tree loading (§2.3): SABE O(n/B) vs classic O(n log_B n)")
+	fmt.Printf("%10s %12s %12s %8s\n", "n", "SABE I/Os", "classic I/Os", "ratio")
+	for _, n := range sizes([]int{1 << 12, 1 << 14}, []int{1 << 12, 1 << 14, 1 << 16}) {
+		pts := geom.GenUniform(n, int64(n)*8, 17)
+		geom.SortByX(pts)
+		cost := func(mode ppb.Mode) uint64 {
+			d := emio.NewDisk(cfg)
+			f := extsort.FromSlice(d, 2, pts)
+			d.DropCache()
+			d.ResetStats()
+			if mode == ppb.SABE {
+				ppb.BuildSABE(d, f)
+			} else {
+				ppb.BuildClassic(d, f)
+			}
+			d.DropCache()
+			return d.Stats().IOs()
+		}
+		s, c := cost(ppb.SABE), cost(ppb.Classic)
+		fmt.Printf("%10d %12d %12d %8.1f\n", n, s, c, float64(c)/float64(s))
+	}
+}
+
+func e10() {
+	fmt.Println("E10 naive baseline (§1.2) vs Theorem 1 index, same queries")
+	fmt.Printf("%10s %14s %14s %10s\n", "n", "naive I/Os", "index I/Os", "speedup")
+	for _, n := range sizes([]int{1 << 12}, []int{1 << 12, 1 << 14, 1 << 16}) {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*16, 18)
+		geom.SortByX(pts)
+		f := extsort.FromSlice(d, 2, pts)
+		ix := topopen.Build(d, f)
+		rng := rand.New(rand.NewSource(19))
+		x1 := geom.Coord(rng.Int63n(int64(n) * 16))
+		x2 := x1 + int64(n)
+		beta := geom.Coord(rng.Int63n(int64(n) * 16))
+		naive, _, _ := measure(d, 5, func() int {
+			return len(skyline.NaiveRangeSkyline(d, f, geom.TopOpen(x1, x2, beta)))
+		})
+		indexed, _, _ := measure(d, 5, func() int {
+			return len(ix.Query(x1, x2, beta))
+		})
+		fmt.Printf("%10d %14.1f %14.1f %10.1f\n", n, naive, indexed, naive/indexed)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

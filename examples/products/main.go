@@ -1,0 +1,64 @@
+// Products: the paper's motivating workload (§1.1) — price vs. quality
+// trade-offs in a product catalogue. Price is negated so that "cheaper"
+// and "better" both mean "larger", making the interesting products
+// exactly the skyline. Range predicates ("price between …, rating at
+// least …") become range skyline queries.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+	"repro/internal/geom"
+)
+
+func main() {
+	// Synthetic catalogue: 50k products, price in cents (clustered in
+	// market segments), quality score. Indexed as (-price, quality):
+	// a product is "interesting" iff nothing is simultaneously cheaper
+	// and better.
+	rng := rand.New(rand.NewSource(42))
+	raw := geom.GenClustered(50000, 6, 1<<22, 7)
+	pts := make([]repro.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = repro.Point{X: -p.X, Y: p.Y} // X = -price, Y = quality
+	}
+	db, err := repro.Open(repro.Options{Machine: repro.MachineConfig{B: 256, M: 256 * 64}}, pts)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("catalogue: %d products\n", db.Len())
+
+	// "Best products costing between lo and hi."
+	for i := 0; i < 3; i++ {
+		lo := repro.Coord(rng.Int63n(1 << 21))
+		hi := lo + repro.Coord(rng.Int63n(1<<21))
+		db.ResetStats()
+		// price in [lo,hi] <=> X in [-hi,-lo]; any quality: top-open.
+		ans := db.TopOpen(-hi, -lo, repro.NegInf)
+		fmt.Printf("price in [%d,%d]: %d pareto products (%v)\n",
+			lo, hi, len(ans), db.Stats())
+	}
+
+	// "Best products costing between lo and hi with quality in a band"
+	// — a 4-sided query, the provably hard variant (Theorem 5).
+	for i := 0; i < 3; i++ {
+		lo := repro.Coord(rng.Int63n(1 << 21))
+		hi := lo + repro.Coord(rng.Int63n(1<<21))
+		q1 := repro.Coord(rng.Int63n(1 << 21))
+		q2 := q1 + repro.Coord(rng.Int63n(1<<21))
+		db.ResetStats()
+		ans := db.RangeSkyline(repro.Rect{X1: -hi, X2: -lo, Y1: q1, Y2: q2})
+		fmt.Printf("price in [%d,%d], quality in [%d,%d]: %d products (%v)\n",
+			lo, hi, q1, q2, len(ans), db.Stats())
+	}
+
+	// Sanity: cross-check one query against the in-memory oracle.
+	r := repro.Rect{X1: -(1 << 21), X2: 0, Y1: 0, Y2: 1 << 21}
+	got := db.RangeSkyline(r)
+	want := repro.RangeSkyline(pts, r)
+	fmt.Printf("oracle cross-check: %d == %d points: %v\n",
+		len(got), len(want), len(got) == len(want))
+}

@@ -1,0 +1,85 @@
+// Streamfeed: a dynamic workload for the Theorem 4 structure — a rolling
+// window of events where each arrival inserts a point, old events are
+// deleted, and top-open range skyline queries ("best items in this time
+// range scoring at least s") run continuously. Demonstrates the
+// O(log²_{B^ε}(n/B)) update / O(log²_{B^ε}(n/B) + k/B^{1−ε}) query
+// trade-off of the dynamic index.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+	"repro/internal/geom"
+)
+
+func main() {
+	const window = 20000
+	rng := rand.New(rand.NewSource(7))
+
+	db, err := repro.Open(repro.Options{
+		Machine: repro.MachineConfig{B: 128, M: 128 * 64},
+		Epsilon: 0.5,
+		Dynamic: true,
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	var live []repro.Point
+	nextX := repro.Coord(0)
+	usedY := map[repro.Coord]bool{}
+
+	insert := func() {
+		nextX += 1 + repro.Coord(rng.Int63n(16))
+		y := repro.Coord(rng.Int63n(1 << 30))
+		for usedY[y] {
+			y = repro.Coord(rng.Int63n(1 << 30))
+		}
+		usedY[y] = true
+		p := repro.Point{X: nextX, Y: y}
+		if err := db.Insert(p); err != nil {
+			panic(err)
+		}
+		live = append(live, p)
+	}
+
+	// Fill the window.
+	for i := 0; i < window; i++ {
+		insert()
+	}
+
+	// Roll the window: each step expires the oldest event and admits a
+	// new one, querying periodically.
+	var queryIOs, updateIOs, queries, updates uint64
+	for step := 0; step < 3000; step++ {
+		db.ResetStats()
+		old := live[0]
+		live = live[1:]
+		if ok, err := db.Delete(old); err != nil || !ok {
+			panic(fmt.Sprintf("delete %v: %v %v", old, ok, err))
+		}
+		insert()
+		updateIOs += db.Stats().IOs()
+		updates += 2
+
+		if step%50 == 0 {
+			x1 := live[rng.Intn(len(live)/2)].X
+			x2 := x1 + repro.Coord(rng.Int63n(int64(window)*8))
+			beta := repro.Coord(rng.Int63n(1 << 30))
+			db.ResetStats()
+			ans := db.TopOpen(x1, x2, beta)
+			queryIOs += db.Stats().IOs()
+			queries++
+			want := geom.RangeSkyline(live, geom.TopOpen(x1, x2, beta))
+			if len(ans) != len(want) {
+				panic(fmt.Sprintf("step %d: answer size %d, oracle %d", step, len(ans), len(want)))
+			}
+		}
+	}
+	fmt.Printf("window=%d events, 3000 roll steps\n", window)
+	fmt.Printf("avg update cost: %.1f I/Os\n", float64(updateIOs)/float64(updates))
+	fmt.Printf("avg query  cost: %.1f I/Os over %d queries (oracle-checked)\n",
+		float64(queryIOs)/float64(queries), queries)
+}

@@ -1,0 +1,169 @@
+// Package core assembles the paper's structures into one database-style
+// index for planar range skyline reporting — the primary deliverable of
+// the reproduction. It routes each query kind (Figure 2) to the
+// asymptotically best structure:
+//
+//   - top-open, right-open, dominance and contour queries go to the
+//     Theorem 1 static structure (O(log_B n + k/B)) or, when the index
+//     is opened dynamic, to the Theorem 4 structure
+//     (O(log²_{B^ε}(n/B) + k/B^{1−ε}) with O(log²_{B^ε}(n/B)) updates);
+//   - 4-sided, left-open, bottom-open and anti-dominance queries go to
+//     the Theorem 6 structure (O((n/B)^ε + k/B), optimal at linear
+//     space by Theorem 5; updates O(log(n/B)) amortized).
+//
+// Everything runs on a simulated external-memory machine (emio), so
+// every operation reports exactly the I/O cost the theorems bound.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/foursided"
+	"repro/internal/geom"
+	"repro/internal/topopen"
+)
+
+// Options configures an index.
+type Options struct {
+	// Machine is the simulated external-memory machine; zero means
+	// emio.DefaultConfig().
+	Machine emio.Config
+	// Epsilon trades query cost against update cost for the dynamic
+	// structures (Theorems 4 and 6); zero means 0.5.
+	Epsilon float64
+	// Dynamic selects updatable structures. A static index answers
+	// 3-sided queries faster and builds in O(n/B) after sorting, but
+	// rejects Insert and Delete.
+	Dynamic bool
+}
+
+// DB is a planar range skyline index over a simulated EM machine.
+type DB struct {
+	opts Options
+	disk *emio.Disk
+
+	// Static engine (3-sided).
+	top *topopen.Index
+
+	// Dynamic engines.
+	dyn  *dyntop.Tree
+	four *foursided.Index
+
+	n int
+}
+
+// Open creates an index over pts (any order; sorted internally). For a
+// purely in-memory oracle use geom.RangeSkyline instead.
+func Open(opts Options, pts []geom.Point) (*DB, error) {
+	if opts.Machine.B == 0 {
+		opts.Machine = emio.DefaultConfig()
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.5
+	}
+	if opts.Epsilon < 0 || opts.Epsilon > 1 {
+		return nil, fmt.Errorf("core: epsilon %v outside [0,1]", opts.Epsilon)
+	}
+	if !geom.IsGeneralPosition(pts) {
+		return nil, fmt.Errorf("core: input not in general position (duplicate x or y)")
+	}
+	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), n: len(pts)}
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	if opts.Dynamic {
+		db.dyn = dyntop.BuildSABE(db.disk, opts.Epsilon, sorted)
+	} else {
+		f := extsort.FromSlice(db.disk, 2, sorted)
+		db.top = topopen.Build(db.disk, f)
+		f.Free()
+	}
+	db.four = foursided.Build(db.disk, opts.Epsilon, sorted)
+	return db, nil
+}
+
+// Disk exposes the simulated machine for I/O measurements.
+func (db *DB) Disk() *emio.Disk { return db.disk }
+
+// Len returns the number of indexed points.
+func (db *DB) Len() int { return db.n }
+
+// RangeSkyline reports the maximal points of P ∩ q in increasing-x
+// order, dispatching on the rectangle's shape.
+func (db *DB) RangeSkyline(q geom.Rect) []geom.Point {
+	if q.IsTopOpen() {
+		if db.dyn != nil {
+			return db.dyn.Query(q.X1, q.X2, q.Y1)
+		}
+		return db.top.Query(q.X1, q.X2, q.Y1)
+	}
+	return db.four.Query(q)
+}
+
+// Skyline reports the skyline of the whole point set.
+func (db *DB) Skyline() []geom.Point {
+	return db.RangeSkyline(geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf})
+}
+
+// TopOpen reports the range skyline of [x1,x2] × [beta, ∞) (Figure 2a).
+func (db *DB) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.TopOpen(x1, x2, beta))
+}
+
+// Dominance reports the skyline of the points dominating (x, y)
+// (Figure 2e).
+func (db *DB) Dominance(x, y geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.Dominance(x, y))
+}
+
+// Contour reports the skyline of the points with x-coordinate <= x
+// (Figure 2g).
+func (db *DB) Contour(x geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.Contour(x))
+}
+
+// LeftOpen reports the range skyline of (-∞,x] × [y1,y2] (Figure 2d).
+func (db *DB) LeftOpen(x, y1, y2 geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.LeftOpen(x, y1, y2))
+}
+
+// AntiDominance reports the range skyline of (-∞,x] × (-∞,y]
+// (Figure 2f).
+func (db *DB) AntiDominance(x, y geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.AntiDominance(x, y))
+}
+
+// Insert adds a point to a dynamic index.
+func (db *DB) Insert(p geom.Point) error {
+	if db.dyn == nil {
+		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	}
+	db.dyn.Insert(p)
+	db.four.Insert(p)
+	db.n++
+	return nil
+}
+
+// Delete removes a point from a dynamic index, reporting presence.
+func (db *DB) Delete(p geom.Point) (bool, error) {
+	if db.dyn == nil {
+		return false, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	}
+	a := db.dyn.Delete(p)
+	b := db.four.Delete(p)
+	if a != b {
+		return false, fmt.Errorf("core: engines disagree on presence of %v", p)
+	}
+	if a {
+		db.n--
+	}
+	return a, nil
+}
+
+// Stats returns the I/O counters since the last ResetStats.
+func (db *DB) Stats() emio.Stats { return db.disk.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (db *DB) ResetStats() { db.disk.ResetStats() }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+func sameAnswer(got, want []geom.Point) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func TestStaticDispatch(t *testing.T) {
+	pts := geom.GenUniform(400, 4000, 201)
+	db, err := Open(Options{Machine: emio.Config{B: 32, M: 32 * 32}}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(202))
+	for q := 0; q < 150; q++ {
+		x1 := geom.Coord(rng.Int63n(4400)) - 200
+		x2 := x1 + geom.Coord(rng.Int63n(3000))
+		y1 := geom.Coord(rng.Int63n(4400)) - 200
+		y2 := y1 + geom.Coord(rng.Int63n(3000))
+		for _, r := range []geom.Rect{
+			geom.TopOpen(x1, x2, y1),
+			{X1: x1, X2: x2, Y1: y1, Y2: y2},
+			geom.LeftOpen(x2, y1, y2),
+			geom.AntiDominance(x2, y2),
+			geom.Dominance(x1, y1),
+			geom.Contour(x2),
+		} {
+			got := db.RangeSkyline(r)
+			want := geom.RangeSkyline(pts, r)
+			if !sameAnswer(got, want) {
+				t.Fatalf("RangeSkyline(%v) = %v, want %v", r, got, want)
+			}
+		}
+	}
+	if _, err := Open(Options{Epsilon: 2}, pts); err == nil {
+		t.Error("epsilon 2 accepted")
+	}
+	if err := db.Insert(geom.Point{X: 1, Y: 1}); err == nil {
+		t.Error("static index accepted Insert")
+	}
+}
+
+func TestDynamicLifecycle(t *testing.T) {
+	base := geom.GenUniform(200, 1<<20, 203)
+	db, err := Open(Options{Machine: emio.Config{B: 16, M: 16 * 64}, Dynamic: true}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := append([]geom.Point(nil), base...)
+	extra := geom.GenUniform(150, 1<<20, 204)
+	for i := range extra {
+		extra[i].X += 1 << 21
+		extra[i].Y += 1 << 21
+	}
+	rng := rand.New(rand.NewSource(205))
+	for op := 0; op < 250; op++ {
+		if len(extra) > 0 && rng.Intn(2) == 0 {
+			p := extra[0]
+			extra = extra[1:]
+			if err := db.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			present = append(present, p)
+		} else if len(present) > 0 {
+			i := rng.Intn(len(present))
+			p := present[i]
+			present = append(present[:i], present[i+1:]...)
+			ok, err := db.Delete(p)
+			if err != nil || !ok {
+				t.Fatalf("Delete(%v) = %t, %v", p, ok, err)
+			}
+		}
+		if op%31 == 0 {
+			x1 := geom.Coord(rng.Int63n(1 << 22))
+			x2 := x1 + geom.Coord(rng.Int63n(1<<21))
+			y := geom.Coord(rng.Int63n(1 << 22))
+			if got, want := db.TopOpen(x1, x2, y), geom.RangeSkyline(present, geom.TopOpen(x1, x2, y)); !sameAnswer(got, want) {
+				t.Fatalf("op %d: TopOpen mismatch: %v vs %v", op, got, want)
+			}
+			r := geom.Rect{X1: x1, X2: x2, Y1: y, Y2: y + geom.Coord(rng.Int63n(1<<21))}
+			if got, want := db.RangeSkyline(r), geom.RangeSkyline(present, r); !sameAnswer(got, want) {
+				t.Fatalf("op %d: 4-sided mismatch", op)
+			}
+		}
+	}
+	if db.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", db.Len(), len(present))
+	}
+}
+
+func TestGeneralPositionRejected(t *testing.T) {
+	if _, err := Open(Options{}, []geom.Point{{X: 1, Y: 2}, {X: 1, Y: 3}}); err == nil {
+		t.Fatal("duplicate x accepted")
+	}
+}
+
+func TestSkylineWhole(t *testing.T) {
+	pts := geom.GenUniform(300, 3000, 206)
+	db, err := Open(Options{Machine: emio.Config{B: 16, M: 16 * 64}}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := db.Skyline(), geom.Skyline(pts); !sameAnswer(got, want) {
+		t.Fatalf("Skyline = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,358 @@
+package cpqa
+
+// This file implements the auxiliary operations Bias and Fill of §4.1.
+// Bias improves the credit balance ∆(Q) = |C| − Σ|Di| − k by at least one
+// when the queue holds any records, resolving lazy attrition
+// incrementally; Fill restores invariant I.8 (F holds at least b elements
+// unless the whole queue is small).
+
+// Accessors returning (value, ok) for the boundary elements used by the
+// case conditions. They do not charge I/Os; callers touch the records
+// they actually restructure.
+
+func maxLastC(q *Queue) (Elem, bool) {
+	if q.c.empty() {
+		return Elem{}, false
+	}
+	return q.c.last().max(), true
+}
+
+func minFirstB(q *Queue) (Elem, bool) {
+	if q.bq.empty() {
+		return Elem{}, false
+	}
+	return q.bq.first().min(), true
+}
+
+func minFirstD1(q *Queue) (Elem, bool) {
+	if len(q.d) == 0 || q.d[0].empty() {
+		return Elem{}, false
+	}
+	return q.d[0].first().min(), true
+}
+
+func minL(q *Queue) (Elem, bool) {
+	if len(q.l) == 0 {
+		return Elem{}, false
+	}
+	return q.l[0], true
+}
+
+// fill restores I.8: if |F| < b while the queue holds at least b
+// elements, elements are promoted from the head of C (running Bias to
+// replenish C from B, the dirty deques, or L as needed). Each step is
+// O(1) I/Os and the loop runs O(1) times per call site.
+func (q *Queue) fill() *Queue {
+	b := q.b
+	cur := q
+	for guard := 0; len(cur.f) < b && cur.size > len(cur.f); guard++ {
+		if guard > 64 {
+			panic("cpqa: fill failed to converge")
+		}
+		if !cur.c.empty() {
+			r := cur.c.first()
+			cur.touch(r)
+			nq := cur.derive()
+			if len(r.buf) >= 2*b {
+				nq.f = mergeSorted(cur.f, r.buf[:b])
+				nr := nq.newRecord(append([]Elem(nil), r.buf[b:]...), nil)
+				nq.c = cur.c.rest().pushFront(nr)
+				cur = nq.finish()
+			} else {
+				nq.f = mergeSorted(cur.f, r.buf)
+				nq.c = cur.c.rest()
+				cur = nq.finish()
+				cur = bias(cur)
+			}
+			continue
+		}
+		// C is empty: Bias promotes content toward C / F.
+		next := bias(cur)
+		if next == cur {
+			// No records anywhere: remaining elements are in L.
+			nq := cur.derive()
+			take := b
+			if take > len(cur.l) {
+				take = len(cur.l)
+			}
+			nq.f = mergeSorted(cur.f, cur.l[:take])
+			nq.l = cur.l[take:]
+			cur = nq.finish()
+			continue
+		}
+		cur = next
+	}
+	return cur
+}
+
+// bias is the paper's Bias(Q). It returns a new queue version with
+// ∆ improved by at least 1 whenever Q contains records and lazy work
+// remains; it returns q itself when there is nothing to do.
+func bias(q *Queue) *Queue {
+	b := q.b
+
+	// ---- Case 1: |B(Q)| > 0 ----
+	if !q.bq.empty() {
+		if q.k() == 0 {
+			// 1.1: attrition of B's head by min(L), if any.
+			r1 := q.bq.first()
+			q.touch(r1)
+			eL, haveL := minL(q)
+			var l1p []Elem
+			if haveL {
+				l1p = attriteSorted(r1.buf, eL)
+			} else {
+				l1p = r1.buf
+			}
+			nq := q.derive()
+			if len(l1p) == len(r1.buf) {
+				// Nothing attrited: move r1 to the clean deque.
+				nq.bq = q.bq.rest()
+				nq.c = q.c.pushBack(r1)
+				return nq.finish()
+			}
+			// Attrition happened: the rest of B is >= max(l1) >=
+			// min(L) and hence fully attrited (I.2).
+			nq.bq = nil
+			if len(l1p) >= b {
+				nq.c = q.c.pushBack(nq.newRecord(append([]Elem(nil), l1p...), nil))
+				return nq.finish()
+			}
+			if len(l1p)+len(q.l) <= 3*b {
+				nq.l = mergeSorted(l1p, q.l)
+				out := nq.finish()
+				return bias(out) // r1 was discarded; recurse once
+			}
+			comb := mergeSorted(l1p, q.l)
+			nq.c = q.c.pushBack(nq.newRecord(append([]Elem(nil), comb[:2*b]...), nil))
+			nq.l = comb[2*b:]
+			return nq.finish()
+		}
+		// 1.2: k >= 1; attrition of B's head by min(first(D1)).
+		e, _ := minFirstD1(q)
+		r1 := q.bq.first()
+		q.touch(r1)
+		l1p := attriteSorted(r1.buf, e)
+		nq := q.derive()
+		if len(l1p) == len(r1.buf) || len(l1p) >= b {
+			nq.bq = q.bq.rest()
+			if len(l1p) < len(r1.buf) {
+				nq.bq = nil
+				nq.c = q.c.pushBack(nq.newRecord(append([]Elem(nil), l1p...), nil))
+			} else {
+				nq.c = q.c.pushBack(r1)
+			}
+			return nq.finish()
+		}
+		// |l1'| < b: merge the survivors into first(D1).
+		nq.bq = nil
+		r2 := q.d[0].first()
+		q.touch(r2)
+		nd := append([]rdeq(nil), q.d...)
+		if len(l1p)+len(r2.buf) <= 4*b {
+			nr := nq.newRecord(mergeSorted(l1p, r2.buf), r2.child)
+			nd[0] = q.d[0].rest().pushFront(nr)
+			nq.d = nd
+			out := nq.finish()
+			return bias(out) // r1 discarded; recurse once
+		}
+		comb := mergeSorted(l1p, r2.buf)
+		nq.c = q.c.pushBack(nq.newRecord(append([]Elem(nil), comb[:2*b]...), nil))
+		nr := nq.newRecord(append([]Elem(nil), comb[2*b:]...), r2.child)
+		nd[0] = q.d[0].rest().pushFront(nr)
+		nq.d = nd
+		// Restore I.5 if the resolution exposed a fully-attrited
+		// dirty region.
+		if eL, haveL := minL(nq); haveL {
+			if v, ok := minFirstD1(nq); ok && eL.Key <= v.Key {
+				nq.d = nil
+			}
+		}
+		return nq.finish()
+	}
+
+	// ---- Case 2: |B(Q)| == 0 ----
+	switch {
+	case q.k() > 1:
+		return biasManyDirty(q)
+	case q.k() == 1:
+		return biasOneDirty(q)
+	default: // k == 0
+		// 2.3: with no records at all, promote L into F.
+		if q.c.empty() && len(q.l) > 0 && len(q.f) <= 2*b {
+			nq := q.derive()
+			take := b
+			if take > len(q.l) {
+				take = len(q.l)
+			}
+			nq.f = mergeSorted(q.f, q.l[:take])
+			nq.l = q.l[take:]
+			return nq.finish()
+		}
+		return q
+	}
+}
+
+// biasManyDirty is Bias case 2.1 (k > 1): merge or discard work at the
+// boundary of the last two dirty deques.
+func biasManyDirty(q *Queue) *Queue {
+	b := q.b
+	kq := q.k()
+	dk := q.d[kq-1]
+	dk1 := q.d[kq-2]
+
+	// If min(L) <= min(first(Dk)), the whole of Dk is attrited.
+	if eL, haveL := minL(q); haveL && !dk.empty() && eL.Key <= dk.first().min().Key {
+		nq := q.derive()
+		nq.d = append([]rdeq(nil), q.d[:kq-1]...)
+		return nq.finish()
+	}
+	e := dk.first().min()
+	last1 := dk1.last()
+	q.touch(last1)
+
+	if e.Key <= last1.min().Key {
+		// last(Dk-1) fully attrited (child included, I.1).
+		nq := q.derive()
+		nd := append([]rdeq(nil), q.d...)
+		if len(dk1) == 1 {
+			// Deque empties: concatenate implicitly by dropping it.
+			nd = append(nd[:kq-2], nd[kq-1])
+		} else {
+			nd[kq-2] = dk1.front()
+		}
+		nq.d = nd
+		return nq.finish()
+	}
+	if e.Key <= last1.max().Key {
+		// Partial attrition of last(Dk-1)'s buffer; its child is
+		// fully attrited (elements exceed max(buf) >= e).
+		l1p := attriteSorted(last1.buf, e)
+		r2 := dk.first()
+		q.touch(r2)
+		nq := q.derive()
+		nd := append([]rdeq(nil), q.d[:kq-2]...)
+		if len(l1p)+len(r2.buf) <= 4*b {
+			nr := nq.newRecord(mergeSorted(l1p, r2.buf), r2.child)
+			merged := dk1.front().concat(dk.rest().pushFront(nr))
+			nd = append(nd, merged)
+		} else {
+			comb := mergeSorted(l1p, r2.buf)
+			half := len(comb) / 2
+			nr1 := nq.newRecord(append([]Elem(nil), comb[:half]...), nil)
+			nr2 := nq.newRecord(append([]Elem(nil), comb[half:]...), r2.child)
+			merged := dk1.front().pushBack(nr1).concat(dk.rest().pushFront(nr2))
+			nd = append(nd, merged)
+		}
+		nq.d = nd
+		return nq.finish()
+	}
+	// max(last(Dk-1)) < e: plain concatenation of the two deques.
+	nq := q.derive()
+	nd := append([]rdeq(nil), q.d[:kq-2]...)
+	nd = append(nd, dk1.concat(dk))
+	nq.d = nd
+	return nq.finish()
+}
+
+// biasOneDirty is Bias case 2.2 (k == 1, B empty): promote the head of
+// D1 into C, merging its child queue into Q when necessary (Figure 9).
+func biasOneDirty(q *Queue) *Queue {
+	b := q.b
+	d1 := q.d[0]
+	r := d1.first()
+	q.touch(r)
+
+	// If min(L) <= min(first(rest(D1))), everything dirty beyond r is
+	// attrited.
+	if eL, haveL := minL(q); haveL && len(d1) > 1 && eL.Key <= d1.rest().first().min().Key {
+		nq := q.derive()
+		nq.d = []rdeq{{r}}
+		return nq.finish()
+	}
+	if eL, haveL := minL(q); haveL && eL.Key <= r.max().Key {
+		// r is the only survivor and even it is partially attrited;
+		// its child and the other dirty records die.
+		lp := attriteSorted(r.buf, eL)
+		nq := q.derive()
+		nq.d = nil
+		if len(lp)+len(q.l) <= 3*b {
+			nq.l = mergeSorted(lp, q.l)
+			return nq.finish()
+		}
+		comb := mergeSorted(lp, q.l)
+		nq.c = q.c.pushBack(nq.newRecord(append([]Elem(nil), comb[:2*b]...), nil))
+		nq.l = comb[2*b:]
+		return nq.finish()
+	}
+
+	// max(buf) < min(L): promote r's buffer to the clean deque.
+	nq := q.derive()
+	nq.c = q.c.pushBack(nq.newRecord(append([]Elem(nil), r.buf...), nil))
+	rest := d1.rest()
+	if r.child == nil {
+		if rest.empty() {
+			nq.d = nil
+		} else {
+			nq.d = []rdeq{rest}
+		}
+		return nq.finish()
+	}
+
+	// r is not simple: merge Q and its child Q' (Figure 9). The
+	// attrition bound for Q' is the smallest element that follows it
+	// in queue order.
+	qp := r.child
+	e := Elem{Key: int64(1) << 62}
+	haveE := false
+	if !rest.empty() {
+		e, haveE = rest.first().min(), true
+	}
+	if eL, haveL := minL(q); haveL && (!haveE || eL.Key < e.Key) {
+		e, haveE = eL, true
+	}
+
+	var restDeq []rdeq
+	if !rest.empty() {
+		restDeq = []rdeq{rest}
+	}
+
+	if haveE {
+		if m, ok := qp.minValue(); ok && e.Key <= m.Key {
+			// Q' is fully attrited.
+			nq.d = restDeq
+			return nq.finish()
+		}
+		if v, ok := maxLastC(qp); !ok || e.Key <= v.Key {
+			// e cuts inside C(Q') (or Q' has only C): keep C(Q')
+			// as the new buffer deque for lazy attrition; the rest
+			// of Q' dies.
+			nq.bq = qp.c
+			nq.d = restDeq
+			return nq.finish()
+		}
+		if v, ok := minFirstD1(qp); !ok || e.Key <= v.Key {
+			// C(Q') survives whole; Q''s dirty deques die; B(Q')
+			// survives if its head is below e.
+			nq.c = nq.c.concat(qp.c)
+			if v2, ok2 := minFirstB(qp); ok2 && v2.Key < e.Key {
+				nq.bq = qp.bq
+			}
+			nq.d = restDeq
+			return nq.finish()
+		}
+	}
+	// min(first(D1(Q'))) < e (or nothing follows Q'): adopt Q'
+	// wholesale: its C extends C(Q), its B becomes B(Q), its dirty
+	// deques precede the remainder of D1(Q).
+	nq.c = nq.c.concat(qp.c)
+	nq.bq = qp.bq
+	nd := append([]rdeq(nil), qp.d...)
+	nd = append(nd, restDeq...)
+	if len(nd) == 0 {
+		nq.d = nil
+	} else {
+		nq.d = nd
+	}
+	return nq.finish()
+}

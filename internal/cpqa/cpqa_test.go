@@ -1,0 +1,388 @@
+package cpqa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/pqa"
+)
+
+func newDisk() *emio.Disk { return emio.NewDisk(emio.Config{B: 16, M: 1 << 20}) }
+
+func checkAgainstModel(t *testing.T, q *Queue, model *pqa.PQA, ctx string) {
+	t.Helper()
+	if msg := q.CheckInvariants(); msg != "" {
+		t.Fatalf("%s: invariant violated: %s", ctx, msg)
+	}
+	got := q.Contents()
+	want := model.Items()
+	if len(got) != len(want) {
+		t.Fatalf("%s: contents %v != model %v", ctx, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: contents[%d] = %v, model %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestInsertFindDeleteBasic(t *testing.T) {
+	d := newDisk()
+	q := New(d, 2)
+	model := pqa.New()
+	for _, k := range []int64{50, 30, 70, 20, 60, 10} {
+		q = q.InsertAndAttrite(Elem{Key: k})
+		model.InsertAndAttrite(Elem{Key: k})
+		checkAgainstModel(t, q, model, "insert")
+	}
+	// After inserting 10 last, everything >= 10 was attrited.
+	if got := q.Contents(); len(got) != 1 || got[0].Key != 10 {
+		t.Fatalf("contents = %v, want [10]", got)
+	}
+	e, q2, ok := q.DeleteMin()
+	if !ok || e.Key != 10 {
+		t.Fatalf("DeleteMin = %v, %t", e, ok)
+	}
+	if !q2.Empty() {
+		t.Fatalf("queue should be empty, has %d", q2.Len())
+	}
+}
+
+func TestIncreasingInsertsKeepAll(t *testing.T) {
+	d := newDisk()
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		q := New(d, b)
+		model := pqa.New()
+		for i := int64(0); i < 200; i++ {
+			q = q.InsertAndAttrite(Elem{Key: i, Aux: i * 7})
+			model.InsertAndAttrite(Elem{Key: i, Aux: i * 7})
+		}
+		checkAgainstModel(t, q, model, "increasing")
+		if q.Len() < 200 {
+			t.Fatalf("b=%d: increasing inserts lost elements: %d", b, q.Len())
+		}
+		// Drain and verify order.
+		prev := int64(-1)
+		for {
+			e, nq, ok := q.DeleteMin()
+			if !ok {
+				break
+			}
+			if e.Key <= prev {
+				t.Fatalf("b=%d: drain out of order: %d after %d", b, e.Key, prev)
+			}
+			prev = e.Key
+			q = nq
+		}
+		if prev != 199 {
+			t.Fatalf("b=%d: drain ended at %d, want 199", b, prev)
+		}
+	}
+}
+
+func TestRandomOpsDifferential(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 4, 8} {
+		for seed := int64(0); seed < 4; seed++ {
+			d := newDisk()
+			rng := rand.New(rand.NewSource(seed*100 + int64(b)))
+			q := New(d, b)
+			model := pqa.New()
+			for op := 0; op < 1500; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4, 5:
+					k := rng.Int63n(1 << 20)
+					q = q.InsertAndAttrite(Elem{Key: k})
+					model.InsertAndAttrite(Elem{Key: k})
+				case 6, 7:
+					e1, q2, ok1 := q.DeleteMin()
+					e2, ok2 := model.DeleteMin()
+					if ok1 != ok2 || (ok1 && e1 != e2) {
+						t.Fatalf("b=%d seed=%d op=%d: DeleteMin %v,%t vs %v,%t",
+							b, seed, op, e1, ok1, e2, ok2)
+					}
+					q = q2
+				case 8:
+					e1, ok1 := q.FindMin()
+					e2, ok2 := model.FindMin()
+					if ok1 != ok2 || (ok1 && e1 != e2) {
+						t.Fatalf("b=%d seed=%d op=%d: FindMin %v,%t vs %v,%t",
+							b, seed, op, e1, ok1, e2, ok2)
+					}
+				case 9:
+					// Catenate with a fresh random queue.
+					n := rng.Intn(30)
+					q2 := New(d, b)
+					m2 := pqa.New()
+					for i := 0; i < n; i++ {
+						k := rng.Int63n(1 << 20)
+						q2 = q2.InsertAndAttrite(Elem{Key: k})
+						m2.InsertAndAttrite(Elem{Key: k})
+					}
+					q = CatenateAndAttrite(q, q2)
+					model.CatenateAndAttrite(m2)
+				}
+				if op%50 == 0 {
+					checkAgainstModel(t, q, model, "random")
+				}
+			}
+			checkAgainstModel(t, q, model, "final")
+		}
+	}
+}
+
+func TestCatenateManyQueues(t *testing.T) {
+	for _, b := range []int{1, 2, 4} {
+		for seed := int64(0); seed < 5; seed++ {
+			d := newDisk()
+			rng := rand.New(rand.NewSource(seed + 40))
+			var qs []*Queue
+			var models []*pqa.PQA
+			for i := 0; i < 12; i++ {
+				q := New(d, b)
+				m := pqa.New()
+				for j := 0; j < rng.Intn(60); j++ {
+					k := rng.Int63n(1 << 16)
+					q = q.InsertAndAttrite(Elem{Key: k})
+					m.InsertAndAttrite(Elem{Key: k})
+				}
+				q = q.BiasUntilReady()
+				qs = append(qs, q)
+				models = append(models, m)
+			}
+			q := CatenateAll(qs)
+			model := models[len(models)-1]
+			for i := len(models) - 2; i >= 0; i-- {
+				m := models[i]
+				m.CatenateAndAttrite(model)
+				model = m
+			}
+			checkAgainstModel(t, q, model, "catenate-all")
+		}
+	}
+}
+
+// TestPersistence: operations must not destroy their inputs (the
+// confluent persistence the dynamic structure relies on).
+func TestPersistence(t *testing.T) {
+	d := newDisk()
+	b := 2
+	q1 := New(d, b)
+	for i := int64(0); i < 100; i++ {
+		q1 = q1.InsertAndAttrite(Elem{Key: i * 3})
+	}
+	before := q1.Contents()
+	q2 := New(d, b)
+	for i := int64(0); i < 50; i++ {
+		q2 = q2.InsertAndAttrite(Elem{Key: i*2 + 1})
+	}
+	before2 := q2.Contents()
+
+	merged := CatenateAndAttrite(q1, q2)
+	_, _, _ = merged.DeleteMin()
+	_ = merged.InsertAndAttrite(Elem{Key: -5})
+
+	after := q1.Contents()
+	after2 := q2.Contents()
+	if len(after) != len(before) || len(after2) != len(before2) {
+		t.Fatal("catenation mutated its inputs")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("q1 contents changed")
+		}
+	}
+	for i := range before2 {
+		if before2[i] != after2[i] {
+			t.Fatal("q2 contents changed")
+		}
+	}
+}
+
+// TestWorstCaseIOsPerOp: Theorem 3's O(1) worst-case I/Os, measured with
+// no cache at all (M = 0) so every block touch counts.
+func TestWorstCaseIOsPerOp(t *testing.T) {
+	for _, b := range []int{1, 4, 16} {
+		d := emio.NewDisk(emio.Config{B: 16, M: 0})
+		rng := rand.New(rand.NewSource(9))
+		q := New(d, b)
+		blocksPerRecord := uint64(d.Config().BlocksFor(4*b) + 1)
+		var worst uint64
+		for op := 0; op < 3000; op++ {
+			before := d.Stats().IOs()
+			switch rng.Intn(4) {
+			case 0, 1:
+				q = q.InsertAndAttrite(Elem{Key: rng.Int63n(1 << 20)})
+			case 2:
+				_, q2, _ := q.DeleteMin()
+				q = q2
+			case 3:
+				q2 := New(d, b).InsertAndAttrite(Elem{Key: rng.Int63n(1 << 20)})
+				q2 = q2.InsertAndAttrite(Elem{Key: rng.Int63n(1 << 20)})
+				q = CatenateAndAttrite(q, q2)
+			}
+			cost := d.Stats().IOs() - before
+			if cost > worst {
+				worst = cost
+			}
+		}
+		// Every op touches O(1) records of O(b) words each.
+		budget := 40 * blocksPerRecord
+		if worst > budget {
+			t.Errorf("b=%d: worst op cost %d I/Os, budget %d", b, worst, budget)
+		}
+	}
+}
+
+// TestAmortizedIOs: with the critical blocks cache-resident (large M),
+// long op sequences cost far less than one I/O per operation.
+func TestAmortizedIOs(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 64, M: 1 << 24})
+	b := 64
+	q := New(d, b)
+	rng := rand.New(rand.NewSource(11))
+	n := 20000
+	d.ResetStats()
+	for op := 0; op < n; op++ {
+		if rng.Intn(3) == 0 {
+			_, q2, _ := q.DeleteMin()
+			q = q2
+		} else {
+			q = q.InsertAndAttrite(Elem{Key: rng.Int63n(1 << 30)})
+		}
+	}
+	total := d.Stats().IOs()
+	if float64(total) > 0.5*float64(n) {
+		t.Errorf("amortized: %d ops cost %d I/Os (>= 0.5/op); expected o(1) per op", n, total)
+	}
+}
+
+// TestSpaceBound: Theorem 3's O((n−m)/b) blocks, i.e. O(n−m) words.
+func TestSpaceBound(t *testing.T) {
+	d := newDisk()
+	b := 8
+	q := New(d, b)
+	inserted, deleted := 0, 0
+	rng := rand.New(rand.NewSource(13))
+	for op := 0; op < 5000; op++ {
+		if rng.Intn(4) == 0 {
+			if _, q2, ok := q.DeleteMin(); ok {
+				q = q2
+				deleted++
+			}
+		} else {
+			q = q.InsertAndAttrite(Elem{Key: rng.Int63n(1 << 30)})
+			inserted++
+		}
+	}
+	words := q.ReachableWords()
+	if words > 4*(inserted-deleted)+20*b {
+		t.Errorf("reachable words %d exceed 4(n-m)+20b = %d",
+			words, 4*(inserted-deleted)+20*b)
+	}
+}
+
+// TestFigure8QueueAnatomy: a queue built to have all components exercises
+// the queue-order definition of Figure 8 (F, C, B, D1..Dk, L).
+func TestFigure8QueueAnatomy(t *testing.T) {
+	d := newDisk()
+	b := 2
+	// Build two large queues and catenate so the right one hangs off a
+	// dirty record (large-catenate case 3/4), giving a non-trivial
+	// anatomy.
+	q1 := New(d, b)
+	for i := int64(0); i < 60; i++ {
+		q1 = q1.InsertAndAttrite(Elem{Key: i})
+	}
+	q2 := New(d, b)
+	for i := int64(100); i < 160; i++ {
+		q2 = q2.InsertAndAttrite(Elem{Key: i})
+	}
+	q := CatenateAndAttrite(q1, q2)
+	if msg := q.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants after anatomy catenate: %s", msg)
+	}
+	got := q.Contents()
+	if len(got) != 120 {
+		t.Fatalf("anatomy queue has %d elements, want 120", len(got))
+	}
+	// The queue order must equal sorted order for a valid CPQA.
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Fatal("contents not strictly increasing")
+		}
+	}
+}
+
+func TestEmptyQueueOps(t *testing.T) {
+	d := newDisk()
+	q := New(d, 4)
+	if _, ok := q.FindMin(); ok {
+		t.Error("FindMin on empty queue returned ok")
+	}
+	if _, _, ok := q.DeleteMin(); ok {
+		t.Error("DeleteMin on empty queue returned ok")
+	}
+	q2 := CatenateAndAttrite(q, New(d, 4))
+	if !q2.Empty() {
+		t.Error("catenation of empty queues not empty")
+	}
+	q3 := q.InsertAndAttrite(Elem{Key: 5})
+	if got := q3.Contents(); len(got) != 1 || got[0].Key != 5 {
+		t.Errorf("insert into empty = %v", got)
+	}
+}
+
+func TestSingletonAttritesEverything(t *testing.T) {
+	d := newDisk()
+	for _, b := range []int{1, 2, 8} {
+		q := New(d, b)
+		for i := int64(0); i < 500; i++ {
+			q = q.InsertAndAttrite(Elem{Key: i + 10})
+		}
+		q = q.InsertAndAttrite(Elem{Key: 1})
+		got := q.Contents()
+		if len(got) != 1 || got[0].Key != 1 {
+			t.Fatalf("b=%d: global attrition left %v", b, got)
+		}
+		if msg := q.CheckInvariants(); msg != "" {
+			t.Fatalf("b=%d: %s", b, msg)
+		}
+	}
+}
+
+func TestCatenateChains(t *testing.T) {
+	// Deep chains of catenations exercise child-queue merging in Bias
+	// (Figure 9) when the result is drained.
+	d := newDisk()
+	b := 2
+	rng := rand.New(rand.NewSource(17))
+	model := pqa.New()
+	q := New(d, b)
+	base := int64(1 << 40)
+	for round := 0; round < 30; round++ {
+		q2 := New(d, b)
+		m2 := pqa.New()
+		lo := base - int64(round)*1000
+		for i := int64(0); i < 40; i++ {
+			k := lo + rng.Int63n(900)
+			q2 = q2.InsertAndAttrite(Elem{Key: k})
+			m2.InsertAndAttrite(Elem{Key: k})
+		}
+		q = CatenateAndAttrite(q, q2)
+		model.CatenateAndAttrite(m2)
+	}
+	checkAgainstModel(t, q, model, "chain")
+	// Drain fully, comparing step by step.
+	for {
+		e1, q2, ok1 := q.DeleteMin()
+		e2, ok2 := model.DeleteMin()
+		if ok1 != ok2 || (ok1 && e1 != e2) {
+			t.Fatalf("drain mismatch: %v,%t vs %v,%t", e1, ok1, e2, ok2)
+		}
+		if !ok1 {
+			break
+		}
+		q = q2
+	}
+}

@@ -1,0 +1,135 @@
+package cpqa
+
+import "repro/internal/emio"
+
+// This file exposes the queue's critical records (§4.1: "the first three
+// records of C(Q), last(C(Q)), first(B(Q)), first(D1(Q)), last(DkQ(Q))
+// and last(front(DkQ(Q))) if it exists, otherwise last(DkQ−1(Q))"), plus
+// the F and L buffers. The dynamic structure of §4.2 keeps copies of
+// these in each internal node's representative block, which is what
+// makes Lemma 7's no-I/O multi-way catenation possible.
+
+// span is a contiguous run of blocks.
+type span struct {
+	block emio.BlockID
+	words int
+}
+
+// criticalSpans returns the block spans of the queue's critical records
+// and buffers.
+func (q *Queue) criticalSpans() []span {
+	var out []span
+	if q.fWords > 0 {
+		out = append(out, span{q.fBlock, q.fWords})
+	}
+	if q.lWords > 0 {
+		out = append(out, span{q.lBlock, q.lWords})
+	}
+	add := func(r *record) {
+		if r != nil {
+			out = append(out, span{r.block, r.words})
+		}
+	}
+	for i := 0; i < 3 && i < len(q.c); i++ {
+		add(q.c[i])
+	}
+	if !q.c.empty() {
+		add(q.c.last())
+	}
+	if !q.bq.empty() {
+		add(q.bq.first())
+	}
+	if kq := q.k(); kq > 0 {
+		add(q.d[0].first())
+		dk := q.d[kq-1]
+		add(dk.last())
+		if len(dk) > 1 {
+			add(dk.front().last())
+		} else if kq > 1 {
+			add(q.d[kq-2].last())
+		}
+	}
+	return out
+}
+
+// CriticalWords returns the total words of the critical spans: the size
+// contribution of this queue to its parent's representative block.
+func (q *Queue) CriticalWords() int {
+	w := 0
+	for _, s := range q.criticalSpans() {
+		w += s.words
+	}
+	return w
+}
+
+// AdmitCritical marks the critical records memory-resident without a
+// charge. Callers must have just paid for reading a packed copy (the
+// representative block); see emio.Admit.
+func (q *Queue) AdmitCritical() {
+	for _, s := range q.criticalSpans() {
+		q.disk.AdmitSpan(s.block, s.words)
+	}
+}
+
+// PinCritical pins the critical records in memory (charging reads for
+// any that are cold), returning an unpin function. This realises the
+// paper's "constant number of blocks pinned in main memory" assumption
+// behind the O(1/b) amortized bounds.
+func (q *Queue) PinCritical() (unpin func()) {
+	spans := q.criticalSpans()
+	for _, s := range spans {
+		q.disk.PinSpan(s.block, s.words)
+	}
+	return func() {
+		for _, s := range spans {
+			q.disk.UnpinSpan(s.block, s.words)
+		}
+	}
+}
+
+// FromAscending builds a queue over strictly increasing elements in
+// O(1 + len/B) I/Os by packing all records into one contiguous span.
+// The §4.2 structure uses it to create leaf queues (and query-time
+// partial-leaf queues) in O(1) I/Os, since a leaf holds O(B) elements.
+func FromAscending(d *emio.Disk, b int, elems []Elem) *Queue {
+	for i := 1; i < len(elems); i++ {
+		if elems[i-1].Key >= elems[i].Key {
+			panic("cpqa: FromAscending input not strictly increasing")
+		}
+	}
+	q := &Queue{disk: d, b: b}
+	if len(elems) == 0 {
+		return q
+	}
+	if len(elems) <= 4*b {
+		q.f = append([]Elem(nil), elems...)
+		q.size = len(elems)
+		q.chargeBuffers()
+		return q
+	}
+	q.f = append([]Elem(nil), elems[:2*b]...)
+	rest := elems[2*b:]
+	// Pack the clean records into one span so that building charges
+	// O(words/B) I/Os, as a streaming write would.
+	spanStart := d.AllocSpan(len(rest))
+	d.WriteSpan(spanStart, len(rest))
+	off := 0
+	for off < len(rest) {
+		sz := 2 * b
+		if len(rest)-off < sz+b {
+			sz = len(rest) - off // final record up to 3b
+		}
+		chunk := rest[off : off+sz]
+		r := &record{
+			buf:   append([]Elem(nil), chunk...),
+			total: len(chunk),
+			block: spanStart + emio.BlockID(off/d.Config().B),
+			words: len(chunk),
+		}
+		q.c = q.c.pushBack(r)
+		off += sz
+	}
+	q.size = len(elems)
+	q.chargeBuffers()
+	return q
+}

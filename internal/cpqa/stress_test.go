@@ -1,0 +1,60 @@
+package cpqa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/pqa"
+)
+
+func TestStressSweep(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 5, 8, 16} {
+		for seed := int64(0); seed < 30; seed++ {
+			d := emio.NewDisk(emio.Config{B: 16, M: 1 << 20})
+			rng := rand.New(rand.NewSource(seed*1000 + int64(b)))
+			q := New(d, b)
+			model := pqa.New()
+			for op := 0; op < 800; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4:
+					k := rng.Int63n(1 << 14)
+					q = q.InsertAndAttrite(Elem{Key: k})
+					model.InsertAndAttrite(Elem{Key: k})
+				case 5, 6, 7:
+					e1, q2, ok1 := q.DeleteMin()
+					e2, ok2 := model.DeleteMin()
+					if ok1 != ok2 || (ok1 && e1 != e2) {
+						t.Fatalf("b=%d seed=%d op=%d: DeleteMin %v,%t vs %v,%t", b, seed, op, e1, ok1, e2, ok2)
+					}
+					q = q2
+				case 8, 9:
+					n := rng.Intn(50)
+					q2 := New(d, b)
+					m2 := pqa.New()
+					for i := 0; i < n; i++ {
+						k := rng.Int63n(1 << 14)
+						q2 = q2.InsertAndAttrite(Elem{Key: k})
+						m2.InsertAndAttrite(Elem{Key: k})
+					}
+					q2 = q2.BiasUntilReady()
+					q = CatenateAndAttrite(q, q2)
+					model.CatenateAndAttrite(m2)
+				}
+				if msg := q.CheckInvariants(); msg != "" {
+					t.Fatalf("b=%d seed=%d op=%d: invariant: %s", b, seed, op, msg)
+				}
+				got := q.Contents()
+				want := model.Items()
+				if len(got) != len(want) {
+					t.Fatalf("b=%d seed=%d op=%d: len %d vs %d", b, seed, op, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("b=%d seed=%d op=%d: elem %d", b, seed, op, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,529 @@
+// Package dyntop implements the dynamic top-open range skyline structure
+// of Theorem 4 (§4.2): an (a,2a)-tree over the mirrored point set
+// P̃ = {(x, −y)}, augmented with confluently persistent I/O-CPQAs, with
+//
+//	query  O(log_{2B^ε}(n/B) + k/B^{1−ε}) I/Os,
+//	update O(log_{2B^ε}(n/B)) I/Os,
+//	space  O(n/B) blocks, construction O(n/B) I/Os after x-sorting (SABE),
+//
+// for any parameter 0 ≤ ε ≤ 1. The base tree has fan-out a = 2⌈B^ε⌉ and
+// leaves of [B, 2B] points; the CPQAs use buffer size b = ⌊B^{1−ε}⌋, so
+// the critical records of a node's Θ(B^ε) children total O(B) words and
+// fit in the node's O(1)-block representative block. A point (x, y)
+// becomes the element (key = −y, aux = x) inserted at "time" x; a point
+// is attrited exactly when it is dominated (Figure 7), so a node's queue
+// — the left-to-right catenation of its children's queues — holds the
+// skyline of its subtree, and a top-open query drains the catenation of
+// O(log) canonical queues until y < β.
+package dyntop
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cpqa"
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+type node struct {
+	parent   *node
+	children []*node // nil for leaves
+
+	// Leaves hold the raw points sorted by x in a span of their own.
+	pts      []geom.Point
+	ptsBlock emio.BlockID
+	ptsWords int
+
+	// Every node carries the I/O-CPQA over its subtree and, for
+	// internal nodes, the packed representative block holding copies
+	// of the children's critical records.
+	q        *cpqa.Queue
+	repBlock emio.BlockID
+	repWords int
+
+	minX, maxX geom.Coord
+}
+
+func (nd *node) leaf() bool { return nd.children == nil }
+
+// Tree is the dynamic top-open index.
+type Tree struct {
+	disk *emio.Disk
+	eps  float64
+	a    int // internal fan-out in [a, 2a]
+	b    int // CPQA buffer parameter
+	kMin int // leaf occupancy in [kMin, 2*kMin]
+	root *node
+	n    int
+}
+
+// New returns an empty tree with the given ε.
+func New(d *emio.Disk, eps float64) *Tree {
+	if eps < 0 || eps > 1 {
+		panic("dyntop: epsilon must be in [0,1]")
+	}
+	B := float64(d.Config().B)
+	a := int(math.Ceil(2 * math.Pow(B, eps)))
+	if a < 2 {
+		a = 2
+	}
+	b := int(math.Pow(B, 1-eps))
+	if b < 1 {
+		b = 1
+	}
+	kMin := d.Config().B
+	if kMin < 4 {
+		kMin = 4
+	}
+	return &Tree{disk: d, eps: eps, a: a, b: b, kMin: kMin}
+}
+
+// BuildSABE bulk-loads the tree from points sorted by x in O(n/B) I/Os.
+func BuildSABE(d *emio.Disk, eps float64, pts []geom.Point) *Tree {
+	t := New(d, eps)
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X >= pts[i].X {
+			panic("dyntop: input not sorted by x")
+		}
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	t.n = len(pts)
+	// Leaves of ~1.5·kMin points.
+	target := t.kMin + t.kMin/2
+	var level []*node
+	for lo := 0; lo < len(pts); lo += target {
+		hi := lo + target
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		chunk := append([]geom.Point(nil), pts[lo:hi]...)
+		// Avoid an undersized final leaf.
+		if len(chunk) < t.kMin && len(level) > 0 {
+			prev := level[len(level)-1]
+			cut := len(prev.pts) - t.kMin/2
+			steal := append([]geom.Point(nil), prev.pts[cut:]...)
+			chunk = append(steal, chunk...)
+			prev.pts = prev.pts[:cut]
+			t.refreshLeaf(prev)
+		}
+		nd := &node{pts: chunk}
+		t.refreshLeaf(nd)
+		level = append(level, nd)
+	}
+	// Internal levels of ~1.5a children.
+	for len(level) > 1 {
+		fan := t.a + t.a/2
+		var up []*node
+		for lo := 0; lo < len(level); lo += fan {
+			hi := lo + fan
+			if hi > len(level) {
+				hi = len(level)
+			}
+			kids := append([]*node(nil), level[lo:hi]...)
+			if len(kids) < t.a && len(up) > 0 {
+				prev := up[len(up)-1]
+				steal := prev.children[len(prev.children)-t.a/2:]
+				prev.children = prev.children[:len(prev.children)-t.a/2]
+				kids = append(append([]*node(nil), steal...), kids...)
+				t.refreshInternal(prev)
+			}
+			nd := &node{children: kids}
+			for _, c := range kids {
+				c.parent = nd
+			}
+			t.refreshInternal(nd)
+			up = append(up, nd)
+		}
+		level = up
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.n }
+
+// Epsilon returns the structure's ε parameter.
+func (t *Tree) Epsilon() float64 { return t.eps }
+
+// elem converts a point to its mirrored CPQA element.
+func elem(p geom.Point) cpqa.Elem { return cpqa.Elem{Key: -p.Y, Aux: p.X} }
+
+// point converts back.
+func point(e cpqa.Elem) geom.Point { return geom.Point{X: e.Aux, Y: -e.Key} }
+
+// staircase returns the mirrored-skyline elements of points sorted by x:
+// the strictly increasing (in key = −y) subsequence that survives
+// attrition. Host CPU only; used when (re)building leaf queues.
+func staircase(pts []geom.Point) []cpqa.Elem {
+	var out []cpqa.Elem
+	// Scan right to left keeping the running maximum y.
+	best := geom.Coord(math.MinInt64)
+	idx := make([]int, 0, len(pts))
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].Y > best {
+			idx = append(idx, i)
+			best = pts[i].Y
+		}
+	}
+	for i := len(idx) - 1; i >= 0; i-- {
+		out = append(out, elem(pts[idx[i]]))
+	}
+	return out
+}
+
+// refreshLeaf rewrites a leaf's point span and rebuilds its queue:
+// O(1) I/Os (a leaf holds O(B) points).
+func (t *Tree) refreshLeaf(nd *node) {
+	if nd.ptsWords > 0 {
+		t.disk.FreeSpan(nd.ptsBlock, nd.ptsWords)
+	}
+	nd.ptsWords = 2 * len(nd.pts)
+	if nd.ptsWords > 0 {
+		nd.ptsBlock = t.disk.AllocSpan(nd.ptsWords)
+		t.disk.WriteSpan(nd.ptsBlock, nd.ptsWords)
+	}
+	nd.q = cpqa.FromAscending(t.disk, t.b, staircase(nd.pts)).BiasUntilReady()
+	if len(nd.pts) > 0 {
+		nd.minX, nd.maxX = nd.pts[0].X, nd.pts[len(nd.pts)-1].X
+	}
+}
+
+// refreshInternal rebuilds an internal node's queue as the Lemma 7
+// catenation of its children's queues and rewrites its representative
+// block: O(1) I/Os beyond the children's already-resident criticals.
+func (t *Tree) refreshInternal(nd *node) {
+	// Read the (old) representative block to bring the children's
+	// critical records into memory, then catenate without further
+	// charges.
+	if nd.repWords > 0 {
+		t.disk.ReadSpan(nd.repBlock, nd.repWords)
+		t.disk.FreeSpan(nd.repBlock, nd.repWords)
+		nd.repWords = 0
+	}
+	qs := make([]*cpqa.Queue, 0, len(nd.children))
+	var unpins []func()
+	for _, c := range nd.children {
+		c.q.AdmitCritical()
+		unpins = append(unpins, c.q.PinCritical())
+		qs = append(qs, c.q)
+	}
+	nd.q = cpqa.CatenateAll(qs).BiasUntilReady()
+	for _, u := range unpins {
+		u()
+	}
+	nd.minX = nd.children[0].minX
+	nd.maxX = nd.children[len(nd.children)-1].maxX
+	// Pack copies of the children's critical records.
+	w := 0
+	for _, c := range nd.children {
+		w += c.q.CriticalWords()
+	}
+	if w == 0 {
+		w = 1
+	}
+	nd.repWords = w
+	nd.repBlock = t.disk.AllocSpan(w)
+	t.disk.WriteSpan(nd.repBlock, w)
+}
+
+// leafFor descends to the leaf whose x-range should contain x.
+func (t *Tree) leafFor(x geom.Coord) *node {
+	nd := t.root
+	for nd != nil && !nd.leaf() {
+		t.disk.ReadSpan(nd.repBlock, nd.repWords)
+		chosen := nd.children[len(nd.children)-1]
+		for _, c := range nd.children {
+			if x <= c.maxX {
+				chosen = c
+				break
+			}
+		}
+		nd = chosen
+	}
+	return nd
+}
+
+// Insert adds point p (whose x and y must not collide with indexed
+// points; callers enforce general position). O(log²_{B^ε}(n/B)) I/Os.
+func (t *Tree) Insert(p geom.Point) {
+	if t.root == nil {
+		t.root = &node{pts: []geom.Point{p}}
+		t.refreshLeaf(t.root)
+		t.n = 1
+		return
+	}
+	leaf := t.leafFor(p.X)
+	t.disk.ReadSpan(leaf.ptsBlock, leaf.ptsWords)
+	i := sort.Search(len(leaf.pts), func(j int) bool { return leaf.pts[j].X >= p.X })
+	leaf.pts = append(leaf.pts, geom.Point{})
+	copy(leaf.pts[i+1:], leaf.pts[i:])
+	leaf.pts[i] = p
+	t.n++
+	t.refreshLeaf(leaf)
+	t.rebalanceUp(leaf)
+}
+
+// Delete removes the point with the given coordinates; it reports
+// whether the point was present. O(log²_{B^ε}(n/B)) I/Os.
+func (t *Tree) Delete(p geom.Point) bool {
+	if t.root == nil {
+		return false
+	}
+	leaf := t.leafFor(p.X)
+	t.disk.ReadSpan(leaf.ptsBlock, leaf.ptsWords)
+	i := sort.Search(len(leaf.pts), func(j int) bool { return leaf.pts[j].X >= p.X })
+	if i >= len(leaf.pts) || leaf.pts[i] != p {
+		return false
+	}
+	leaf.pts = append(leaf.pts[:i], leaf.pts[i+1:]...)
+	t.n--
+	t.refreshLeaf(leaf)
+	t.rebalanceUp(leaf)
+	return true
+}
+
+// rebalanceUp restores occupancy invariants from a modified node to the
+// root, rebuilding every ancestor's queue and representative block.
+func (t *Tree) rebalanceUp(nd *node) {
+	for nd != nil {
+		par := nd.parent
+		if nd.leaf() {
+			t.fixLeaf(nd)
+		} else {
+			t.fixInternal(nd)
+		}
+		if par != nil {
+			t.refreshInternal(par)
+		}
+		nd = par
+	}
+}
+
+func (t *Tree) fixLeaf(nd *node) {
+	par := nd.parent
+	switch {
+	case len(nd.pts) > 2*t.kMin:
+		half := len(nd.pts) / 2
+		right := &node{pts: append([]geom.Point(nil), nd.pts[half:]...), parent: par}
+		nd.pts = nd.pts[:half]
+		t.refreshLeaf(nd)
+		t.refreshLeaf(right)
+		if par == nil {
+			t.growRoot(nd, right)
+		} else {
+			insertChildAfter(par, nd, right)
+		}
+	case len(nd.pts) < t.kMin && par != nil:
+		sib, after := sibling(par, nd)
+		t.disk.ReadSpan(sib.ptsBlock, sib.ptsWords)
+		var merged []geom.Point
+		if after {
+			merged = append(append([]geom.Point(nil), nd.pts...), sib.pts...)
+		} else {
+			merged = append(append([]geom.Point(nil), sib.pts...), nd.pts...)
+		}
+		removeChild(par, sib)
+		t.disk.FreeSpan(sib.ptsBlock, sib.ptsWords)
+		nd.pts = merged
+		if len(nd.pts) > 2*t.kMin {
+			t.refreshLeaf(nd)
+			t.fixLeaf(nd) // split back
+		} else {
+			t.refreshLeaf(nd)
+		}
+	case par == nil && len(nd.pts) == 0:
+		t.root = nil
+	}
+}
+
+func (t *Tree) fixInternal(nd *node) {
+	par := nd.parent
+	switch {
+	case len(nd.children) > 2*t.a:
+		half := len(nd.children) / 2
+		right := &node{children: append([]*node(nil), nd.children[half:]...), parent: par}
+		nd.children = nd.children[:half]
+		for _, c := range right.children {
+			c.parent = right
+		}
+		t.refreshInternal(nd)
+		t.refreshInternal(right)
+		if par == nil {
+			t.growRoot(nd, right)
+		} else {
+			insertChildAfter(par, nd, right)
+		}
+	case par == nil && len(nd.children) == 1:
+		// Shrink the root.
+		t.root = nd.children[0]
+		t.root.parent = nil
+	case len(nd.children) < t.a && par != nil:
+		sib, after := sibling(par, nd)
+		var merged []*node
+		if after {
+			merged = append(append([]*node(nil), nd.children...), sib.children...)
+		} else {
+			merged = append(append([]*node(nil), sib.children...), nd.children...)
+		}
+		removeChild(par, sib)
+		if sib.repWords > 0 {
+			t.disk.FreeSpan(sib.repBlock, sib.repWords)
+		}
+		nd.children = merged
+		for _, c := range nd.children {
+			c.parent = nd
+		}
+		if len(nd.children) > 2*t.a {
+			t.refreshInternal(nd)
+			t.fixInternal(nd)
+		} else {
+			t.refreshInternal(nd)
+		}
+	}
+}
+
+func (t *Tree) growRoot(left, right *node) {
+	r := &node{children: []*node{left, right}}
+	left.parent, right.parent = r, r
+	t.refreshInternal(r)
+	t.root = r
+}
+
+func sibling(par, nd *node) (*node, bool) {
+	for i, c := range par.children {
+		if c == nd {
+			if i+1 < len(par.children) {
+				return par.children[i+1], true
+			}
+			return par.children[i-1], false
+		}
+	}
+	panic("dyntop: node not found among parent's children")
+}
+
+func insertChildAfter(par, nd, right *node) {
+	for i, c := range par.children {
+		if c == nd {
+			par.children = append(par.children, nil)
+			copy(par.children[i+2:], par.children[i+1:])
+			par.children[i+1] = right
+			return
+		}
+	}
+	panic("dyntop: node not found for insertChildAfter")
+}
+
+func removeChild(par, nd *node) {
+	for i, c := range par.children {
+		if c == nd {
+			par.children = append(par.children[:i], par.children[i+1:]...)
+			return
+		}
+	}
+	panic("dyntop: removeChild target missing")
+}
+
+// Query answers the top-open query [x1,x2] × [β, ∞): the maximal points
+// of the indexed set inside the rectangle, in increasing-x order.
+// O(log_{2B^ε}(n/B) + k/B^{1−ε}) I/Os.
+func (t *Tree) Query(x1, x2, beta geom.Coord) []geom.Point {
+	if t.root == nil || x1 > x2 {
+		return nil
+	}
+	var qs []*cpqa.Queue
+	var unpins []func()
+	t.collect(t.root, x1, x2, &qs, &unpins)
+	merged := cpqa.CatenateAll(qs)
+	for _, u := range unpins {
+		u()
+	}
+	var out []geom.Point
+	for merged != nil && !merged.Empty() {
+		e, nq, ok := merged.DeleteMin()
+		if !ok || -e.Key < beta {
+			break
+		}
+		out = append(out, point(e))
+		merged = nq
+	}
+	// Keys come out ascending (= descending y = ascending x).
+	return out
+}
+
+// collect gathers, in ascending x order, the queues covering [x1,x2]:
+// whole-node queues for maximal contained subtrees and fresh partial
+// queues for the boundary leaves.
+func (t *Tree) collect(nd *node, x1, x2 geom.Coord, qs *[]*cpqa.Queue, unpins *[]func()) {
+	if nd.maxX < x1 || nd.minX > x2 || (nd.leaf() && len(nd.pts) == 0) {
+		return
+	}
+	if nd.leaf() {
+		t.disk.ReadSpan(nd.ptsBlock, nd.ptsWords)
+		if nd.minX >= x1 && nd.maxX <= x2 {
+			nd.q.AdmitCritical()
+			*unpins = append(*unpins, nd.q.PinCritical())
+			*qs = append(*qs, nd.q)
+			return
+		}
+		lo := sort.Search(len(nd.pts), func(j int) bool { return nd.pts[j].X >= x1 })
+		hi := sort.Search(len(nd.pts), func(j int) bool { return nd.pts[j].X > x2 })
+		if lo >= hi {
+			return
+		}
+		*qs = append(*qs, cpqa.FromAscending(t.disk, t.b, staircase(nd.pts[lo:hi])))
+		return
+	}
+	// Internal: one representative-block read makes every child's
+	// critical records resident.
+	t.disk.ReadSpan(nd.repBlock, nd.repWords)
+	for _, c := range nd.children {
+		if c.maxX < x1 || c.minX > x2 {
+			continue
+		}
+		if c.minX >= x1 && c.maxX <= x2 {
+			c.q.AdmitCritical()
+			*unpins = append(*unpins, c.q.PinCritical())
+			*qs = append(*qs, c.q)
+			continue
+		}
+		t.collect(c, x1, x2, qs, unpins)
+	}
+}
+
+// Height returns the number of levels of the base tree.
+func (t *Tree) Height() int {
+	h := 0
+	for nd := t.root; nd != nil; {
+		h++
+		if nd.leaf() {
+			break
+		}
+		nd = nd.children[0]
+	}
+	return h
+}
+
+// SpaceWords returns the footprint of the base tree (leaf spans and
+// representative blocks) plus the reachable words of every node queue.
+func (t *Tree) SpaceWords() int {
+	total := 0
+	var rec func(nd *node)
+	rec = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		total += nd.ptsWords + nd.repWords
+		if nd.q != nil {
+			total += nd.q.ReachableWords()
+		}
+		for _, c := range nd.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return total
+}

@@ -1,0 +1,240 @@
+package dyntop
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+func pt(x, y geom.Coord) geom.Point { return geom.Point{X: x, Y: y} }
+
+func sameAnswer(got, want []geom.Point) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func buildTree(t testing.TB, cfg emio.Config, eps float64, pts []geom.Point) (*emio.Disk, *Tree) {
+	t.Helper()
+	d := emio.NewDisk(cfg)
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	return d, BuildSABE(d, eps, sorted)
+}
+
+func TestQueryMatchesOracleAcrossEps(t *testing.T) {
+	pts := geom.GenUniform(600, 6000, 91)
+	for _, eps := range []float64{0, 0.5, 1} {
+		_, tr := buildTree(t, emio.Config{B: 16, M: 16 * 64}, eps, pts)
+		rng := rand.New(rand.NewSource(92))
+		for q := 0; q < 200; q++ {
+			x1 := geom.Coord(rng.Int63n(6600)) - 300
+			x2 := x1 + geom.Coord(rng.Int63n(4000))
+			beta := geom.Coord(rng.Int63n(6600)) - 300
+			got := tr.Query(x1, x2, beta)
+			want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+			if !sameAnswer(got, want) {
+				t.Fatalf("eps=%.1f Query(%d,%d,%d) = %v, want %v", eps, x1, x2, beta, got, want)
+			}
+		}
+	}
+}
+
+func TestInsertThenQuery(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	tr := New(d, 0.5)
+	pts := geom.GenUniform(400, 4000, 93)
+	var present []geom.Point
+	rng := rand.New(rand.NewSource(94))
+	for i, p := range pts {
+		tr.Insert(p)
+		present = append(present, p)
+		if i%37 == 0 {
+			x1 := geom.Coord(rng.Int63n(4400)) - 200
+			x2 := x1 + geom.Coord(rng.Int63n(3000))
+			beta := geom.Coord(rng.Int63n(4400)) - 200
+			got := tr.Query(x1, x2, beta)
+			want := geom.RangeSkyline(present, geom.TopOpen(x1, x2, beta))
+			if !sameAnswer(got, want) {
+				t.Fatalf("after %d inserts: Query(%d,%d,%d) = %v, want %v",
+					i+1, x1, x2, beta, got, want)
+			}
+		}
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(pts))
+	}
+}
+
+func TestMixedInsertDelete(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	tr := New(d, 0.5)
+	rng := rand.New(rand.NewSource(95))
+	present := map[geom.Point]bool{}
+	var order []geom.Point
+	nextX, nextY := geom.Coord(0), geom.Coord(1<<40)
+	for op := 0; op < 1200; op++ {
+		if len(order) == 0 || rng.Intn(3) != 0 {
+			nextX += 1 + geom.Coord(rng.Int63n(50))
+			nextY -= 1 + geom.Coord(rng.Int63n(50))
+			// Shuffle y around to avoid a pure staircase.
+			p := pt(nextX, nextY+geom.Coord(rng.Int63n(1<<20)))
+			tr.Insert(p)
+			present[p] = true
+			order = append(order, p)
+		} else {
+			i := rng.Intn(len(order))
+			p := order[i]
+			order = append(order[:i], order[i+1:]...)
+			if present[p] {
+				if !tr.Delete(p) {
+					t.Fatalf("Delete(%v) failed", p)
+				}
+				delete(present, p)
+			}
+		}
+		if op%67 == 0 {
+			var pts []geom.Point
+			for p := range present {
+				pts = append(pts, p)
+			}
+			x1 := geom.Coord(rng.Int63n(int64(nextX) + 10))
+			x2 := x1 + geom.Coord(rng.Int63n(int64(nextX)+10))
+			beta := geom.Coord(rng.Int63n(1 << 41))
+			got := tr.Query(x1, x2, beta)
+			want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+			if !sameAnswer(got, want) {
+				t.Fatalf("op=%d: Query(%d,%d,%d) = %v, want %v", op, x1, x2, beta, got, want)
+			}
+		}
+	}
+	if tr.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(present))
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	tr := New(d, 0)
+	tr.Insert(pt(5, 5))
+	if tr.Delete(pt(5, 6)) {
+		t.Error("deleting absent point reported success")
+	}
+	if !tr.Delete(pt(5, 5)) {
+		t.Error("deleting present point failed")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after emptying", tr.Len())
+	}
+	if got := tr.Query(0, 10, 0); got != nil {
+		t.Errorf("empty tree query = %v", got)
+	}
+}
+
+func TestDrainToEmptyAndRefill(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 8 * 64})
+	tr := New(d, 0.5)
+	pts := geom.GenUniform(200, 2000, 96)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	for _, p := range pts {
+		if !tr.Delete(p) {
+			t.Fatalf("Delete(%v) failed", p)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty after full drain: %d", tr.Len())
+	}
+	for _, p := range pts[:50] {
+		tr.Insert(p)
+	}
+	got := tr.Query(geom.NegInf, geom.PosInf, geom.NegInf)
+	want := geom.Skyline(pts[:50])
+	if !sameAnswer(got, want) {
+		t.Fatalf("refill query = %v, want %v", got, want)
+	}
+}
+
+// TestQueryUpdateIOBounds measures the Theorem 4 shapes: logarithmic
+// update cost and logarithmic-plus-output query cost.
+func TestQueryUpdateIOBounds(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 16}
+	for _, eps := range []float64{0, 0.5} {
+		n := 20000
+		pts := geom.GenStaircase(n, 97)
+		d, tr := buildTree(t, cfg, eps, pts)
+		h := float64(tr.Height())
+		bParam := float64(tr.b)
+		rng := rand.New(rand.NewSource(98))
+		// Queries.
+		for q := 0; q < 30; q++ {
+			x1 := geom.Coord(rng.Int63n(int64(n) * 2))
+			x2 := x1 + geom.Coord(rng.Int63n(int64(n)))
+			beta := geom.Coord(rng.Int63n(int64(2*n) + 20))
+			var res []geom.Point
+			st := d.Measure(func() { res = tr.Query(x1, x2, beta) })
+			k := float64(len(res))
+			// O(h) node visits with O(1)-block rep reads each (the
+			// rep constant is ~44 blocks; see package comment), plus
+			// O(k/ B^{1-eps}) reporting.
+			budget := 150*h + 100 + 8*k/bParam
+			if float64(st.IOs()) > budget {
+				t.Errorf("eps=%.1f: query k=%d cost %d I/Os, budget %.0f",
+					eps, len(res), st.IOs(), budget)
+			}
+		}
+		// Updates.
+		for u := 0; u < 30; u++ {
+			p := pt(geom.Coord(rng.Int63n(1<<40))+(1<<41), geom.Coord(rng.Int63n(1<<40))+(1<<41))
+			st := d.Measure(func() { tr.Insert(p) })
+			budget := 200.0*h + 100
+			if float64(st.IOs()) > budget {
+				t.Errorf("eps=%.1f: insert cost %d I/Os, budget %.0f", eps, st.IOs(), budget)
+			}
+			st = d.Measure(func() { tr.Delete(p) })
+			if float64(st.IOs()) > budget {
+				t.Errorf("eps=%.1f: delete cost %d I/Os, budget %.0f", eps, st.IOs(), budget)
+			}
+		}
+	}
+}
+
+// TestSABEBuildLinear: construction is O(n/B) after sorting.
+func TestSABEBuildLinear(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 32}
+	d := emio.NewDisk(cfg)
+	n := 20000
+	pts := geom.GenUniform(n, int64(n)*8, 99)
+	geom.SortByX(pts)
+	d.ResetStats()
+	tr := BuildSABE(d, 0.5, pts)
+	d.DropCache()
+	st := d.Stats()
+	nb := float64(n) / float64(cfg.B)
+	if float64(st.IOs()) > 80*nb+100 {
+		t.Errorf("build cost %d I/Os, budget %.0f", st.IOs(), 80*nb+100)
+	}
+	_ = tr
+}
+
+func TestFigure7MirroredDrain(t *testing.T) {
+	// Figure 7: draining the root queue yields the global skyline in
+	// increasing x (decreasing y) order.
+	pts := geom.GenUniform(300, 3000, 100)
+	_, tr := buildTree(t, emio.Config{B: 16, M: 16 * 64}, 0.5, pts)
+	got := tr.Query(geom.NegInf, geom.PosInf, geom.NegInf)
+	want := geom.Skyline(pts)
+	if !sameAnswer(got, want) {
+		t.Fatalf("root drain = %v, want %v", got, want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].X >= got[i].X || got[i-1].Y <= got[i].Y {
+			t.Fatal("drain order is not the staircase order")
+		}
+	}
+}

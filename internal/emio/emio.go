@@ -1,0 +1,468 @@
+// Package emio simulates the external-memory (EM) model of Aggarwal and
+// Vitter: a machine with M words of main memory and a disk of unbounded
+// size divided into blocks of B consecutive words. The cost of an
+// algorithm is the number of block transfers (I/Os) it performs; CPU time
+// is free.
+//
+// Every data structure in this repository stores its nodes and records in
+// emio blocks and routes each access through a Disk, so the I/O counters
+// measure exactly the quantity the paper's theorems bound. The Disk keeps
+// an LRU cache of M/B block frames; an access to a resident block is free,
+// an access to a non-resident block costs one read I/O (plus one write I/O
+// when the evicted frame is dirty). Blocks may be pinned, which models the
+// paper's "critical records ... loaded in main memory" assumption used for
+// the O(1/B) amortized bounds.
+package emio
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BlockID identifies one allocated block on the simulated disk.
+// The zero value is never a valid block.
+type BlockID uint64
+
+// Config fixes the machine parameters of the simulated EM machine.
+type Config struct {
+	// B is the number of words per disk block. Must be >= 1.
+	B int
+	// M is the number of words of main memory. The block cache holds
+	// M/B frames. M < B disables caching entirely (every access is an
+	// I/O), which models the strict worst case. Must be >= 0.
+	M int
+}
+
+// DefaultConfig returns the configuration used by most experiments:
+// 256-word blocks and enough memory for 64 frames.
+func DefaultConfig() Config { return Config{B: 256, M: 256 * 64} }
+
+// Frames returns the number of block frames the cache holds.
+func (c Config) Frames() int {
+	if c.B <= 0 {
+		return 0
+	}
+	return c.M / c.B
+}
+
+// BlocksFor returns the number of B-word blocks needed to hold the given
+// number of words, i.e. ceil(words/B) (at least 1 for words == 0 callers
+// should not allocate at all).
+func (c Config) BlocksFor(words int) int {
+	if words <= 0 {
+		return 0
+	}
+	return (words + c.B - 1) / c.B
+}
+
+// Stats counts the I/O traffic performed through a Disk since the last
+// ResetStats.
+type Stats struct {
+	// Reads counts block transfers from disk to memory.
+	Reads uint64
+	// Writes counts block transfers from memory to disk (dirty
+	// evictions and explicit flushes).
+	Writes uint64
+}
+
+// IOs returns Reads + Writes.
+func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the element-wise difference s - o. It is used to measure
+// the cost of a region of code from two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d ios=%d", s.Reads, s.Writes, s.IOs())
+}
+
+// frame is a cache slot holding one resident block.
+type frame struct {
+	id    BlockID
+	dirty bool
+	pins  int
+	prev  *frame // LRU list; more recently used towards head
+	next  *frame
+}
+
+// Disk is a simulated external-memory disk with an LRU cache.
+// Disk is not safe for concurrent use; each simulation owns its Disk.
+type Disk struct {
+	cfg   Config
+	stats Stats
+
+	nextID uint64
+
+	// live maps allocated blocks to their size in words (for space
+	// accounting). Blocks are bookkeeping only; payload lives in the
+	// data structures themselves because CPU and RAM of the *host* are
+	// free in the model.
+	live      map[BlockID]int
+	liveWords int64
+	peakWords int64
+
+	// LRU cache of resident frames.
+	resident map[BlockID]*frame
+	head     *frame // most recently used
+	tail     *frame // least recently used
+	unpinned int    // resident frames with pins == 0
+	capacity int    // total frames permitted
+	pinned   int    // resident frames with pins > 0
+}
+
+// NewDisk returns a Disk for the given machine configuration.
+func NewDisk(cfg Config) *Disk {
+	if cfg.B < 1 {
+		panic("emio: config.B must be >= 1")
+	}
+	if cfg.M < 0 {
+		panic("emio: config.M must be >= 0")
+	}
+	return &Disk{
+		cfg:      cfg,
+		live:     make(map[BlockID]int),
+		resident: make(map[BlockID]*frame),
+		capacity: cfg.Frames(),
+	}
+}
+
+// Config returns the machine parameters of the disk.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Stats returns the I/O counters accumulated since the last ResetStats.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the I/O counters. Resident and pinned blocks are
+// unaffected, so a measurement region sees a warm cache unless DropCache
+// is called as well.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// LiveBlocks returns the number of currently allocated blocks; it is the
+// space usage of all structures on this disk, in blocks.
+func (d *Disk) LiveBlocks() int { return len(d.live) }
+
+// LiveWords returns the number of allocated words.
+func (d *Disk) LiveWords() int64 { return d.liveWords }
+
+// PeakWords returns the high-water mark of allocated words.
+func (d *Disk) PeakWords() int64 { return d.peakWords }
+
+// Alloc allocates a new block of up to B words and returns its id. The
+// block becomes resident and dirty (it was produced in memory and must be
+// written back eventually); the read I/O is not charged because nothing
+// is fetched.
+func (d *Disk) Alloc() BlockID {
+	return d.AllocWords(d.cfg.B)
+}
+
+// AllocWords allocates a block accounted as holding the given number of
+// words (clamped to [1, B]). Structures that pack less than a full block
+// use this for precise space accounting.
+func (d *Disk) AllocWords(words int) BlockID {
+	if words < 1 {
+		words = 1
+	}
+	if words > d.cfg.B {
+		words = d.cfg.B
+	}
+	id := BlockID(atomic.AddUint64(&d.nextID, 1))
+	d.live[id] = words
+	d.liveWords += int64(words)
+	if d.liveWords > d.peakWords {
+		d.peakWords = d.liveWords
+	}
+	d.admit(id, true)
+	return id
+}
+
+// Free releases a block. A resident frame is discarded without a
+// write-back (the data is dead).
+func (d *Disk) Free(id BlockID) {
+	words, ok := d.live[id]
+	if !ok {
+		panic(fmt.Sprintf("emio: Free of unknown block %d", id))
+	}
+	delete(d.live, id)
+	d.liveWords -= int64(words)
+	if f, ok := d.resident[id]; ok {
+		if f.pins > 0 {
+			d.pinned--
+		} else {
+			d.unpinned--
+		}
+		d.unlink(f)
+		delete(d.resident, id)
+	}
+}
+
+// Read touches a block for reading. If the block is not resident one read
+// I/O is charged and the block is brought into the cache (possibly
+// evicting the least recently used unpinned frame, charging a write I/O
+// if it was dirty).
+func (d *Disk) Read(id BlockID) {
+	d.touch(id, false)
+}
+
+// Write touches a block for writing. Same residency rules as Read; the
+// frame is additionally marked dirty so its eventual eviction costs a
+// write I/O.
+func (d *Disk) Write(id BlockID) {
+	d.touch(id, true)
+}
+
+// ReadCold charges one read I/O unconditionally, bypassing the cache and
+// leaving residency unchanged. It models an access pattern with no
+// locality (for example, the located-leaf searches of a generic PPB-tree
+// bulk-loader on inputs without the bottom-update property), used by
+// ablation baselines.
+func (d *Disk) ReadCold(id BlockID) {
+	if _, ok := d.live[id]; !ok {
+		panic(fmt.Sprintf("emio: access to unallocated block %d", id))
+	}
+	d.stats.Reads++
+}
+
+// ReadSpan touches a logical node spanning the given number of words,
+// stored in consecutive blocks starting at id. It charges one Read per
+// constituent block. Structures whose nodes exceed one block (for
+// example, 4b-element CPQA records with b = B) use this.
+func (d *Disk) ReadSpan(id BlockID, words int) {
+	for i := 0; i < d.cfg.BlocksFor(words); i++ {
+		d.Read(id + BlockID(i))
+	}
+}
+
+// WriteSpan is the dirty counterpart of ReadSpan.
+func (d *Disk) WriteSpan(id BlockID, words int) {
+	for i := 0; i < d.cfg.BlocksFor(words); i++ {
+		d.Write(id + BlockID(i))
+	}
+}
+
+// AllocSpan allocates ceil(words/B) consecutive blocks accounting a total
+// of words words and returns the first id. The ids are consecutive.
+func (d *Disk) AllocSpan(words int) BlockID {
+	n := d.cfg.BlocksFor(words)
+	if n == 0 {
+		n = 1
+	}
+	var first BlockID
+	remaining := words
+	for i := 0; i < n; i++ {
+		w := remaining
+		if w > d.cfg.B {
+			w = d.cfg.B
+		}
+		if w < 1 {
+			w = 1
+		}
+		id := d.AllocWords(w)
+		if i == 0 {
+			first = id
+		}
+		remaining -= w
+	}
+	return first
+}
+
+// FreeSpan frees the consecutive blocks of a span allocated with
+// AllocSpan.
+func (d *Disk) FreeSpan(id BlockID, words int) {
+	for i := 0; i < d.cfg.BlocksFor(words); i++ {
+		d.Free(id + BlockID(i))
+	}
+}
+
+// Pin marks a block as pinned in memory: it is made resident (charging a
+// read if needed) and will never be evicted until unpinned. Pins nest.
+// Pinned frames model the paper's critical records.
+func (d *Disk) Pin(id BlockID) {
+	if _, ok := d.live[id]; !ok {
+		panic(fmt.Sprintf("emio: Pin of unallocated block %d", id))
+	}
+	if f, ok := d.resident[id]; ok {
+		d.unlink(f)
+		d.pushFront(f)
+		if f.pins == 0 {
+			d.unpinned--
+			d.pinned++
+		}
+		f.pins++
+		return
+	}
+	// Fetch and pin atomically so the new frame cannot be chosen as
+	// its own eviction victim when the cache is saturated with pins.
+	d.stats.Reads++
+	f := &frame{id: id, pins: 1}
+	d.pushFront(f)
+	d.resident[id] = f
+	d.pinned++
+	for len(d.resident) > d.capacity {
+		victim := d.lruUnpinned()
+		if victim == nil {
+			break
+		}
+		d.evict(victim)
+	}
+}
+
+// Unpin releases one pin of a block.
+func (d *Disk) Unpin(id BlockID) {
+	f, ok := d.resident[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("emio: Unpin of unpinned block %d", id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		d.pinned--
+		d.unpinned++
+	}
+}
+
+// PinSpan pins every block of a multi-block node.
+func (d *Disk) PinSpan(id BlockID, words int) {
+	for i := 0; i < d.cfg.BlocksFor(words); i++ {
+		d.Pin(id + BlockID(i))
+	}
+}
+
+// UnpinSpan unpins every block of a multi-block node.
+func (d *Disk) UnpinSpan(id BlockID, words int) {
+	for i := 0; i < d.cfg.BlocksFor(words); i++ {
+		d.Unpin(id + BlockID(i))
+	}
+}
+
+// Admit marks a block resident (clean) without charging a read. It
+// models data that is already in memory because a copy of its content
+// was just read from elsewhere — e.g. a child queue's critical records
+// admitted after reading the parent's packed representative block in the
+// §4.2 dynamic structure. Use only when such a justification exists.
+func (d *Disk) Admit(id BlockID) {
+	if _, ok := d.live[id]; !ok {
+		panic(fmt.Sprintf("emio: Admit of unallocated block %d", id))
+	}
+	if _, ok := d.resident[id]; ok {
+		return
+	}
+	d.admit(id, false)
+}
+
+// AdmitSpan admits every block of a multi-block node.
+func (d *Disk) AdmitSpan(id BlockID, words int) {
+	for i := 0; i < d.cfg.BlocksFor(words); i++ {
+		d.Admit(id + BlockID(i))
+	}
+}
+
+// DropCache evicts every unpinned frame (charging writes for dirty ones),
+// producing a cold cache for worst-case measurements.
+func (d *Disk) DropCache() {
+	for f := d.tail; f != nil; {
+		prev := f.prev
+		if f.pins == 0 {
+			d.evict(f)
+		}
+		f = prev
+	}
+}
+
+// Resident reports whether the block currently occupies a cache frame.
+func (d *Disk) Resident(id BlockID) bool {
+	_, ok := d.resident[id]
+	return ok
+}
+
+// touch makes id resident, charging I/Os as needed, and moves it to the
+// front of the LRU list.
+func (d *Disk) touch(id BlockID, write bool) {
+	if _, ok := d.live[id]; !ok {
+		panic(fmt.Sprintf("emio: access to unallocated block %d", id))
+	}
+	if f, ok := d.resident[id]; ok {
+		d.unlink(f)
+		d.pushFront(f)
+		if write {
+			f.dirty = true
+		}
+		return
+	}
+	d.stats.Reads++
+	d.admit(id, write)
+}
+
+// admit inserts a (new or fetched) frame for id, evicting if over
+// capacity.
+func (d *Disk) admit(id BlockID, dirty bool) {
+	f := &frame{id: id, dirty: dirty}
+	d.pushFront(f)
+	d.resident[id] = f
+	d.unpinned++
+	for len(d.resident) > d.capacity {
+		victim := d.lruUnpinned()
+		if victim == nil {
+			// Everything is pinned; the cache is allowed to
+			// overflow only by pinned frames, mirroring the
+			// paper's assumption M = Ω(ℓb).
+			break
+		}
+		d.evict(victim)
+	}
+}
+
+// lruUnpinned returns the least recently used unpinned frame, or nil.
+func (d *Disk) lruUnpinned() *frame {
+	for f := d.tail; f != nil; f = f.prev {
+		if f.pins == 0 {
+			return f
+		}
+	}
+	return nil
+}
+
+func (d *Disk) evict(f *frame) {
+	if f.dirty {
+		d.stats.Writes++
+	}
+	d.unlink(f)
+	delete(d.resident, f.id)
+	d.unpinned--
+}
+
+func (d *Disk) pushFront(f *frame) {
+	f.prev = nil
+	f.next = d.head
+	if d.head != nil {
+		d.head.prev = f
+	}
+	d.head = f
+	if d.tail == nil {
+		d.tail = f
+	}
+}
+
+func (d *Disk) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		d.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		d.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+// Measure runs fn with a cold cache and returns the I/O stats it
+// incurred. Pinned frames stay resident, matching the model where
+// critical records live in memory across operations.
+func (d *Disk) Measure(fn func()) Stats {
+	d.DropCache()
+	before := d.stats
+	fn()
+	return d.stats.Sub(before)
+}

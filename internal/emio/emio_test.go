@@ -1,0 +1,326 @@
+package emio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigFrames(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{B: 256, M: 256 * 64}, 64},
+		{Config{B: 256, M: 255}, 0},
+		{Config{B: 1, M: 10}, 10},
+		{Config{B: 4, M: 0}, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.cfg.Frames(); got != tc.want {
+			t.Errorf("Frames(%+v) = %d, want %d", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+func TestConfigBlocksFor(t *testing.T) {
+	cfg := Config{B: 8, M: 0}
+	tests := []struct{ words, want int }{
+		{0, 0}, {1, 1}, {8, 1}, {9, 2}, {16, 2}, {17, 3},
+	}
+	for _, tc := range tests {
+		if got := cfg.BlocksFor(tc.words); got != tc.want {
+			t.Errorf("BlocksFor(%d) = %d, want %d", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestAllocChargesNoRead(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 16})
+	id := d.Alloc()
+	if got := d.Stats().Reads; got != 0 {
+		t.Fatalf("Alloc charged %d reads, want 0", got)
+	}
+	if !d.Resident(id) {
+		t.Fatal("freshly allocated block should be resident")
+	}
+}
+
+func TestReadMissAndHit(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 8}) // 2 frames
+	a := d.Alloc()
+	b := d.Alloc()
+	c := d.Alloc() // evicts a (dirty) -> 1 write
+	if got := d.Stats().Writes; got != 1 {
+		t.Fatalf("expected 1 write from dirty eviction, got %d", got)
+	}
+	d.ResetStats()
+	d.Read(b) // hit
+	d.Read(c) // hit
+	if got := d.Stats().Reads; got != 0 {
+		t.Fatalf("cache hits charged %d reads, want 0", got)
+	}
+	d.Read(a) // miss
+	if got := d.Stats().Reads; got != 1 {
+		t.Fatalf("miss charged %d reads, want 1", got)
+	}
+}
+
+func TestCleanEvictionChargesNoWrite(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 4}) // 1 frame
+	a := d.Alloc()
+	_ = d.Alloc() // evicts a, dirty -> write
+	d.ResetStats()
+	d.Read(a) // fetch a (clean), evicting b (dirty -> 1 write)
+	_ = d.Alloc()
+	// Read(a) evicts dirty b (1 write); Alloc evicts clean a (free).
+	if got := d.Stats().Writes; got != 1 {
+		t.Fatalf("writes = %d, want 1 (dirty b only)", got)
+	}
+}
+
+func TestCleanEvictionExact(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 4}) // 1 frame
+	a := d.Alloc()
+	d.DropCache() // a written back once
+	d.ResetStats()
+	d.Read(a)     // miss: 1 read, a clean
+	d.DropCache() // clean eviction: no write
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 0 {
+		t.Fatalf("stats = %v, want reads=1 writes=0", st)
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 8}) // 2 frames
+	a := d.Alloc()
+	d.Pin(a)
+	for i := 0; i < 10; i++ {
+		d.Alloc()
+	}
+	if !d.Resident(a) {
+		t.Fatal("pinned block was evicted")
+	}
+	d.ResetStats()
+	d.Read(a)
+	if got := d.Stats().Reads; got != 0 {
+		t.Fatalf("pinned block read charged %d I/Os, want 0", got)
+	}
+	d.Unpin(a)
+	d.DropCache()
+	if d.Resident(a) {
+		t.Fatal("unpinned block survived DropCache")
+	}
+}
+
+func TestPinNesting(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 8})
+	a := d.Alloc()
+	d.Pin(a)
+	d.Pin(a)
+	d.Unpin(a)
+	d.DropCache()
+	if !d.Resident(a) {
+		t.Fatal("block with one remaining pin was evicted")
+	}
+	d.Unpin(a)
+}
+
+func TestFreeReleasesSpace(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 16})
+	a := d.AllocWords(3)
+	if d.LiveWords() != 3 {
+		t.Fatalf("LiveWords = %d, want 3", d.LiveWords())
+	}
+	b := d.AllocWords(4)
+	if d.LiveBlocks() != 2 {
+		t.Fatalf("LiveBlocks = %d, want 2", d.LiveBlocks())
+	}
+	d.Free(a)
+	d.Free(b)
+	if d.LiveWords() != 0 || d.LiveBlocks() != 0 {
+		t.Fatalf("after Free: words=%d blocks=%d, want 0/0", d.LiveWords(), d.LiveBlocks())
+	}
+	if d.PeakWords() != 7 {
+		t.Fatalf("PeakWords = %d, want 7", d.PeakWords())
+	}
+}
+
+func TestSpanAccounting(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 64})
+	id := d.AllocSpan(10) // 3 blocks: 4+4+2 words
+	if d.LiveBlocks() != 3 || d.LiveWords() != 10 {
+		t.Fatalf("span alloc: blocks=%d words=%d, want 3/10", d.LiveBlocks(), d.LiveWords())
+	}
+	d.DropCache()
+	d.ResetStats()
+	d.ReadSpan(id, 10)
+	if got := d.Stats().Reads; got != 3 {
+		t.Fatalf("ReadSpan charged %d reads, want 3", got)
+	}
+	d.FreeSpan(id, 10)
+	if d.LiveBlocks() != 0 {
+		t.Fatalf("FreeSpan left %d blocks", d.LiveBlocks())
+	}
+}
+
+func TestMeasureColdCache(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 64})
+	ids := make([]BlockID, 8)
+	for i := range ids {
+		ids[i] = d.Alloc()
+	}
+	st := d.Measure(func() {
+		for _, id := range ids {
+			d.Read(id)
+		}
+	})
+	if st.Reads != 8 {
+		t.Fatalf("cold measure reads = %d, want 8", st.Reads)
+	}
+	// Second measurement is also cold.
+	st = d.Measure(func() {
+		for _, id := range ids {
+			d.Read(id)
+		}
+	})
+	if st.Reads != 8 {
+		t.Fatalf("second cold measure reads = %d, want 8", st.Reads)
+	}
+}
+
+func TestMeasureKeepsPins(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 64})
+	a := d.Alloc()
+	d.Pin(a)
+	st := d.Measure(func() { d.Read(a) })
+	if st.Reads != 0 {
+		t.Fatalf("pinned block cost %d reads under Measure, want 0", st.Reads)
+	}
+	d.Unpin(a)
+}
+
+func TestZeroMemoryEveryAccessIsIO(t *testing.T) {
+	d := NewDisk(Config{B: 4, M: 0})
+	a := d.Alloc()
+	d.ResetStats()
+	for i := 0; i < 5; i++ {
+		d.Read(a)
+	}
+	if got := d.Stats().Reads; got != 5 {
+		t.Fatalf("with M=0 expected 5 reads, got %d", got)
+	}
+}
+
+func TestAccessUnallocatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on access to unallocated block")
+		}
+	}()
+	d := NewDisk(Config{B: 4, M: 16})
+	d.Read(BlockID(999))
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Free of unknown block")
+		}
+	}()
+	d := NewDisk(Config{B: 4, M: 16})
+	d.Free(BlockID(999))
+}
+
+func TestUnpinUnpinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Unpin of unpinned block")
+		}
+	}()
+	d := NewDisk(Config{B: 4, M: 16})
+	a := d.Alloc()
+	d.Unpin(a)
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 4}
+	b := Stats{Reads: 3, Writes: 1}
+	got := a.Sub(b)
+	if got.Reads != 7 || got.Writes != 3 || got.IOs() != 10 {
+		t.Fatalf("Sub = %+v", got)
+	}
+}
+
+// Property: the LRU cache never holds more unpinned frames than capacity,
+// and hit/miss accounting matches a reference simulation.
+func TestQuickLRUMatchesReference(t *testing.T) {
+	f := func(ops []uint8) bool {
+		cfg := Config{B: 2, M: 8} // 4 frames
+		d := NewDisk(cfg)
+		var ids []BlockID
+		// reference: list of resident ids, most recent first
+		type refFrame struct {
+			id    BlockID
+			dirty bool
+		}
+		var ref []refFrame
+		var refReads, refWrites uint64
+		refTouch := func(id BlockID, write bool) {
+			for i, f := range ref {
+				if f.id == id {
+					ref = append(ref[:i], ref[i+1:]...)
+					if write {
+						f.dirty = true
+					}
+					ref = append([]refFrame{f}, ref...)
+					return
+				}
+			}
+			refReads++
+			ref = append([]refFrame{{id: id, dirty: write}}, ref...)
+			for len(ref) > cfg.Frames() {
+				victim := ref[len(ref)-1]
+				if victim.dirty {
+					refWrites++
+				}
+				ref = ref[:len(ref)-1]
+			}
+		}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				id := d.Alloc()
+				ids = append(ids, id)
+				// Alloc admits dirty without read.
+				ref = append([]refFrame{{id: id, dirty: true}}, ref...)
+				for len(ref) > cfg.Frames() {
+					victim := ref[len(ref)-1]
+					if victim.dirty {
+						refWrites++
+					}
+					ref = ref[:len(ref)-1]
+				}
+			case 1, 2:
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(op)%len(ids)]
+				d.Read(id)
+				refTouch(id, false)
+			case 3:
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(op)%len(ids)]
+				d.Write(id)
+				refTouch(id, true)
+			}
+		}
+		st := d.Stats()
+		return st.Reads == refReads && st.Writes == refWrites
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package extsort provides sequential files of fixed-width records stored
+// in emio blocks, and the classic external-memory mergesort over them:
+// O((n/B) log_{M/B}(n/B)) I/Os. It is the substrate of the paper's naive
+// baseline (§1.2: "scan the entire point set ... then find the skyline by
+// the fastest skyline algorithm on non-preprocessed input sets") and of
+// the sorting step that the SABE builders assume has already happened.
+package extsort
+
+import (
+	"sort"
+
+	"repro/internal/emio"
+)
+
+// File is a sequence of fixed-width records laid out in consecutive
+// B-word blocks on a Disk. Record payloads live in host memory (CPU and
+// host RAM are free in the EM model); each Get/Set/Append charges the
+// block access that a real machine would perform.
+type File[T any] struct {
+	disk     *emio.Disk
+	words    int // words per record, >= 1
+	perBlock int // records per block
+	recs     []T
+	blocks   []emio.BlockID
+}
+
+// NewFile creates an empty file of records occupying wordsPerRecord words
+// each.
+func NewFile[T any](d *emio.Disk, wordsPerRecord int) *File[T] {
+	if wordsPerRecord < 1 {
+		panic("extsort: wordsPerRecord must be >= 1")
+	}
+	per := d.Config().B / wordsPerRecord
+	if per < 1 {
+		per = 1 // oversized records: one (span of) block(s) each; keep 1:1
+	}
+	return &File[T]{disk: d, words: wordsPerRecord, perBlock: per}
+}
+
+// Len returns the number of records in the file.
+func (f *File[T]) Len() int { return len(f.recs) }
+
+// Blocks returns the number of blocks the file occupies.
+func (f *File[T]) Blocks() int { return len(f.blocks) }
+
+// Append adds a record at the end of the file, allocating a fresh block
+// whenever the last one is full. Freshly allocated blocks are resident
+// and dirty, so sequential writing costs one write I/O per block (charged
+// at eviction), exactly the streaming-write cost of the model.
+func (f *File[T]) Append(v T) {
+	idx := len(f.recs)
+	if idx/f.perBlock >= len(f.blocks) {
+		f.blocks = append(f.blocks, f.disk.AllocWords(f.words))
+	} else if idx%f.perBlock == 0 {
+		// Shouldn't happen: block allocated exactly when needed.
+	}
+	f.recs = append(f.recs, v)
+	blk := f.blocks[idx/f.perBlock]
+	f.disk.Write(blk)
+}
+
+// Get returns record i, touching its block.
+func (f *File[T]) Get(i int) T {
+	f.disk.Read(f.blocks[i/f.perBlock])
+	return f.recs[i]
+}
+
+// Set overwrites record i, touching its block for writing.
+func (f *File[T]) Set(i int, v T) {
+	f.disk.Write(f.blocks[i/f.perBlock])
+	f.recs[i] = v
+}
+
+// Free releases every block of the file.
+func (f *File[T]) Free() {
+	for _, b := range f.blocks {
+		f.disk.Free(b)
+	}
+	f.blocks = nil
+	f.recs = nil
+}
+
+// Scan calls fn for each record in order. It costs one read per block.
+func (f *File[T]) Scan(fn func(i int, v T) bool) {
+	for i := 0; i < len(f.recs); i++ {
+		if i%f.perBlock == 0 {
+			f.disk.Read(f.blocks[i/f.perBlock])
+		}
+		if !fn(i, f.recs[i]) {
+			return
+		}
+	}
+}
+
+// Reader iterates a file sequentially, charging one read per block.
+type Reader[T any] struct {
+	f   *File[T]
+	pos int
+}
+
+// NewReader returns a Reader positioned at the start of f.
+func NewReader[T any](f *File[T]) *Reader[T] { return &Reader[T]{f: f} }
+
+// Next returns the next record, or ok=false at end of file.
+func (r *Reader[T]) Next() (v T, ok bool) {
+	if r.pos >= r.f.Len() {
+		return v, false
+	}
+	v = r.f.Get(r.pos)
+	r.pos++
+	return v, true
+}
+
+// Peek returns the next record without consuming it.
+func (r *Reader[T]) Peek() (v T, ok bool) {
+	if r.pos >= r.f.Len() {
+		return v, false
+	}
+	return r.f.Get(r.pos), true
+}
+
+// Sort sorts the file's records by less using external mergesort and
+// returns a new sorted file; the input is freed. Memory use respects M:
+// initial runs hold M/words records, and merges use a fan-in of
+// max(2, M/B − 1) input streams.
+func Sort[T any](f *File[T], less func(a, b T) bool) *File[T] {
+	d := f.disk
+	cfg := d.Config()
+	runRecs := cfg.M / f.words
+	if runRecs < 2*f.perBlock {
+		runRecs = 2 * f.perBlock // degenerate tiny-memory guard
+	}
+
+	// Phase 1: run formation.
+	var runs []*File[T]
+	buf := make([]T, 0, runRecs)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		run := NewFile[T](d, f.words)
+		for _, v := range buf {
+			run.Append(v)
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+	}
+	f.Scan(func(_ int, v T) bool {
+		buf = append(buf, v)
+		if len(buf) == runRecs {
+			flush()
+		}
+		return true
+	})
+	flush()
+	f.Free()
+
+	if len(runs) == 0 {
+		return NewFile[T](d, f.words)
+	}
+
+	// Phase 2: repeated fan-in-way merge.
+	fanIn := cfg.Frames() - 1
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	for len(runs) > 1 {
+		var next []*File[T]
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			next = append(next, merge(d, runs[lo:hi], f.words, less))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// merge performs one multiway merge of sorted runs into a fresh file,
+// freeing the inputs.
+func merge[T any](d *emio.Disk, runs []*File[T], words int, less func(a, b T) bool) *File[T] {
+	out := NewFile[T](d, words)
+	readers := make([]*Reader[T], len(runs))
+	heads := make([]T, len(runs))
+	alive := make([]bool, len(runs))
+	for i, r := range runs {
+		readers[i] = NewReader(r)
+		heads[i], alive[i] = readers[i].Next()
+	}
+	for {
+		best := -1
+		for i := range readers {
+			if !alive[i] {
+				continue
+			}
+			if best == -1 || less(heads[i], heads[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out.Append(heads[best])
+		heads[best], alive[best] = readers[best].Next()
+	}
+	for _, r := range runs {
+		r.Free()
+	}
+	return out
+}
+
+// FromSlice builds a file from a host slice (charging the streaming
+// writes).
+func FromSlice[T any](d *emio.Disk, wordsPerRecord int, items []T) *File[T] {
+	f := NewFile[T](d, wordsPerRecord)
+	for _, v := range items {
+		f.Append(v)
+	}
+	return f
+}
+
+// ToSlice reads out the whole file sequentially.
+func ToSlice[T any](f *File[T]) []T {
+	out := make([]T, 0, f.Len())
+	f.Scan(func(_ int, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// IsSorted reports whether the file is sorted under less, scanning it.
+func IsSorted[T any](f *File[T], less func(a, b T) bool) bool {
+	ok := true
+	var prev T
+	first := true
+	f.Scan(func(_ int, v T) bool {
+		if !first && less(v, prev) {
+			ok = false
+			return false
+		}
+		prev, first = v, false
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,183 @@
+package extsort
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+)
+
+func intLess(a, b int64) bool { return a < b }
+
+func TestFileAppendGet(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	f := NewFile[int64](d, 1)
+	for i := int64(0); i < 100; i++ {
+		f.Append(i * 3)
+	}
+	if f.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", f.Len())
+	}
+	if f.Blocks() != 13 { // ceil(100/8)
+		t.Fatalf("Blocks = %d, want 13", f.Blocks())
+	}
+	for i := 0; i < 100; i++ {
+		if got := f.Get(i); got != int64(i*3) {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestSequentialScanCost(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	f := NewFile[int64](d, 1)
+	const n = 256
+	for i := int64(0); i < n; i++ {
+		f.Append(i)
+	}
+	st := d.Measure(func() {
+		f.Scan(func(_ int, _ int64) bool { return true })
+	})
+	wantReads := uint64(n / 8)
+	if st.Reads != wantReads {
+		t.Fatalf("scan of %d records cost %d reads, want %d", n, st.Reads, wantReads)
+	}
+}
+
+func TestSortSmall(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 4, M: 32})
+	f := FromSlice(d, 1, []int64{5, 3, 9, 1, 7, 2, 8, 0, 6, 4})
+	s := Sort(f, intLess)
+	got := ToSlice(s)
+	want := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sort = %v, want %v", got, want)
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 4, M: 32})
+	f := NewFile[int64](d, 1)
+	s := Sort(f, intLess)
+	if s.Len() != 0 {
+		t.Fatalf("sorted empty file has %d records", s.Len())
+	}
+}
+
+func TestSortFreesInput(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 4, M: 32})
+	f := FromSlice(d, 1, []int64{3, 1, 2})
+	s := Sort(f, intLess)
+	// Only the output file's blocks should be live.
+	if got, want := d.LiveBlocks(), s.Blocks(); got != want {
+		t.Fatalf("LiveBlocks = %d, want %d (sort leaked)", got, want)
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	fcheck := func(vals []int64, b8 uint8) bool {
+		b := 2 + int(b8%8)
+		d := emio.NewDisk(emio.Config{B: b, M: b * 6})
+		f := FromSlice(d, 1, vals)
+		s := Sort(f, intLess)
+		got := ToSlice(s)
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(fcheck, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	type rec struct{ k, id int64 }
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	rng := rand.New(rand.NewSource(1))
+	f := NewFile[rec](d, 2)
+	for i := int64(0); i < 500; i++ {
+		f.Append(rec{k: int64(rng.Intn(10)), id: i})
+	}
+	s := Sort(f, func(a, b rec) bool { return a.k < b.k })
+	out := ToSlice(s)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].k == out[i].k && out[i-1].id > out[i].id {
+			t.Fatalf("sort not stable at %d: %v %v", i, out[i-1], out[i])
+		}
+	}
+}
+
+// TestSortIOComplexity verifies the O((n/B) log_{M/B}(n/B)) bound with an
+// explicit constant: I/Os <= c * (n/B) * (1 + ceil(log_{fanIn}(runs))).
+func TestSortIOComplexity(t *testing.T) {
+	cfg := emio.Config{B: 16, M: 16 * 8} // 8 frames, fan-in 7
+	for _, n := range []int{100, 1000, 10000} {
+		d := emio.NewDisk(cfg)
+		rng := rand.New(rand.NewSource(42))
+		f := NewFile[int64](d, 1)
+		for i := 0; i < n; i++ {
+			f.Append(rng.Int63())
+		}
+		d.DropCache()
+		d.ResetStats()
+		s := Sort(f, intLess)
+		d.DropCache() // flush dirty output
+		st := d.Stats()
+		nb := float64(n) / float64(cfg.B)
+		runs := math.Ceil(float64(n) / float64(cfg.M))
+		passes := 1.0
+		if runs > 1 {
+			passes += math.Ceil(math.Log(runs) / math.Log(7))
+		}
+		budget := 6 * nb * passes // reads+writes both phases, slack 3x
+		if float64(st.IOs()) > budget {
+			t.Errorf("n=%d: sort cost %d I/Os, budget %.0f", n, st.IOs(), budget)
+		}
+		if !IsSorted(s, intLess) {
+			t.Fatalf("n=%d: output not sorted", n)
+		}
+		s.Free()
+	}
+}
+
+func TestReaderPeek(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 4, M: 32})
+	f := FromSlice(d, 1, []int64{10, 20})
+	r := NewReader(f)
+	if v, ok := r.Peek(); !ok || v != 10 {
+		t.Fatalf("Peek = %d,%t", v, ok)
+	}
+	if v, ok := r.Next(); !ok || v != 10 {
+		t.Fatalf("Next = %d,%t", v, ok)
+	}
+	if v, ok := r.Next(); !ok || v != 20 {
+		t.Fatalf("Next = %d,%t", v, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next past end should report !ok")
+	}
+}
+
+func TestOversizedRecords(t *testing.T) {
+	type big struct{ a, b, c, d, e int64 }
+	d := emio.NewDisk(emio.Config{B: 4, M: 32})
+	f := NewFile[big](d, 5) // record bigger than a block
+	for i := int64(0); i < 10; i++ {
+		f.Append(big{a: i})
+	}
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	s := Sort(f, func(x, y big) bool { return x.a > y.a })
+	out := ToSlice(s)
+	if out[0].a != 9 || out[9].a != 0 {
+		t.Fatalf("descending sort wrong: %v", out)
+	}
+}

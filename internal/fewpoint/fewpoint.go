@@ -1,0 +1,253 @@
+// Package fewpoint implements the building blocks of Theorem 2:
+//
+//   - Lemma 4's ray-drag tree: for m = (B log U)^{O(1)} points, a
+//     constant-height structure answering ray-dragging queries — the
+//     first point hit by the vertical ray α × [β, U] as it moves left,
+//     i.e. the point maximising x among {p : x_p ≤ α, y_p ≥ β} — in
+//     O(1) I/Os. (The paper uses fusion trees for the in-node
+//     predecessor steps; in the EM model a constant-height block tree
+//     has the same I/O cost, since word-level parallelism only saves
+//     CPU, which is free. See DESIGN.md, substitutions.)
+//
+//   - Lemma 5's few-point structure: for n ≤ (B log U)^{O(1)} points, a
+//     linear-size structure answering top-open range skyline queries in
+//     O(1 + k/B) I/Os, by ray-dragging to the lowest answer point and
+//     walking host-leaf sibling pointers in a PPB-tree over Σ(P)
+//     (Observations 1 and 2).
+package fewpoint
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+	"repro/internal/ppb"
+)
+
+// RayDrag is Lemma 4's structure.
+type RayDrag struct {
+	disk *emio.Disk
+	root *rnode
+	n    int
+}
+
+type rnode struct {
+	block emio.BlockID
+	words int
+
+	pts      []geom.Point // leaf payload, sorted by x
+	children []*rnode
+	// ymax[i] is the highest point in children[i]'s subtree: the
+	// minute-structure content Y*max(u) of Lemma 4.
+	ymax       []geom.Point
+	minX, maxX geom.Coord
+}
+
+func (nd *rnode) leaf() bool { return nd.children == nil }
+
+// NewRayDrag builds the structure over pts sorted by x, for universe
+// size u (which fixes the fan-out b^{1/3} with b = B·log₂U).
+func NewRayDrag(d *emio.Disk, u int64, pts []geom.Point) *RayDrag {
+	r := &RayDrag{disk: d, n: len(pts)}
+	if len(pts) == 0 {
+		return r
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X >= pts[i].X {
+			panic("fewpoint: ray-drag input not sorted by x")
+		}
+	}
+	b := float64(d.Config().B) * math.Log2(float64(u)+2)
+	fan := int(math.Cbrt(b))
+	if fan < 2 {
+		fan = 2
+	}
+	leafCap := d.Config().B
+	if leafCap < 2 {
+		leafCap = 2
+	}
+	var level []*rnode
+	for lo := 0; lo < len(pts); lo += leafCap {
+		hi := lo + leafCap
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		nd := &rnode{pts: append([]geom.Point(nil), pts[lo:hi]...)}
+		nd.minX, nd.maxX = nd.pts[0].X, nd.pts[len(nd.pts)-1].X
+		nd.words = 2 * len(nd.pts)
+		nd.block = d.AllocSpan(nd.words)
+		d.WriteSpan(nd.block, nd.words)
+		level = append(level, nd)
+	}
+	for len(level) > 1 {
+		var up []*rnode
+		for lo := 0; lo < len(level); lo += fan {
+			hi := lo + fan
+			if hi > len(level) {
+				hi = len(level)
+			}
+			nd := &rnode{children: append([]*rnode(nil), level[lo:hi]...)}
+			for _, c := range nd.children {
+				nd.ymax = append(nd.ymax, subtreeYmax(c))
+			}
+			nd.minX = nd.children[0].minX
+			nd.maxX = nd.children[len(nd.children)-1].maxX
+			nd.words = 3 * len(nd.children)
+			nd.block = d.AllocSpan(nd.words)
+			d.WriteSpan(nd.block, nd.words)
+			up = append(up, nd)
+		}
+		level = up
+	}
+	r.root = level[0]
+	return r
+}
+
+func subtreeYmax(nd *rnode) geom.Point {
+	if nd.leaf() {
+		best := nd.pts[0]
+		for _, p := range nd.pts {
+			if p.Y > best.Y {
+				best = p
+			}
+		}
+		return best
+	}
+	best := nd.ymax[0]
+	for _, p := range nd.ymax {
+		if p.Y > best.Y {
+			best = p
+		}
+	}
+	return best
+}
+
+// Query returns the first point hit by the ray α × [β, ∞) moving left:
+// the maximum-x point with x <= α and y >= β. O(1) I/Os (two
+// constant-length root-to-leaf descents).
+func (r *RayDrag) Query(alpha, beta geom.Coord) (geom.Point, bool) {
+	if r.root == nil {
+		return geom.Point{}, false
+	}
+	return r.query(r.root, alpha, beta)
+}
+
+func (r *RayDrag) query(nd *rnode, alpha, beta geom.Coord) (geom.Point, bool) {
+	r.disk.ReadSpan(nd.block, nd.words)
+	if nd.leaf() {
+		var best geom.Point
+		found := false
+		for _, p := range nd.pts {
+			if p.X <= alpha && p.Y >= beta && (!found || p.X > best.X) {
+				best, found = p, true
+			}
+		}
+		return best, found
+	}
+	for i := len(nd.children) - 1; i >= 0; i-- {
+		c := nd.children[i]
+		if c.minX > alpha {
+			continue
+		}
+		if c.maxX <= alpha {
+			// Fully left: the subtree has a qualifying point iff its
+			// highest point reaches β, and any qualifying point here
+			// beats all further-left siblings.
+			if nd.ymax[i].Y >= beta {
+				return r.maxXAbove(c, beta), true
+			}
+			continue
+		}
+		// Boundary child: search it; qualifying points inside beat
+		// all points in fully-left siblings.
+		if p, ok := r.query(c, alpha, beta); ok {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// maxXAbove returns the maximum-x point with y >= beta in a subtree
+// known to contain one. O(height) I/Os.
+func (r *RayDrag) maxXAbove(nd *rnode, beta geom.Coord) geom.Point {
+	r.disk.ReadSpan(nd.block, nd.words)
+	if nd.leaf() {
+		var best geom.Point
+		found := false
+		for _, p := range nd.pts {
+			if p.Y >= beta && (!found || p.X > best.X) {
+				best, found = p, true
+			}
+		}
+		if !found {
+			panic("fewpoint: maxXAbove on subtree without qualifying point")
+		}
+		return best
+	}
+	for i := len(nd.children) - 1; i >= 0; i-- {
+		if nd.ymax[i].Y >= beta {
+			return r.maxXAbove(nd.children[i], beta)
+		}
+	}
+	panic("fewpoint: maxXAbove descent failed")
+}
+
+// Structure is Lemma 5's few-point top-open structure.
+type Structure struct {
+	disk *emio.Disk
+	segs *ppb.Tree
+	ray  *RayDrag
+	xs   []geom.Coord // x of point i in build (x-sorted) order
+	n    int
+}
+
+// Build constructs the structure over pts sorted by x (general
+// position), for universe size u.
+func Build(d *emio.Disk, u int64, pts []geom.Point) *Structure {
+	s := &Structure{disk: d, n: len(pts)}
+	if len(pts) == 0 {
+		return s
+	}
+	f := extsort.FromSlice(d, 2, pts)
+	s.segs = ppb.BuildSABE(d, f)
+	f.Free()
+	s.ray = NewRayDrag(d, u, pts)
+	s.xs = make([]geom.Coord, len(pts))
+	for i, p := range pts {
+		s.xs[i] = p.X
+	}
+	return s
+}
+
+// Len returns the number of indexed points.
+func (s *Structure) Len() int { return s.n }
+
+// Query answers the top-open query [x1,x2] × [beta, ∞) in O(1 + k/B)
+// I/Os: a ray-drag locates the lowest result point p, and the walk over
+// the host-leaf sibling chain of σ(p) reports the rest bottom-up until a
+// segment's left endpoint leaves the x-range (Observation 2).
+func (s *Structure) Query(x1, x2, beta geom.Coord) []geom.Point {
+	if s.n == 0 || x1 > x2 {
+		return nil
+	}
+	p, ok := s.ray.Query(x2, beta)
+	if !ok || p.X < x1 {
+		return nil
+	}
+	idx := sort.Search(len(s.xs), func(j int) bool { return s.xs[j] >= p.X })
+	var rev []geom.Point
+	s.segs.WalkUp(idx, func(q geom.Point) bool {
+		if q.X < x1 {
+			return false
+		}
+		rev = append(rev, q)
+		return true
+	})
+	out := make([]geom.Point, len(rev))
+	for i, q := range rev {
+		out[len(rev)-1-i] = q
+	}
+	return out
+}

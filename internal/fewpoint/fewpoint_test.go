@@ -1,0 +1,113 @@
+package fewpoint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+func sameAnswer(got, want []geom.Point) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func TestRayDragOracle(t *testing.T) {
+	pts := geom.GenUniform(300, 3000, 121)
+	geom.SortByX(pts)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	r := NewRayDrag(d, 3000, pts)
+	rng := rand.New(rand.NewSource(122))
+	for q := 0; q < 500; q++ {
+		alpha := geom.Coord(rng.Int63n(3300)) - 150
+		beta := geom.Coord(rng.Int63n(3300)) - 150
+		var want geom.Point
+		found := false
+		for _, p := range pts {
+			if p.X <= alpha && p.Y >= beta && (!found || p.X > want.X) {
+				want, found = p, true
+			}
+		}
+		got, ok := r.Query(alpha, beta)
+		if ok != found || (ok && got != want) {
+			t.Fatalf("RayDrag(%d,%d) = %v,%t; want %v,%t", alpha, beta, got, ok, want, found)
+		}
+	}
+}
+
+// TestRayDragConstantIOs: Lemma 4's O(1) query cost.
+func TestRayDragConstantIOs(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 4}
+	rng := rand.New(rand.NewSource(123))
+	for _, m := range []int{100, 1000, 5000} {
+		pts := geom.GenUniform(m, int64(m)*8, int64(m))
+		geom.SortByX(pts)
+		d := emio.NewDisk(cfg)
+		r := NewRayDrag(d, int64(m)*8, pts)
+		var worst uint64
+		for q := 0; q < 50; q++ {
+			alpha := geom.Coord(rng.Int63n(int64(m) * 9))
+			beta := geom.Coord(rng.Int63n(int64(m) * 9))
+			st := d.Measure(func() { r.Query(alpha, beta) })
+			if st.IOs() > worst {
+				worst = st.IOs()
+			}
+		}
+		// Two descents of the constant-height tree.
+		if worst > 12 {
+			t.Errorf("m=%d: worst ray-drag cost %d I/Os", m, worst)
+		}
+	}
+}
+
+func TestFewPointMatchesOracle(t *testing.T) {
+	pts := geom.GenUniform(400, 4000, 124)
+	geom.SortByX(pts)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	s := Build(d, 4000, pts)
+	rng := rand.New(rand.NewSource(125))
+	for q := 0; q < 400; q++ {
+		x1 := geom.Coord(rng.Int63n(4400)) - 200
+		x2 := x1 + geom.Coord(rng.Int63n(2500))
+		beta := geom.Coord(rng.Int63n(4400)) - 200
+		got := s.Query(x1, x2, beta)
+		want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+		if !sameAnswer(got, want) {
+			t.Fatalf("Query(%d,%d,%d) = %v, want %v", x1, x2, beta, got, want)
+		}
+	}
+}
+
+func TestFewPointEmpty(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	s := Build(d, 100, nil)
+	if got := s.Query(0, 10, 0); got != nil {
+		t.Fatalf("empty structure returned %v", got)
+	}
+}
+
+// TestFewPointIOCost: Lemma 5's O(1 + k/B).
+func TestFewPointIOCost(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 8}
+	n := 4000
+	pts := geom.GenStaircase(n, 126)
+	geom.SortByX(pts)
+	d := emio.NewDisk(cfg)
+	s := Build(d, int64(n)*8, pts)
+	rng := rand.New(rand.NewSource(127))
+	for q := 0; q < 50; q++ {
+		x1 := geom.Coord(rng.Int63n(int64(n) * 2))
+		x2 := x1 + geom.Coord(rng.Int63n(int64(n)*2))
+		beta := geom.Coord(rng.Int63n(int64(n) * 3))
+		var res []geom.Point
+		st := d.Measure(func() { res = s.Query(x1, x2, beta) })
+		budget := 20.0 + 16*float64(len(res))/float64(cfg.B)
+		if float64(st.IOs()) > budget {
+			t.Errorf("few-point query k=%d cost %d I/Os, budget %.0f", len(res), st.IOs(), budget)
+		}
+	}
+}

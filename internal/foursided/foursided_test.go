@@ -1,0 +1,201 @@
+package foursided
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+func pt(x, y geom.Coord) geom.Point { return geom.Point{X: x, Y: y} }
+
+func sameAnswer(got, want []geom.Point) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	pts := geom.GenUniform(500, 5000, 111)
+	for _, eps := range []float64{0.3, 0.5, 1} {
+		d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+		ix := Build(d, eps, pts)
+		rng := rand.New(rand.NewSource(112))
+		for q := 0; q < 200; q++ {
+			x1 := geom.Coord(rng.Int63n(5500)) - 250
+			x2 := x1 + geom.Coord(rng.Int63n(3500))
+			y1 := geom.Coord(rng.Int63n(5500)) - 250
+			y2 := y1 + geom.Coord(rng.Int63n(3500))
+			r := geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+			got := ix.Query(r)
+			want := geom.RangeSkyline(pts, r)
+			if !sameAnswer(got, want) {
+				t.Fatalf("eps=%.1f Query(%v) = %v, want %v", eps, r, got, want)
+			}
+		}
+	}
+}
+
+func TestVariantQueries(t *testing.T) {
+	pts := geom.GenUniform(300, 3000, 113)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	ix := Build(d, 0.5, pts)
+	rng := rand.New(rand.NewSource(114))
+	for q := 0; q < 100; q++ {
+		x := geom.Coord(rng.Int63n(3300)) - 150
+		y1 := geom.Coord(rng.Int63n(3300)) - 150
+		y2 := y1 + geom.Coord(rng.Int63n(2000))
+		if got, want := ix.LeftOpen(x, y1, y2), geom.RangeSkyline(pts, geom.LeftOpen(x, y1, y2)); !sameAnswer(got, want) {
+			t.Fatalf("LeftOpen(%d,%d,%d) = %v, want %v", x, y1, y2, got, want)
+		}
+		if got, want := ix.AntiDominance(x, y1), geom.RangeSkyline(pts, geom.AntiDominance(x, y1)); !sameAnswer(got, want) {
+			t.Fatalf("AntiDominance(%d,%d) = %v, want %v", x, y1, got, want)
+		}
+	}
+}
+
+func TestDynamicMatchesOracle(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	base := geom.GenUniform(200, 1<<20, 115)
+	ix := Build(d, 0.5, base)
+	present := append([]geom.Point(nil), base...)
+	extra := geom.GenUniform(400, 1<<20, 116)
+	// Shift extras to avoid coordinate collisions with base.
+	for i := range extra {
+		extra[i].X += 1 << 21
+		extra[i].Y += 1 << 21
+	}
+	rng := rand.New(rand.NewSource(117))
+	for op := 0; op < 400; op++ {
+		if len(extra) > 0 && (len(present) == 0 || rng.Intn(2) == 0) {
+			p := extra[0]
+			extra = extra[1:]
+			ix.Insert(p)
+			present = append(present, p)
+		} else {
+			i := rng.Intn(len(present))
+			p := present[i]
+			present = append(present[:i], present[i+1:]...)
+			if !ix.Delete(p) {
+				t.Fatalf("op %d: Delete(%v) failed", op, p)
+			}
+		}
+		if op%29 == 0 {
+			x1 := geom.Coord(rng.Int63n(1 << 22))
+			x2 := x1 + geom.Coord(rng.Int63n(1<<21))
+			y1 := geom.Coord(rng.Int63n(1 << 22))
+			y2 := y1 + geom.Coord(rng.Int63n(1<<21))
+			r := geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+			got := ix.Query(r)
+			want := geom.RangeSkyline(present, r)
+			if !sameAnswer(got, want) {
+				t.Fatalf("op %d: Query(%v) = %v, want %v", op, r, got, want)
+			}
+		}
+	}
+	if ix.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(present))
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	ix := Build(d, 0.5, []geom.Point{pt(1, 1), pt(2, 2)})
+	if ix.Delete(pt(3, 3)) {
+		t.Error("deleting absent point succeeded")
+	}
+	if ix.Len() != 2 {
+		t.Errorf("Len changed to %d on failed delete", ix.Len())
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	ix := Build(d, 0.5, nil)
+	if got := ix.Query(geom.Rect{X1: 0, X2: 10, Y1: 0, Y2: 10}); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	ix.Insert(pt(5, 5))
+	if got := ix.Query(geom.Rect{X1: 0, X2: 10, Y1: 0, Y2: 10}); len(got) != 1 {
+		t.Errorf("query after first insert = %v", got)
+	}
+}
+
+// TestQueryIOPolynomial measures the Theorem 6 shape: query cost grows
+// like (n/B)^ε, far below the naive n/B scan, and reporting adds k/B.
+func TestQueryIOPolynomial(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 32}
+	eps := 0.5
+	for _, n := range []int{4000, 16000, 64000} {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*16, int64(n))
+		ix := Build(d, eps, pts)
+		rng := rand.New(rand.NewSource(3))
+		var worst uint64
+		for q := 0; q < 15; q++ {
+			span := int64(n) * 4
+			x1 := geom.Coord(rng.Int63n(span * 2))
+			x2 := x1 + geom.Coord(rng.Int63n(span))
+			y1 := geom.Coord(rng.Int63n(span * 2))
+			y2 := y1 + geom.Coord(rng.Int63n(span))
+			var res []geom.Point
+			st := d.Measure(func() { res = ix.Query(geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}) })
+			cost := st.IOs() - uint64(8*len(res)/cfg.B)
+			if cost > worst {
+				worst = cost
+			}
+		}
+		nb := float64(n) / float64(cfg.B)
+		budget := 400 * math.Pow(nb, eps) // generous constant, shape check
+		if float64(worst) > budget {
+			t.Errorf("n=%d: worst query cost %d, (n/B)^eps budget %.0f", n, worst, budget)
+		}
+	}
+}
+
+// TestAmortizedUpdateCost: Theorem 6's O(log(n/B)) amortized updates,
+// including the periodic global rebuilds.
+func TestAmortizedUpdateCost(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 64}
+	d := emio.NewDisk(cfg)
+	n := 8000
+	pts := geom.GenUniform(n, int64(n)*16, 7)
+	ix := Build(d, 0.5, pts)
+	extra := geom.GenUniform(n, int64(n)*16, 8)
+	for i := range extra {
+		extra[i].X += int64(n) * 32
+		extra[i].Y += int64(n) * 32
+	}
+	d.DropCache()
+	d.ResetStats()
+	for _, p := range extra {
+		ix.Insert(p)
+	}
+	total := d.Stats().IOs()
+	perOp := float64(total) / float64(len(extra))
+	logNB := math.Log2(float64(n) / float64(cfg.B))
+	if perOp > 60*logNB {
+		t.Errorf("amortized insert cost %.1f I/Os, budget %.1f", perOp, 60*logNB)
+	}
+}
+
+func TestRebuildKeepsAnswers(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	pts := geom.GenUniform(100, 10000, 9)
+	ix := Build(d, 0.5, pts)
+	present := append([]geom.Point(nil), pts...)
+	// Force several global rebuilds.
+	for i := 0; i < 300; i++ {
+		p := pt(geom.Coord(20000+i*3), geom.Coord(20000+i*7))
+		ix.Insert(p)
+		present = append(present, p)
+	}
+	r := geom.Rect{X1: 0, X2: 30000, Y1: 0, Y2: 30000}
+	if got, want := ix.Query(r), geom.RangeSkyline(present, r); !sameAnswer(got, want) {
+		t.Fatalf("after rebuilds: %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,126 @@
+package geom
+
+import "math/rand"
+
+// GenUniform returns n points in general position drawn uniformly from
+// [0, span)², deterministically from the given seed. General position is
+// enforced by sampling distinct coordinates per axis.
+func GenUniform(n int, span Coord, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	xs := distinctCoords(rng, n, span)
+	ys := distinctCoords(rng, n, span)
+	rng.Shuffle(n, func(i, j int) { ys[i], ys[j] = ys[j], ys[i] })
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: xs[i], Y: ys[i]}
+	}
+	return pts
+}
+
+// GenStaircase returns n points that all lie on a descending staircase,
+// so every point is maximal. This is the adversarial input for reporting
+// cost: a contour query reports everything.
+func GenStaircase(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	x, y := Coord(0), Coord(2*int64(n)+10)
+	for i := range pts {
+		x += 1 + Coord(rng.Intn(3))
+		y -= 1 + Coord(rng.Intn(2))
+		pts[i] = Point{X: x, Y: y}
+	}
+	return pts
+}
+
+// GenAntiStaircase returns n points on an ascending chain, so the skyline
+// is the single top-right point. The pathological "one answer" input.
+func GenAntiStaircase(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	x, y := Coord(0), Coord(0)
+	for i := range pts {
+		x += 1 + Coord(rng.Intn(3))
+		y += 1 + Coord(rng.Intn(2))
+		pts[i] = Point{X: x, Y: y}
+	}
+	return pts
+}
+
+// GenPermutation returns the n points {(i, π(i))} of a uniformly random
+// permutation π of [n]: the canonical rank-space input of Theorem 2.
+func GenPermutation(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: Coord(i), Y: Coord(perm[i])}
+	}
+	return pts
+}
+
+// GenClustered returns n points in c Gaussian-ish clusters inside
+// [0,span)², in general position. Models the correlated "product
+// catalogue" workloads of the paper's introduction.
+func GenClustered(n int, c int, span Coord, seed int64) []Point {
+	if c < 1 {
+		c = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := distinctCoords(rng, n, span)
+	// Assign x-ranks to clusters, then derive ys from a per-cluster
+	// trend with jitter, finally rank-reduce ys to stay in general
+	// position.
+	type py struct {
+		i int
+		y float64
+	}
+	raw := make([]py, n)
+	for i := 0; i < n; i++ {
+		cl := rng.Intn(c)
+		center := float64(span) * float64(cl+1) / float64(c+1)
+		raw[i] = py{i: i, y: center + rng.NormFloat64()*float64(span)/(6*float64(c))}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort indices by raw y to assign distinct integer ys preserving order.
+	for i := 1; i < n; i++ { // insertion sort is fine for clarity at gen time
+		for j := i; j > 0 && raw[order[j]].y < raw[order[j-1]].y; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	ysorted := distinctCoords(rng, n, span)
+	ys := make([]Coord, n)
+	for rank, idx := range order {
+		ys[idx] = ysorted[rank]
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: xs[i], Y: ys[i]}
+	}
+	return pts
+}
+
+// distinctCoords returns n strictly increasing coordinates in [0, span)
+// when span >= n, or in [0, n*4) otherwise.
+func distinctCoords(rng *rand.Rand, n int, span Coord) []Coord {
+	if n == 0 {
+		return nil
+	}
+	if span < Coord(n) {
+		span = Coord(n) * 4
+	}
+	// Sample gaps; total fits in span with high probability by scaling.
+	step := span / Coord(n)
+	if step < 1 {
+		step = 1
+	}
+	out := make([]Coord, n)
+	cur := Coord(0)
+	for i := 0; i < n; i++ {
+		cur += 1 + Coord(rng.Int63n(int64(step)))
+		out[i] = cur
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{2, 2}, Point{1, 1}, true},
+		{Point{1, 1}, Point{2, 2}, false},
+		{Point{2, 1}, Point{1, 2}, false},
+		{Point{1, 2}, Point{2, 1}, false},
+		{Point{1, 1}, Point{1, 1}, false}, // a point does not dominate itself
+		{Point{2, 1}, Point{1, 1}, true},
+		{Point{1, 2}, Point{1, 1}, true},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dominates(tc.q); got != tc.want {
+			t.Errorf("%v dominates %v = %t, want %t", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestFigure1Skyline reproduces the shape of Figure 1a: the skyline of a
+// small point set forms a staircase of exactly the maximal points.
+func TestFigure1Skyline(t *testing.T) {
+	pts := []Point{
+		{1, 9}, {2, 4}, {3, 7}, {5, 6}, {6, 2}, {7, 5}, {8, 1}, {9, 3},
+	}
+	got := Skyline(pts)
+	want := []Point{{1, 9}, {3, 7}, {5, 6}, {7, 5}, {9, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Skyline = %v, want %v", got, want)
+	}
+	// The staircase property: x increasing, y decreasing.
+	for i := 1; i < len(got); i++ {
+		if got[i].X <= got[i-1].X || got[i].Y >= got[i-1].Y {
+			t.Fatalf("skyline is not a staircase at %d: %v", i, got)
+		}
+	}
+}
+
+// TestFigure1RangeSkyline reproduces Figure 1b: a rectangle query returns
+// the maxima of the points inside the rectangle only.
+func TestFigure1RangeSkyline(t *testing.T) {
+	pts := []Point{
+		{1, 9}, {2, 4}, {3, 7}, {5, 6}, {6, 2}, {7, 5}, {8, 1}, {9, 3},
+	}
+	r := Rect{X1: 2, X2: 8, Y1: 2, Y2: 6}
+	got := RangeSkyline(pts, r)
+	want := []Point{{5, 6}, {7, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RangeSkyline(%v) = %v, want %v", r, got, want)
+	}
+}
+
+// TestFigure2Variants checks each grounded variant constructor against
+// explicit membership, mirroring Figure 2's seven query shapes.
+func TestFigure2Variants(t *testing.T) {
+	in := Point{5, 5}
+	cases := []struct {
+		name string
+		r    Rect
+		yes  []Point
+		no   []Point
+	}{
+		{"top-open", TopOpen(0, 10, 3), []Point{in, {0, 3}, {10, 100}}, []Point{{11, 5}, {5, 2}}},
+		{"right-open", RightOpen(3, 0, 10), []Point{in, {100, 10}}, []Point{{2, 5}, {5, 11}}},
+		{"bottom-open", BottomOpen(0, 10, 8), []Point{in, {3, -100}}, []Point{{5, 9}, {-1, 0}}},
+		{"left-open", LeftOpen(8, 0, 10), []Point{in, {-100, 3}}, []Point{{9, 5}, {5, -1}}},
+		{"dominance", Dominance(3, 3), []Point{in, {100, 100}}, []Point{{2, 5}, {5, 2}}},
+		{"anti-dominance", AntiDominance(8, 8), []Point{in, {-5, -5}}, []Point{{9, 0}, {0, 9}}},
+		{"contour", Contour(8), []Point{in, {-100, 100}}, []Point{{9, 5}}},
+	}
+	for _, tc := range cases {
+		for _, p := range tc.yes {
+			if !tc.r.Contains(p) {
+				t.Errorf("%s %v should contain %v", tc.name, tc.r, p)
+			}
+		}
+		for _, p := range tc.no {
+			if tc.r.Contains(p) {
+				t.Errorf("%s %v should not contain %v", tc.name, tc.r, p)
+			}
+		}
+	}
+}
+
+func TestSkylineNoneDominated(t *testing.T) {
+	pts := GenUniform(500, 1<<20, 7)
+	sky := Skyline(pts)
+	for _, s := range sky {
+		for _, p := range pts {
+			if p.Dominates(s) {
+				t.Fatalf("skyline point %v dominated by %v", s, p)
+			}
+		}
+	}
+	// Every non-skyline point must be dominated by some skyline point.
+	inSky := make(map[Point]bool)
+	for _, s := range sky {
+		inSky[s] = true
+	}
+	for _, p := range pts {
+		if inSky[p] {
+			continue
+		}
+		dominated := false
+		for _, s := range sky {
+			if s.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("non-skyline point %v not dominated by any skyline point", p)
+		}
+	}
+}
+
+func TestQuickSkylineMatchesBruteForce(t *testing.T) {
+	f := func(raw []int16) bool {
+		// Build a point set (possibly with duplicates removed for
+		// general position).
+		var pts []Point
+		seenX := map[Coord]bool{}
+		seenY := map[Coord]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := Point{X: Coord(raw[i]), Y: Coord(raw[i+1])}
+			if seenX[p.X] || seenY[p.Y] {
+				continue
+			}
+			seenX[p.X], seenY[p.Y] = true, true
+			pts = append(pts, p)
+		}
+		got := Skyline(pts)
+		var want []Point
+		for _, p := range pts {
+			maximal := true
+			for _, q := range pts {
+				if q.Dominates(p) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				want = append(want, p)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return Less(want[i], want[j]) })
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRangeSkylineIsSkylineOfIntersection(t *testing.T) {
+	pts := GenUniform(300, 1000, 11)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		x1 := Coord(rng.Int63n(1200)) - 100
+		x2 := x1 + Coord(rng.Int63n(600))
+		y1 := Coord(rng.Int63n(1200)) - 100
+		y2 := y1 + Coord(rng.Int63n(600))
+		r := Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+		got := RangeSkyline(pts, r)
+		for _, p := range got {
+			if !r.Contains(p) {
+				t.Fatalf("reported point %v outside %v", p, r)
+			}
+			for _, q := range pts {
+				if r.Contains(q) && q.Dominates(p) {
+					t.Fatalf("%v dominated inside %v by %v", p, r, q)
+				}
+			}
+		}
+	}
+}
+
+func TestLeftDomOracle(t *testing.T) {
+	//     p3(6,9)
+	//  p2(4,6)
+	// p1(2,3)
+	pts := []Point{{2, 3}, {4, 6}, {6, 9}}
+	if q, ok := LeftDom(pts, Point{2, 3}); !ok || q != (Point{4, 6}) {
+		t.Fatalf("LeftDom(p1) = %v,%t; want (4,6),true", q, ok)
+	}
+	if _, ok := LeftDom(pts, Point{6, 9}); ok {
+		t.Fatal("LeftDom of the global maximum should not exist")
+	}
+}
+
+func TestMirrorInvolutionAndAttrition(t *testing.T) {
+	pts := GenUniform(100, 1000, 3)
+	m := Mirror(Mirror(pts))
+	if !reflect.DeepEqual(m, pts) {
+		t.Fatal("Mirror is not an involution")
+	}
+	// Figure 7's claim: p dominated by q  <=>  mirrored p attrited by
+	// mirrored q (same x-order, ỹq <= ỹp with xq > xp).
+	mm := Mirror(pts)
+	for i, p := range pts {
+		for j, q := range pts {
+			dom := q.Dominates(p) && q.X > p.X
+			attr := mm[j].X > mm[i].X && mm[j].Y <= mm[i].Y
+			if dom != attr {
+				t.Fatalf("mirror mismatch for %v,%v", p, q)
+			}
+		}
+	}
+}
+
+func TestRankSpacePreservesAnswers(t *testing.T) {
+	pts := GenUniform(200, 1<<30, 5)
+	rp, xs, ys := geomRank(pts)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		x1 := Coord(rng.Int63n(1 << 30))
+		x2 := x1 + Coord(rng.Int63n(1<<29))
+		y := Coord(rng.Int63n(1 << 30))
+		r := TopOpen(x1, x2, y)
+		want := RangeSkyline(pts, r)
+		rq := Rect{X1: RankLo(xs, x1), X2: RankHi(xs, x2), Y1: RankLo(ys, y), Y2: PosInf}
+		gotRank := RangeSkyline(rp, rq)
+		// Map back.
+		var got []Point
+		for _, p := range gotRank {
+			got = append(got, Point{X: xs[p.X], Y: ys[p.Y]})
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank-space answer mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func geomRank(pts []Point) ([]Point, []Coord, []Coord) { return RankSpace(pts) }
+
+func TestGeneratorsGeneralPosition(t *testing.T) {
+	gens := map[string][]Point{
+		"uniform":        GenUniform(1000, 1<<20, 1),
+		"staircase":      GenStaircase(1000, 2),
+		"anti-staircase": GenAntiStaircase(1000, 3),
+		"permutation":    GenPermutation(1000, 4),
+		"clustered":      GenClustered(1000, 5, 1<<20, 5),
+	}
+	for name, pts := range gens {
+		if len(pts) != 1000 {
+			t.Errorf("%s: generated %d points, want 1000", name, len(pts))
+		}
+		if !IsGeneralPosition(pts) {
+			t.Errorf("%s: points not in general position", name)
+		}
+	}
+}
+
+func TestStaircaseAllMaximal(t *testing.T) {
+	pts := GenStaircase(200, 1)
+	if got := len(Skyline(pts)); got != 200 {
+		t.Fatalf("staircase skyline has %d points, want 200", got)
+	}
+	pts = GenAntiStaircase(200, 1)
+	if got := len(Skyline(pts)); got != 1 {
+		t.Fatalf("anti-staircase skyline has %d points, want 1", got)
+	}
+}
+
+func TestPermutationIsRankSpace(t *testing.T) {
+	pts := GenPermutation(64, 9)
+	seen := map[Coord]bool{}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 64 || p.Y < 0 || p.Y >= 64 {
+			t.Fatalf("point %v outside [64]²", p)
+		}
+		if seen[p.Y] {
+			t.Fatalf("duplicate y %d", p.Y)
+		}
+		seen[p.Y] = true
+	}
+}

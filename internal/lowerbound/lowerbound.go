@@ -1,0 +1,129 @@
+// Package lowerbound constructs the adversarial workload of Lemma 8 and
+// Figure 10: for integers ω, λ ≥ 1, a set P of ω^λ points and a set G of
+// λ·ω^{λ−1} anti-dominance queries such that every query reports exactly
+// ω points and no two queries share more than one point — a
+// (2, ω)-favorable workload in the sense of Chazelle–Liu. Theorem 5
+// feeds it to the indexability argument to show that any linear-size
+// structure needs Ω((n/B)^ε + k/B) I/Os for anti-dominance (hence
+// left-open and 4-sided) queries; experiment E4 runs the Theorem 6
+// structure on it and checks the measured polynomial growth.
+//
+// Construction: write 0 ≤ i < ω^λ in base ω; ρ_ω(i) reverses the digits
+// and complements each against ω−1. P₀ = {(i, ρ_ω(i))}. Queries come
+// from a full trie of depth λ over the ρ values: a node at depth d
+// groups its subtree's points — sorted by y — by picking every
+// ω^{λ−d−1}-th element. Each group is a descending staircase captured
+// exactly by one upper-right quadrant; inverting both coordinates turns
+// those into the paper's anti-dominance (lower-left) queries over
+// P = {(−i, −ρ_ω(i))}.
+package lowerbound
+
+import "repro/internal/geom"
+
+// Rho returns ρ_ω(i): digits of i in base ω, reversed and complemented.
+func Rho(omega, lambda int, i int64) int64 {
+	var out int64
+	for d := 0; d < lambda; d++ {
+		digit := i % int64(omega)
+		out = out*int64(omega) + (int64(omega) - 1 - digit)
+		i /= int64(omega)
+	}
+	return out
+}
+
+// Input returns the inverted point set P = {(−i, −ρ_ω(i))}: anti-
+// dominance queries over it are the inverse anti-dominance queries of
+// the construction. |P| = ω^λ.
+func Input(omega, lambda int) []geom.Point {
+	n := pow(omega, lambda)
+	pts := make([]geom.Point, n)
+	for i := int64(0); i < n; i++ {
+		pts[i] = geom.Point{X: -i, Y: -Rho(omega, lambda, i)}
+	}
+	return pts
+}
+
+// Queries returns the λ·ω^{λ−1} anti-dominance rectangles. Every query
+// reports exactly ω points of Input(ω, λ).
+func Queries(omega, lambda int) []geom.Rect {
+	n := pow(omega, lambda)
+	// y-sorted order of the original points is simply ρ value order;
+	// invert the permutation: byY[v] = i with ρ(i) = v.
+	byY := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		byY[Rho(omega, lambda, i)] = i
+	}
+	var out []geom.Rect
+	for d := 0; d < lambda; d++ {
+		subtree := pow(omega, lambda-d)  // points per depth-d node
+		stride := pow(omega, lambda-d-1) // picking stride
+		for node := int64(0); node < n/subtree; node++ {
+			base := node * subtree // ρ-value range of the node
+			for g := int64(0); g < stride; g++ {
+				// Group: ρ values base+g, base+g+stride, ...
+				minY := base + g // smallest y in the group
+				maxI := int64(0)
+				for j := int64(0); j < int64(omega); j++ {
+					i := byY[base+g+j*stride]
+					if i > maxI {
+						maxI = i
+					}
+				}
+				// Original quadrant: x >= smallest group x? The
+				// staircase descends, so the largest original x
+				// pairs with the smallest y; anchor inclusively at
+				// (min x, min y) — equivalently, inverted, at
+				// (−min x, −min y) = (−(xmin), ...). The group's
+				// minimum x is ω^λ−... the smallest x among picked
+				// indices:
+				minX := int64(1) << 62
+				for j := int64(0); j < int64(omega); j++ {
+					i := byY[base+g+j*stride]
+					if i < minX {
+						minX = i
+					}
+				}
+				out = append(out, geom.AntiDominance(-minX, -minY))
+			}
+		}
+	}
+	return out
+}
+
+// Verify checks the Lemma 8 guarantees on a workload: every query
+// reports exactly ω points, and no two queries share more than one
+// point. It returns ok plus the worst pairwise overlap observed.
+func Verify(omega int, pts []geom.Point, queries []geom.Rect) (bool, int) {
+	owner := map[geom.Point][]int{}
+	for qi, q := range queries {
+		ans := geom.RangeSkyline(pts, q)
+		if len(ans) != omega {
+			return false, 0
+		}
+		for _, p := range ans {
+			owner[p] = append(owner[p], qi)
+		}
+	}
+	pairCount := map[[2]int]int{}
+	worst := 0
+	for _, qs := range owner {
+		for i := 0; i < len(qs); i++ {
+			for j := i + 1; j < len(qs); j++ {
+				k := [2]int{qs[i], qs[j]}
+				pairCount[k]++
+				if pairCount[k] > worst {
+					worst = pairCount[k]
+				}
+			}
+		}
+	}
+	return worst <= 1, worst
+}
+
+func pow(b, e int) int64 {
+	out := int64(1)
+	for ; e > 0; e-- {
+		out *= int64(b)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRhoBasics(t *testing.T) {
+	// ω=4, λ=2 (Figure 10): ρ(i) reverses base-4 digits and complements
+	// against 3. i = 0 = (00)₄ -> (33)₄ = 15.
+	if got := Rho(4, 2, 0); got != 15 {
+		t.Errorf("Rho(4,2,0) = %d, want 15", got)
+	}
+	// i = 1 = (01)₄ -> reverse (10)₄ -> complement (23)₄ = 11.
+	if got := Rho(4, 2, 1); got != 11 {
+		t.Errorf("Rho(4,2,1) = %d, want 11", got)
+	}
+	// ρ is a permutation.
+	seen := map[int64]bool{}
+	for i := int64(0); i < 16; i++ {
+		v := Rho(4, 2, i)
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("Rho not a permutation at %d -> %d", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestFigure10 reproduces the paper's example instance: ω=4, λ=2 gives
+// 16 points and 8 queries of output size exactly 4 with pairwise overlap
+// at most 1.
+func TestFigure10(t *testing.T) {
+	pts := Input(4, 2)
+	if len(pts) != 16 {
+		t.Fatalf("|P| = %d, want 16", len(pts))
+	}
+	qs := Queries(4, 2)
+	if len(qs) != 8 { // λ·ω^{λ-1} = 2·4
+		t.Fatalf("|G| = %d, want 8", len(qs))
+	}
+	ok, worst := Verify(4, pts, qs)
+	if !ok {
+		t.Fatalf("workload not (2,ω)-favorable: worst pair overlap %d", worst)
+	}
+}
+
+func TestFavorableAcrossParameters(t *testing.T) {
+	cases := []struct{ omega, lambda int }{
+		{2, 2}, {2, 4}, {3, 3}, {4, 3}, {8, 2}, {5, 3},
+	}
+	for _, c := range cases {
+		pts := Input(c.omega, c.lambda)
+		qs := Queries(c.omega, c.lambda)
+		wantQ := c.lambda * int(pow(c.omega, c.lambda-1))
+		if len(qs) != wantQ {
+			t.Errorf("ω=%d λ=%d: %d queries, want %d", c.omega, c.lambda, len(qs), wantQ)
+		}
+		ok, worst := Verify(c.omega, pts, qs)
+		if !ok {
+			t.Errorf("ω=%d λ=%d: not favorable (overlap %d)", c.omega, c.lambda, worst)
+		}
+	}
+}
+
+func TestInputGeneralPosition(t *testing.T) {
+	pts := Input(4, 3)
+	if !geom.IsGeneralPosition(pts) {
+		t.Fatal("lower-bound input not in general position")
+	}
+}

@@ -1,0 +1,345 @@
+package ppb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+	"repro/internal/sweep"
+)
+
+func pt(x, y geom.Coord) geom.Point { return geom.Point{X: x, Y: y} }
+
+func buildFor(t testing.TB, cfg emio.Config, pts []geom.Point, mode Mode) (*emio.Disk, *Tree) {
+	t.Helper()
+	d := emio.NewDisk(cfg)
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	f := extsort.FromSlice(d, 2, sorted)
+	var tr *Tree
+	if mode == SABE {
+		tr = BuildSABE(d, f)
+	} else {
+		tr = BuildClassic(d, f)
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	return d, tr
+}
+
+// oracle answers a stabbing query brute-force on the segment set.
+func oracle(pts []geom.Point, x, ylo, yhi geom.Coord) []geom.Point {
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	segs := sweep.Segments(sorted)
+	var out []geom.Point
+	for _, s := range segs {
+		if s.Intersects(x, ylo, yhi) {
+			out = append(out, s.P)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Y < out[j].Y })
+	return out
+}
+
+func TestQueryMatchesOracleSmall(t *testing.T) {
+	pts := []geom.Point{pt(1, 9), pt(2, 4), pt(3, 7), pt(5, 6), pt(6, 2), pt(7, 5), pt(8, 1), pt(9, 3)}
+	_, tr := buildFor(t, emio.Config{B: 16, M: 256}, pts, SABE)
+	for x := geom.Coord(0); x <= 10; x++ {
+		for ylo := geom.Coord(0); ylo <= 10; ylo += 2 {
+			for yhi := ylo; yhi <= 10; yhi += 3 {
+				got := tr.Query(x, ylo, yhi)
+				want := oracle(pts, x, ylo, yhi)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("Query(%d,%d,%d) = %v, want %v", x, ylo, yhi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryMatchesOracleRandom(t *testing.T) {
+	for _, cfg := range []emio.Config{
+		{B: 16, M: 16 * 8},
+		{B: 32, M: 32 * 8},
+		{B: 64, M: 64 * 16},
+	} {
+		for seed := int64(0); seed < 3; seed++ {
+			pts := geom.GenUniform(400, 4000, seed)
+			_, tr := buildFor(t, cfg, pts, SABE)
+			rng := rand.New(rand.NewSource(seed + 100))
+			for q := 0; q < 200; q++ {
+				x := geom.Coord(rng.Int63n(4400)) - 200
+				ylo := geom.Coord(rng.Int63n(4400)) - 200
+				yhi := ylo + geom.Coord(rng.Int63n(2000))
+				got := tr.Query(x, ylo, yhi)
+				want := oracle(pts, x, ylo, yhi)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("cfg=%+v seed=%d: Query(%d,%d,%d) = %v, want %v",
+						cfg, seed, x, ylo, yhi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClassicProducesSameAnswers(t *testing.T) {
+	pts := geom.GenUniform(300, 3000, 77)
+	_, trS := buildFor(t, emio.Config{B: 32, M: 32 * 8}, pts, SABE)
+	_, trC := buildFor(t, emio.Config{B: 32, M: 32 * 8}, pts, Classic)
+	rng := rand.New(rand.NewSource(78))
+	for q := 0; q < 100; q++ {
+		x := geom.Coord(rng.Int63n(3300))
+		ylo := geom.Coord(rng.Int63n(3300))
+		yhi := ylo + geom.Coord(rng.Int63n(1500))
+		a := trS.Query(x, ylo, yhi)
+		b := trC.Query(x, ylo, yhi)
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("mode mismatch at (%d,%d,%d): %v vs %v", x, ylo, yhi, a, b)
+		}
+	}
+}
+
+func TestQuickQueryMatchesOracle(t *testing.T) {
+	f := func(raw []int16, qx, qlo int16, span uint8) bool {
+		var pts []geom.Point
+		seenX := map[geom.Coord]bool{}
+		seenY := map[geom.Coord]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := geom.Point{X: geom.Coord(raw[i]), Y: geom.Coord(raw[i+1])}
+			if seenX[p.X] || seenY[p.Y] {
+				continue
+			}
+			seenX[p.X], seenY[p.Y] = true, true
+			pts = append(pts, p)
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		d := emio.NewDisk(emio.Config{B: 16, M: 16 * 6})
+		sorted := append([]geom.Point(nil), pts...)
+		geom.SortByX(sorted)
+		file := extsort.FromSlice(d, 2, sorted)
+		tr := BuildSABE(d, file)
+		if tr.CheckInvariants() != "" {
+			return false
+		}
+		x, ylo := geom.Coord(qx), geom.Coord(qlo)
+		yhi := ylo + geom.Coord(span)
+		got := tr.Query(x, ylo, yhi)
+		want := oracle(pts, x, ylo, yhi)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkUpEnumeratesSnapshot(t *testing.T) {
+	pts := geom.GenUniform(300, 3000, 5)
+	_, tr := buildFor(t, emio.Config{B: 32, M: 32 * 8}, pts, SABE)
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	for i, p := range sorted {
+		var got []geom.Point
+		tr.WalkUp(i, func(q geom.Point) bool {
+			got = append(got, q)
+			return true
+		})
+		want := oracle(pts, p.X, p.Y, geom.PosInf)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("WalkUp(%d)=%v want %v", i, got, want)
+		}
+	}
+}
+
+func TestWalkUpEarlyStop(t *testing.T) {
+	pts := geom.GenUniform(200, 2000, 6)
+	_, tr := buildFor(t, emio.Config{B: 32, M: 32 * 8}, pts, SABE)
+	var got []geom.Point
+	tr.WalkUp(0, func(q geom.Point) bool {
+		got = append(got, q)
+		return len(got) < 3
+	})
+	if len(got) > 3 {
+		t.Fatalf("WalkUp ignored early stop: %d visits", len(got))
+	}
+}
+
+// TestSpaceLinear: O(n/B) blocks (Theorem 1's space claim).
+func TestSpaceLinear(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 8}
+	for _, n := range []int{500, 2000, 8000} {
+		pts := geom.GenUniform(n, int64(n)*10, int64(n))
+		_, tr := buildFor(t, cfg, pts, SABE)
+		cap := tr.Cap()
+		// MVBT: every reorg consumes >= cap/8 events, each event
+		// appears O(1) times => nodes <= c * n/cap.
+		maxNodes := 16*n/cap + 8
+		if tr.NodesCreated() > maxNodes {
+			t.Errorf("n=%d: %d nodes created, budget %d", n, tr.NodesCreated(), maxNodes)
+		}
+	}
+}
+
+// TestSABEBuildLinearIO: Theorem 1's SABE claim, O(n/B) build I/Os.
+func TestSABEBuildLinearIO(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 16}
+	for _, n := range []int{1000, 4000, 16000} {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, int64(n)*8, 3)
+		geom.SortByX(pts)
+		f := extsort.FromSlice(d, 2, pts)
+		d.DropCache()
+		d.ResetStats()
+		tr := BuildSABE(d, f)
+		d.DropCache()
+		st := d.Stats()
+		nb := float64(n) / float64(cfg.B)
+		if float64(st.IOs()) > 40*nb+50 {
+			t.Errorf("n=%d: SABE build cost %d I/Os, budget %.0f", n, st.IOs(), 40*nb+50)
+		}
+		tr.Free()
+		f.Free()
+		if d.LiveBlocks() != 0 {
+			t.Errorf("n=%d: leaked %d blocks", n, d.LiveBlocks())
+		}
+	}
+}
+
+// TestClassicBuildSlower: the E9 ablation signal — classic loading pays
+// a log_B factor over SABE.
+func TestClassicBuildSlower(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 16}
+	n := 16000
+	pts := geom.GenUniform(n, int64(n)*8, 3)
+	geom.SortByX(pts)
+
+	measure := func(mode Mode) uint64 {
+		d := emio.NewDisk(cfg)
+		f := extsort.FromSlice(d, 2, pts)
+		d.DropCache()
+		d.ResetStats()
+		if mode == SABE {
+			BuildSABE(d, f)
+		} else {
+			BuildClassic(d, f)
+		}
+		d.DropCache()
+		return d.Stats().IOs()
+	}
+	sabe := measure(SABE)
+	classic := measure(Classic)
+	if classic < 2*sabe {
+		t.Errorf("classic build (%d I/Os) not clearly slower than SABE (%d I/Os)", classic, sabe)
+	}
+}
+
+// TestQueryIOCost: O(log_B n + k/B) with explicit constants.
+func TestQueryIOCost(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 8}
+	n := 20000
+	pts := geom.GenStaircase(n, 9) // heavy-output adversary
+	d, tr := buildFor(t, cfg, pts, SABE)
+	height := float64(tr.Levels())
+	capacity := float64(tr.Cap())
+	rng := rand.New(rand.NewSource(10))
+	for q := 0; q < 50; q++ {
+		x := geom.Coord(rng.Int63n(int64(n) * 2))
+		ylo := geom.Coord(rng.Int63n(int64(n) * 2))
+		yhi := ylo + geom.Coord(rng.Int63n(int64(n)))
+		var res []geom.Point
+		st := d.Measure(func() { res = tr.Query(x, ylo, yhi) })
+		k := float64(len(res))
+		budget := 4*height + 8 + 16*k/capacity
+		if float64(st.IOs()) > budget {
+			t.Errorf("query k=%d cost %d I/Os, budget %.0f (h=%v cap=%v)",
+				len(res), st.IOs(), budget, height, capacity)
+		}
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 8}
+	_, tr := buildFor(t, cfg, geom.GenUniform(20000, 200000, 4), SABE)
+	// Height should be about log_{cap/4}(n/cap) + O(1).
+	capQ := float64(tr.Cap()) / 4
+	want := math.Log(20000.0/float64(tr.Cap()))/math.Log(capQ) + 3
+	if float64(tr.Levels()) > want {
+		t.Errorf("height %d exceeds %f", tr.Levels(), want)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 256})
+	f := extsort.NewFile[geom.Point](d, 2)
+	tr := BuildSABE(d, f)
+	if got := tr.Query(5, 0, 10); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+
+	f2 := extsort.FromSlice(d, 2, []geom.Point{pt(3, 4)})
+	tr2 := BuildSABE(d, f2)
+	if got := tr2.Query(3, 0, 10); len(got) != 1 || got[0] != pt(3, 4) {
+		t.Fatalf("singleton query = %v", got)
+	}
+	if got := tr2.Query(2, 0, 10); got != nil {
+		t.Fatalf("query before birth returned %v", got)
+	}
+}
+
+func TestUnsortedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted input")
+		}
+	}()
+	d := emio.NewDisk(emio.Config{B: 16, M: 256})
+	f := extsort.FromSlice(d, 2, []geom.Point{pt(5, 1), pt(3, 2)})
+	BuildSABE(d, f)
+}
+
+// TestFigure4NodeRectangles: every finalized node's rectangle lifetime is
+// well-formed and its entries' lifetimes nest within it, the structural
+// content of Figure 4.
+func TestFigure4NodeRectangles(t *testing.T) {
+	pts := geom.GenUniform(1000, 10000, 12)
+	_, tr := buildFor(t, emio.Config{B: 16, M: 16 * 8}, pts, SABE)
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	// Additionally verify the level-1 "segments" (bottom edges of leaf
+	// rectangles, Lemma 3) are nesting and monotonic.
+	var segs []sweep.Segment
+	for _, nd := range tr.allNodes {
+		if nd.level != 0 {
+			continue
+		}
+		segs = append(segs, sweep.Segment{
+			P:    geom.Point{X: nd.x1, Y: nd.ylow},
+			XEnd: nd.x2,
+		})
+	}
+	if a, b, ok := sweep.CheckNesting(segs); !ok {
+		t.Fatalf("Lemma 3 nesting violated by %v and %v", a, b)
+	}
+}

@@ -1,0 +1,181 @@
+package ppb
+
+import (
+	"sort"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// rootAtVersion returns the root node governing version x (nil if the
+// tree was empty at x). Costs one I/O for the root-log lookup.
+func (t *Tree) rootAtVersion(x geom.Coord) *node {
+	if len(t.rootLog) == 0 {
+		return nil
+	}
+	t.disk.Read(t.rootBlock)
+	i := sort.Search(len(t.rootLog), func(j int) bool { return t.rootLog[j].x > x }) - 1
+	if i < 0 {
+		return nil
+	}
+	return t.rootLog[i].node
+}
+
+// Query reports the points whose segments are alive at version x with
+// y ∈ [ylo, yhi] — i.e. the segments of Σ(P) intersecting the vertical
+// segment x × [ylo, yhi] — in ascending y order.
+// Cost: O(log_B n + k/B) I/Os.
+func (t *Tree) Query(x, ylo, yhi geom.Coord) []geom.Point {
+	root := t.rootAtVersion(x)
+	if root == nil || ylo > yhi {
+		return nil
+	}
+	var out []geom.Point
+	t.queryNode(root, x, ylo, yhi, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Y < out[j].Y })
+	return out
+}
+
+func (t *Tree) queryNode(nd *node, x, ylo, yhi geom.Coord, out *[]geom.Point) {
+	t.readNode(nd)
+	if nd.level == 0 {
+		for _, e := range nd.entries {
+			if e.liveAt(x) && e.y >= ylo && e.y <= yhi {
+				*out = append(*out, e.pt)
+			}
+		}
+		return
+	}
+	// Live children sorted by routing key; child i covers
+	// [ylow_i, ylow_{i+1}), with the bottom child additionally covering
+	// everything below its ylow (births always land at the bottom).
+	var live []*entry
+	for _, e := range nd.entries {
+		if e.liveAt(x) {
+			live = append(live, e)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].y < live[j].y })
+	for i, e := range live {
+		lower := e.y
+		if i == 0 {
+			lower = geom.NegInf
+		}
+		upper := geom.Coord(geom.PosInf)
+		if i+1 < len(live) {
+			upper = live[i+1].y - 1
+		}
+		if upper < ylo || lower > yhi {
+			continue
+		}
+		t.queryNode(e.child, x, ylo, yhi, out)
+	}
+}
+
+// WalkUp implements Observation 2 / Lemma 5's reporting walk: starting
+// from the host leaf of input point i (the leaf of the snapshot tree
+// T(x_p) containing y_p), it visits the points of the segments alive at
+// x = pts[i].X in ascending y order beginning with pts[i] itself,
+// calling visit for each; the walk stops when visit returns false or the
+// snapshot is exhausted. Because the host leaf is the bottom leaf of its
+// snapshot and each leaf holds Ω(cap) live entries, visiting k points
+// costs O(1 + k/B) I/Os (one for the host-pointer array plus one per
+// leaf).
+func (t *Tree) WalkUp(i int, visit func(p geom.Point) bool) {
+	if i < 0 || i >= len(t.hostLeaf) {
+		panic("ppb: WalkUp index out of range")
+	}
+	t.disk.Read(t.hostBlock + emio.BlockID(i/t.disk.Config().B))
+	x := t.pts[i].X
+	yFrom := t.pts[i].Y
+	for leaf := t.hostLeaf[i]; leaf != nil; leaf = leaf.sibling {
+		t.readNode(leaf)
+		var ys []*entry
+		for _, e := range leaf.entries {
+			if e.liveAt(x) && e.y >= yFrom {
+				ys = append(ys, e)
+			}
+		}
+		sort.Slice(ys, func(a, b int) bool { return ys[a].y < ys[b].y })
+		for _, e := range ys {
+			if !visit(e.pt) {
+				return
+			}
+		}
+	}
+}
+
+// Point returns the i-th input point (build order), charging the array
+// lookup.
+func (t *Tree) Point(i int) geom.Point {
+	t.disk.Read(t.hostBlock + emio.BlockID(i/t.disk.Config().B))
+	return t.pts[i]
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Levels returns the height of the tree in levels.
+func (t *Tree) Levels() int { return t.levels }
+
+// NodesCreated returns the total number of nodes the build produced; the
+// MVBT discipline bounds it by O(n / cap).
+func (t *Tree) NodesCreated() int { return t.nodes }
+
+// Cap returns the per-node entry capacity.
+func (t *Tree) Cap() int { return t.cap }
+
+// SpaceWords returns the structure's total footprint in words.
+func (t *Tree) SpaceWords() int {
+	return t.nodes*(nodeHeaderWords+t.cap*entryWords) + t.hostWords + t.rootWords
+}
+
+// Free releases every block of the tree.
+func (t *Tree) Free() {
+	for _, nd := range t.allNodes {
+		t.disk.FreeSpan(nd.block, nd.words)
+	}
+	t.allNodes = nil
+	if t.hostWords > 0 {
+		t.disk.FreeSpan(t.hostBlock, t.hostWords)
+	}
+	if t.rootWords > 0 {
+		t.disk.FreeSpan(t.rootBlock, t.rootWords)
+	}
+	t.hostWords, t.rootWords = 0, 0
+}
+
+// CheckInvariants validates structural invariants of the finished tree;
+// it returns a non-nil error description on the first violation. Used by
+// tests.
+func (t *Tree) CheckInvariants() string {
+	for _, nd := range t.allNodes {
+		if len(nd.entries) > t.cap {
+			return "node exceeds capacity"
+		}
+		// Zero-length lifetimes are legitimate: the paper notes a
+		// version copy creates a rectangle with "a zero-length
+		// x-interval [α,α]" when cascades happen at one position.
+		if nd.x2 != geom.PosInf && nd.x1 > nd.x2 {
+			return "node with negative lifetime"
+		}
+		for _, e := range nd.entries {
+			if e.birth < nd.x1 {
+				return "entry born before node"
+			}
+			if e.death != geom.PosInf && e.death < e.birth {
+				return "entry with negative lifetime"
+			}
+			if nd.x2 != geom.PosInf && e.birth > nd.x2 {
+				return "entry born after node finalized"
+			}
+			if nd.level > 0 && e.child == nil {
+				return "internal entry without child"
+			}
+			if nd.level == 0 && e.child != nil {
+				return "leaf entry with child"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,91 @@
+// Package pqa provides the classic internal-memory priority queue with
+// attrition of Sundar (the paper's [36]) in its semantic form: a
+// structure over an ordered set supporting FindMin, DeleteMin and
+// InsertAndAttrite, where inserting e removes every element >= e.
+//
+// The content of a PQA is always a strictly increasing sequence in
+// insertion order, so the structure is a monotone deque. This
+// implementation takes the monotone-deque form directly: O(1) amortized
+// time per operation (Sundar's contribution was making the attrition
+// incremental for O(1) *worst-case* time; the worst-case-I/O variant
+// with catenation is package cpqa, the paper's §4.1). It serves as the
+// semantic oracle for cpqa's differential tests and as the in-memory
+// baseline of experiment E8.
+package pqa
+
+// Elem is a PQA element: ordered by Key, with an auxiliary payload word
+// (the dynamic skyline structures store x there).
+type Elem struct {
+	Key int64
+	Aux int64
+}
+
+// Less orders elements by key.
+func Less(a, b Elem) bool { return a.Key < b.Key }
+
+// PQA is a priority queue with attrition. The zero value is an empty
+// queue ready for use.
+type PQA struct {
+	// items is strictly increasing by Key; items[0] is the minimum.
+	items []Elem
+}
+
+// New returns an empty PQA.
+func New() *PQA { return &PQA{} }
+
+// Len returns the number of (non-attrited) elements.
+func (q *PQA) Len() int { return len(q.items) }
+
+// FindMin returns the minimum element; ok is false when the queue is
+// empty.
+func (q *PQA) FindMin() (Elem, bool) {
+	if len(q.items) == 0 {
+		return Elem{}, false
+	}
+	return q.items[0], true
+}
+
+// DeleteMin removes and returns the minimum element.
+func (q *PQA) DeleteMin() (Elem, bool) {
+	if len(q.items) == 0 {
+		return Elem{}, false
+	}
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e, true
+}
+
+// InsertAndAttrite appends e, removing every element with key >= e.Key.
+// Amortized O(1): each element is removed at most once.
+func (q *PQA) InsertAndAttrite(e Elem) {
+	for len(q.items) > 0 && q.items[len(q.items)-1].Key >= e.Key {
+		q.items = q.items[:len(q.items)-1]
+	}
+	q.items = append(q.items, e)
+}
+
+// CatenateAndAttrite appends the contents of other to q, attriting every
+// element of q that is >= other's minimum. other is consumed.
+// This is the semantic reference for cpqa.CatenateAndAttrite.
+func (q *PQA) CatenateAndAttrite(other *PQA) {
+	if other.Len() == 0 {
+		return
+	}
+	m := other.items[0]
+	for len(q.items) > 0 && q.items[len(q.items)-1].Key >= m.Key {
+		q.items = q.items[:len(q.items)-1]
+	}
+	q.items = append(q.items, other.items...)
+	other.items = nil
+}
+
+// Items returns the current contents in queue order (a strictly
+// increasing sequence). The returned slice is a copy.
+func (q *PQA) Items() []Elem {
+	return append([]Elem(nil), q.items...)
+}
+
+// Clone returns an independent copy.
+func (q *PQA) Clone() *PQA {
+	return &PQA{items: append([]Elem(nil), q.items...)}
+}

@@ -1,0 +1,117 @@
+package pqa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	q := New()
+	if _, ok := q.FindMin(); ok {
+		t.Error("FindMin on empty queue")
+	}
+	for _, k := range []int64{50, 30, 70, 20, 60} {
+		q.InsertAndAttrite(Elem{Key: k})
+	}
+	// 20 attrited 30/70; 60 > 20 kept: content = [20, 60].
+	if got := q.Items(); len(got) != 2 || got[0].Key != 20 || got[1].Key != 60 {
+		t.Fatalf("Items = %v", got)
+	}
+	if e, ok := q.DeleteMin(); !ok || e.Key != 20 {
+		t.Fatalf("DeleteMin = %v,%t", e, ok)
+	}
+	if e, ok := q.DeleteMin(); !ok || e.Key != 60 {
+		t.Fatalf("DeleteMin = %v,%t", e, ok)
+	}
+	if _, ok := q.DeleteMin(); ok {
+		t.Error("DeleteMin on drained queue")
+	}
+}
+
+// TestQuickContentIsIncreasingSuffix: after any insert sequence the
+// content equals the strictly increasing suffix-minima subsequence.
+func TestQuickContentIsIncreasingSuffix(t *testing.T) {
+	f := func(keys []int16) bool {
+		q := New()
+		for _, k := range keys {
+			q.InsertAndAttrite(Elem{Key: int64(k)})
+		}
+		// Oracle: e survives iff it is < everything after it.
+		var want []int64
+		for i, k := range keys {
+			ok := true
+			for _, k2 := range keys[i+1:] {
+				if int64(k2) <= int64(k) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = append(want, int64(k))
+			}
+		}
+		got := q.Items()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatenateAndAttrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		q1, q2 := New(), New()
+		var all []int64
+		for i := 0; i < rng.Intn(40); i++ {
+			k := rng.Int63n(1000)
+			q1.InsertAndAttrite(Elem{Key: k})
+			all = append(all, k)
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			k := rng.Int63n(1000)
+			q2.InsertAndAttrite(Elem{Key: k})
+			all = append(all, k)
+		}
+		q1.CatenateAndAttrite(q2)
+		// Oracle: process the whole arrival sequence in one queue.
+		want := New()
+		for _, k := range all {
+			want.InsertAndAttrite(Elem{Key: k})
+		}
+		g, w := q1.Items(), want.Items()
+		if len(g) != len(w) {
+			t.Fatalf("catenate mismatch: %v vs %v", g, w)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("catenate mismatch at %d", i)
+			}
+		}
+		if q2.Len() != 0 {
+			t.Fatal("catenate left elements in consumed queue")
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	q := New()
+	q.InsertAndAttrite(Elem{Key: 5})
+	c := q.Clone()
+	c.InsertAndAttrite(Elem{Key: 1})
+	if q.Len() != 1 || c.Len() != 1 {
+		t.Fatal("clone not independent")
+	}
+	if e, _ := q.FindMin(); e.Key != 5 {
+		t.Fatal("original mutated by clone op")
+	}
+}

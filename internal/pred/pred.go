@@ -1,0 +1,176 @@
+// Package pred provides a static O(log log_B U)-I/O predecessor
+// structure over a set of keys from the universe [U], used by
+// Corollary 1 to convert query coordinates in [U]² into rank space. It
+// is a van Emde Boas recursion whose base case is a universe of size B
+// (one bitmap block, O(1) I/Os); each level squares the effective block
+// budget, so the recursion depth — and the query cost — is
+// O(log log_B U), matching the Pătraşcu–Thorup bound the paper cites.
+package pred
+
+import (
+	"sort"
+
+	"repro/internal/emio"
+)
+
+// Structure answers predecessor queries over a static key set.
+type Structure struct {
+	disk *emio.Disk
+	u    int64 // universe size
+	keys []int64
+
+	root   *vnode
+	blocks int
+}
+
+type vnode struct {
+	block emio.BlockID
+	words int
+
+	u        int64 // universe size of this node
+	min, max int64 // smallest/largest key present (-1 if empty)
+	// Base case: sorted keys (at most B of them in a universe of B).
+	base []int64
+	// Recursive case: clusters of size sqrtU, plus a summary over the
+	// non-empty cluster indices.
+	sqrtU    int64
+	summary  *vnode
+	clusters map[int64]*vnode
+}
+
+// Build constructs the structure over keys (distinct, in [0, U)).
+func Build(d *emio.Disk, u int64, keys []int64) *Structure {
+	s := &Structure{disk: d, u: u, keys: append([]int64(nil), keys...)}
+	sort.Slice(s.keys, func(i, j int) bool { return s.keys[i] < s.keys[j] })
+	for i, k := range s.keys {
+		if k < 0 || k >= u {
+			panic("pred: key outside universe")
+		}
+		if i > 0 && s.keys[i-1] == k {
+			panic("pred: duplicate key")
+		}
+	}
+	if len(s.keys) > 0 {
+		s.root = s.build(u, s.keys)
+	}
+	return s
+}
+
+func (s *Structure) build(u int64, keys []int64) *vnode {
+	nd := &vnode{u: u, min: keys[0], max: keys[len(keys)-1]}
+	nd.words = 4
+	B := int64(s.disk.Config().B)
+	if u <= B || int64(len(keys)) <= 2 {
+		nd.base = append([]int64(nil), keys...)
+		nd.words += len(nd.base)
+		nd.block = s.disk.AllocSpan(nd.words)
+		s.disk.WriteSpan(nd.block, nd.words)
+		s.blocks++
+		return nd
+	}
+	// Split into clusters of ~sqrt(u).
+	sq := int64(1)
+	for sq*sq < u {
+		sq *= 2
+	}
+	nd.sqrtU = sq
+	nd.clusters = make(map[int64]*vnode)
+	var summaryKeys []int64
+	i := 0
+	for i < len(keys) {
+		hi := keys[i] / sq
+		j := i
+		var lows []int64
+		for j < len(keys) && keys[j]/sq == hi {
+			lows = append(lows, keys[j]%sq)
+			j++
+		}
+		nd.clusters[hi] = s.build(sq, lows)
+		summaryKeys = append(summaryKeys, hi)
+		i = j
+	}
+	upper := (u + sq - 1) / sq
+	nd.summary = s.build(upper, summaryKeys)
+	nd.words += 2 // directory handle
+	nd.block = s.disk.AllocSpan(nd.words)
+	s.disk.WriteSpan(nd.block, nd.words)
+	s.blocks++
+	return nd
+}
+
+// Predecessor returns the largest key <= x, with ok=false when every key
+// exceeds x. Cost: O(log log_B U) I/Os.
+func (s *Structure) Predecessor(x int64) (int64, bool) {
+	if s.root == nil {
+		return 0, false
+	}
+	return s.pred(s.root, x)
+}
+
+func (s *Structure) pred(nd *vnode, x int64) (int64, bool) {
+	s.disk.ReadSpan(nd.block, nd.words)
+	if x < nd.min {
+		return 0, false
+	}
+	if x >= nd.max {
+		return nd.max, true
+	}
+	if nd.base != nil {
+		i := sort.Search(len(nd.base), func(j int) bool { return nd.base[j] > x })
+		return nd.base[i-1], true
+	}
+	hi, lo := x/nd.sqrtU, x%nd.sqrtU
+	if c, ok := nd.clusters[hi]; ok && lo >= c.min {
+		v, ok2 := s.pred(c, lo)
+		if ok2 {
+			return hi*nd.sqrtU + v, true
+		}
+	}
+	// Fall back to the maximum of the preceding non-empty cluster.
+	ph, ok := s.pred(nd.summary, hi-1)
+	if !ok {
+		return 0, false
+	}
+	c := nd.clusters[ph]
+	s.disk.ReadSpan(c.block, c.words)
+	return ph*nd.sqrtU + c.max, true
+}
+
+// Successor returns the smallest key >= x.
+func (s *Structure) Successor(x int64) (int64, bool) {
+	if s.root == nil {
+		return 0, false
+	}
+	return s.succ(s.root, x)
+}
+
+func (s *Structure) succ(nd *vnode, x int64) (int64, bool) {
+	s.disk.ReadSpan(nd.block, nd.words)
+	if x > nd.max {
+		return 0, false
+	}
+	if x <= nd.min {
+		return nd.min, true
+	}
+	if nd.base != nil {
+		i := sort.Search(len(nd.base), func(j int) bool { return nd.base[j] >= x })
+		return nd.base[i], true
+	}
+	hi, lo := x/nd.sqrtU, x%nd.sqrtU
+	if c, ok := nd.clusters[hi]; ok && lo <= c.max {
+		v, ok2 := s.succ(c, lo)
+		if ok2 {
+			return hi*nd.sqrtU + v, true
+		}
+	}
+	sh, ok := s.succ(nd.summary, hi+1)
+	if !ok {
+		return 0, false
+	}
+	c := nd.clusters[sh]
+	s.disk.ReadSpan(c.block, c.words)
+	return sh*nd.sqrtU + c.min, true
+}
+
+// Blocks returns the number of nodes (≈ blocks) in the structure.
+func (s *Structure) Blocks() int { return s.blocks }

@@ -1,0 +1,91 @@
+package pred
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/emio"
+)
+
+func TestPredecessorSuccessorOracle(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	rng := rand.New(rand.NewSource(1))
+	u := int64(1 << 30)
+	keySet := map[int64]bool{}
+	var keys []int64
+	for len(keys) < 500 {
+		k := rng.Int63n(u)
+		if !keySet[k] {
+			keySet[k] = true
+			keys = append(keys, k)
+		}
+	}
+	s := Build(d, u, keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for q := 0; q < 2000; q++ {
+		x := rng.Int63n(u)
+		i := sort.Search(len(keys), func(j int) bool { return keys[j] > x })
+		got, ok := s.Predecessor(x)
+		if (i > 0) != ok || (ok && got != keys[i-1]) {
+			t.Fatalf("Predecessor(%d) = %d,%t; want idx %d", x, got, ok, i-1)
+		}
+		i = sort.Search(len(keys), func(j int) bool { return keys[j] >= x })
+		got, ok = s.Successor(x)
+		if (i < len(keys)) != ok || (ok && got != keys[i]) {
+			t.Fatalf("Successor(%d) = %d,%t", x, got, ok)
+		}
+	}
+}
+
+func TestEmptyAndEdges(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	s := Build(d, 100, nil)
+	if _, ok := s.Predecessor(50); ok {
+		t.Error("predecessor on empty set")
+	}
+	s = Build(d, 100, []int64{42})
+	if v, ok := s.Predecessor(42); !ok || v != 42 {
+		t.Errorf("Predecessor(42) = %d,%t", v, ok)
+	}
+	if _, ok := s.Predecessor(41); ok {
+		t.Error("Predecessor(41) should not exist")
+	}
+	if v, ok := s.Successor(43); ok {
+		t.Errorf("Successor(43) = %d should not exist", v)
+	}
+}
+
+// TestDoubleLogCost verifies the O(log log_B U) shape: query cost grows
+// very slowly with U and is far below log2(n).
+func TestDoubleLogCost(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 4}
+	rng := rand.New(rand.NewSource(5))
+	for _, logU := range []int{16, 30, 44, 58} {
+		u := int64(1) << logU
+		keySet := map[int64]bool{}
+		var keys []int64
+		for len(keys) < 4000 {
+			k := rng.Int63n(u)
+			if !keySet[k] {
+				keySet[k] = true
+				keys = append(keys, k)
+			}
+		}
+		d := emio.NewDisk(cfg)
+		s := Build(d, u, keys)
+		var worst uint64
+		for q := 0; q < 50; q++ {
+			x := rng.Int63n(u)
+			st := d.Measure(func() { s.Predecessor(x) })
+			if st.IOs() > worst {
+				worst = st.IOs()
+			}
+		}
+		// log log_B U is at most ~4 for these parameters; allow
+		// constant slack. Crucially this does not grow like log n=12.
+		if worst > 14 {
+			t.Errorf("logU=%d: worst predecessor cost %d I/Os", logU, worst)
+		}
+	}
+}

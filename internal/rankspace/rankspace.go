@@ -1,0 +1,467 @@
+// Package rankspace implements Theorem 2: a linear-size structure on n
+// points in rank space [O(n)]² answering top-open range skyline queries
+// in optimal O(1 + k/B) I/Os, plus the Corollary 1 wrapper for a general
+// grid [U]² with O(log log_B U + k/B) queries via predecessor-based
+// coordinate conversion.
+//
+// The x-axis is cut into chunks of λ = B·log₂U consecutive coordinates;
+// a complete binary tree T sits over the chunks. Each chunk carries a
+// Lemma 5 few-point structure. Each internal node u stores high(u) — the
+// (at most) B highest skyline points of its subtree — and MAX(u), the
+// skyline of the high-sets of the right siblings hanging off the path
+// from highend(u)'s chunk to u. Each (chunk z, proper ancestor u) pair
+// stores LMAX(z,u) and RMAX(z,u), the skylines of the high-sets of the
+// left/right siblings of the path from z to u's child. A query walks
+// these precomputed staircases top-down (Lemma 6), charging O(1/B) I/Os
+// per reported point.
+//
+// The traversal gathers a candidate superset that contains the true
+// answer and lies inside the query rectangle with only constant-factor
+// over-report (the paper's charging argument); a final in-memory skyline
+// pass — free in the EM model — removes the duplicates that Lemma 6's
+// re-reporting introduces.
+package rankspace
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/emio"
+	"repro/internal/fewpoint"
+	"repro/internal/geom"
+	"repro/internal/pred"
+)
+
+// list is an x-sorted staircase stored in a charged span.
+type list struct {
+	pts   []geom.Point // ascending x, hence descending y
+	block emio.BlockID
+	words int
+}
+
+func newList(d *emio.Disk, pts []geom.Point) *list {
+	l := &list{pts: pts, words: 2*len(pts) + 1}
+	l.block = d.AllocSpan(l.words)
+	d.WriteSpan(l.block, l.words)
+	return l
+}
+
+// above returns the prefix of points with y > beta (the staircase is
+// descending in y), charging only the blocks the scan touches.
+func (l *list) above(d *emio.Disk, beta geom.Coord) []geom.Point {
+	i := 0
+	for i < len(l.pts) && l.pts[i].Y > beta {
+		i++
+	}
+	d.ReadSpan(l.block, 2*i+1)
+	return l.pts[:i]
+}
+
+type tnode struct {
+	parent      *tnode
+	left, right *tnode
+	depth       int
+	chunkIdx    int // leaves only; -1 otherwise
+
+	lo, hi geom.Coord // x-range [lo, hi)
+
+	high    *list       // up to B highest skyline points of P(u)
+	highend *geom.Point // lowest point of high when |high| == B
+	max     *list       // MAX(u), when highend exists
+
+	// Leaves: LMAX/RMAX per proper-ancestor depth, and the chunk's
+	// few-point structure.
+	lmax, rmax map[int]*list
+	fp         *fewpoint.Structure
+	pts        []geom.Point
+}
+
+func (nd *tnode) leaf() bool { return nd.left == nil }
+
+// Index is the Theorem 2 structure over rank-space points.
+type Index struct {
+	disk   *emio.Disk
+	u      int64 // universe side length
+	lambda int64
+	leaves []*tnode
+	root   *tnode
+	n      int
+	capB   int
+}
+
+// Build constructs the index over pts whose coordinates lie in [0, u).
+func Build(d *emio.Disk, u int64, pts []geom.Point) *Index {
+	ix := &Index{disk: d, u: u, n: len(pts), capB: d.Config().B}
+	lam := int64(d.Config().B) * int64(math.Max(1, math.Log2(float64(u)+2)))
+	ix.lambda = lam
+	numChunks := int((u + lam - 1) / lam)
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	// Round up to a power of two for a complete binary tree.
+	size := 1
+	for size < numChunks {
+		size *= 2
+	}
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+
+	ix.leaves = make([]*tnode, size)
+	for i := range ix.leaves {
+		lo := int64(i) * lam
+		nd := &tnode{chunkIdx: i, lo: lo, hi: lo + lam,
+			lmax: map[int]*list{}, rmax: map[int]*list{}}
+		a := sort.Search(len(sorted), func(j int) bool { return sorted[j].X >= lo })
+		b := sort.Search(len(sorted), func(j int) bool { return sorted[j].X >= lo+lam })
+		nd.pts = sorted[a:b]
+		nd.fp = fewpoint.Build(d, u, nd.pts)
+		ix.leaves[i] = nd
+	}
+	level := append([]*tnode(nil), ix.leaves...)
+	for len(level) > 1 {
+		var up []*tnode
+		for i := 0; i < len(level); i += 2 {
+			nd := &tnode{left: level[i], right: level[i+1], chunkIdx: -1,
+				lo: level[i].lo, hi: level[i+1].hi}
+			level[i].parent, level[i+1].parent = nd, nd
+			up = append(up, nd)
+		}
+		level = up
+	}
+	ix.root = level[0]
+	var setDepth func(nd *tnode, dep int)
+	setDepth = func(nd *tnode, dep int) {
+		nd.depth = dep
+		if !nd.leaf() {
+			setDepth(nd.left, dep+1)
+			setDepth(nd.right, dep+1)
+		}
+	}
+	setDepth(ix.root, 0)
+
+	ix.computeHigh(ix.root)
+	ix.computeMax(ix.root)
+	ix.computeSideMax()
+	return ix
+}
+
+// subtreePoints returns P(u) (host-side; build time only).
+func subtreePoints(nd *tnode) []geom.Point {
+	if nd.leaf() {
+		return nd.pts
+	}
+	return append(append([]geom.Point(nil), subtreePoints(nd.left)...),
+		subtreePoints(nd.right)...)
+}
+
+func (ix *Index) computeHigh(nd *tnode) {
+	sky := geom.Skyline(subtreePoints(nd))
+	// Skyline ascending x = descending y; the B highest are the first B.
+	m := ix.capB
+	if m > len(sky) {
+		m = len(sky)
+	}
+	nd.high = newList(ix.disk, append([]geom.Point(nil), sky[:m]...))
+	if m == ix.capB && m > 0 {
+		p := sky[m-1]
+		nd.highend = &p
+	}
+	if !nd.leaf() {
+		ix.computeHigh(nd.left)
+		ix.computeHigh(nd.right)
+	}
+}
+
+// pathRightSiblings returns the right siblings of the nodes on the path
+// from leaf z up to (and including) the child of u that is z's ancestor.
+func pathRightSiblings(z, u *tnode) []*tnode {
+	var out []*tnode
+	for nd := z; nd != u && nd.parent != nil; nd = nd.parent {
+		if nd.parent.left == nd && nd.parent.right != nil {
+			out = append(out, nd.parent.right)
+		}
+		if nd.parent == u {
+			break
+		}
+	}
+	return out
+}
+
+func pathLeftSiblings(z, u *tnode) []*tnode {
+	var out []*tnode
+	for nd := z; nd != u && nd.parent != nil; nd = nd.parent {
+		if nd.parent.right == nd {
+			out = append(out, nd.parent.left)
+		}
+		if nd.parent == u {
+			break
+		}
+	}
+	return out
+}
+
+// skylineOfHighs returns the skyline of the union of the nodes' high
+// sets, ascending x.
+func skylineOfHighs(nodes []*tnode) []geom.Point {
+	var all []geom.Point
+	for _, v := range nodes {
+		all = append(all, v.high.pts...)
+	}
+	return geom.Skyline(all)
+}
+
+func (ix *Index) computeMax(nd *tnode) {
+	if !nd.leaf() {
+		ix.computeMax(nd.left)
+		ix.computeMax(nd.right)
+	}
+	if nd.leaf() || nd.highend == nil {
+		return
+	}
+	z := ix.leafFor(nd.highend.X)
+	nd.max = newList(ix.disk, skylineOfHighs(pathRightSiblings(z, nd)))
+}
+
+func (ix *Index) computeSideMax() {
+	for _, z := range ix.leaves {
+		for u := z.parent; u != nil; u = u.parent {
+			z.lmax[u.depth] = newList(ix.disk, skylineOfHighs(pathLeftSiblings(z, u)))
+			z.rmax[u.depth] = newList(ix.disk, skylineOfHighs(pathRightSiblings(z, u)))
+		}
+	}
+}
+
+func (ix *Index) leafFor(x geom.Coord) *tnode {
+	i := int(x / ix.lambda)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ix.leaves) {
+		i = len(ix.leaves) - 1
+	}
+	return ix.leaves[i]
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.n }
+
+// Query answers the top-open query [x1,x2] × [beta, ∞) in O(1 + k/B)
+// I/Os, returning the maxima in increasing-x order.
+func (ix *Index) Query(x1, x2, beta geom.Coord) []geom.Point {
+	if ix.n == 0 || x1 > x2 {
+		return nil
+	}
+	if x1 < 0 {
+		x1 = 0
+	}
+	if x2 >= ix.u {
+		x2 = ix.u - 1
+	}
+	if beta < 0 {
+		beta = 0 // rank-space coordinates are non-negative
+	}
+	if x1 > x2 {
+		return nil
+	}
+	z1, z2 := ix.leafFor(x1), ix.leafFor(x2)
+	var cand []geom.Point
+	if z1 == z2 {
+		cand = z1.fp.Query(x1, x2, beta)
+		return ix.finish(cand, x1, x2, beta)
+	}
+	u := lca(z1, z2)
+
+	// Step 1: the right boundary chunk.
+	s := z2.fp.Query(x1, x2, beta)
+	cand = append(cand, s...)
+	betaStar := beta - 1 // strict thresholds below use y > betaStar
+	if len(s) > 0 {
+		betaStar = s[0].Y
+	}
+
+	// Step 2: LMAX(z2, u) and the subtrees it opens.
+	s2 := z2.lmax[u.depth].above(ix.disk, betaStar)
+	cand = append(cand, s2...)
+	ix.openSubtrees(pathLeftSiblings(z2, u), s2, betaStar, beta, &cand)
+	if len(s2) > 0 {
+		betaStar = s2[0].Y
+	}
+
+	// Step 3: RMAX(z1, u) and its subtrees.
+	s1 := z1.rmax[u.depth].above(ix.disk, betaStar)
+	cand = append(cand, s1...)
+	ix.openSubtrees(pathRightSiblings(z1, u), s1, betaStar, beta, &cand)
+	if len(s1) > 0 {
+		betaStar = s1[0].Y
+	}
+
+	// Step 4: the left boundary chunk above the final threshold.
+	cand = append(cand, z1.fp.Query(x1, x2, betaStar+1)...)
+	return ix.finish(cand, x1, x2, beta)
+}
+
+// openSubtrees applies the Lemma 6 recursion to every sibling subtree
+// whose entire high-set survives in the staircase s (the pruning test of
+// the query algorithm: fewer than B survivors mean the subtree is fully
+// covered by s or dominated).
+func (ix *Index) openSubtrees(sibs []*tnode, s []geom.Point, betaStar, beta geom.Coord, cand *[]geom.Point) {
+	inS := make(map[geom.Point]int, len(s))
+	for i, p := range s {
+		inS[p] = i
+	}
+	for _, v := range sibs {
+		ix.disk.ReadSpan(v.high.block, v.high.words)
+		if v.highend == nil {
+			continue // the whole subtree skyline is inside high(v)
+		}
+		count := 0
+		for _, p := range v.high.pts {
+			if _, ok := inS[p]; ok {
+				count++
+			}
+		}
+		if count < ix.capB {
+			continue
+		}
+		bi := betaStar
+		if idx, ok := inS[*v.highend]; ok && idx+1 < len(s) {
+			bi = s[idx+1].Y
+		}
+		ix.lemma6(v, bi, cand)
+	}
+}
+
+// lemma6 reports the skyline of P(u, β) — the subtree's points with
+// y > β — into cand, in O(1 + k/B) I/Os (Lemma 6).
+func (ix *Index) lemma6(u *tnode, beta geom.Coord, cand *[]geom.Point) {
+	if u.leaf() {
+		*cand = append(*cand, u.fp.Query(geom.NegInf, geom.PosInf, beta+1)...)
+		return
+	}
+	ix.disk.ReadSpan(u.high.block, u.high.words)
+	reported := 0
+	for _, p := range u.high.pts {
+		if p.Y > beta {
+			*cand = append(*cand, p)
+			reported++
+		}
+	}
+	if reported < ix.capB || u.highend == nil {
+		return
+	}
+	p := *u.highend
+	// (i) subtrees hanging right of highend's chunk, via MAX(u).
+	s := u.max.above(ix.disk, beta)
+	*cand = append(*cand, s...)
+	z := ix.leafFor(p.X)
+	ix.openSubtrees(pathRightSiblings(z, u), s, beta, beta, cand)
+	// (ii) the remainder of highend's own chunk, right of highend.
+	beta0 := beta
+	if len(s) > 0 {
+		beta0 = s[0].Y
+	}
+	*cand = append(*cand, z.fp.Query(p.X+1, geom.PosInf, beta0+1)...)
+}
+
+// finish prunes the candidate superset to the exact answer: restrict to
+// the rectangle and take the in-memory skyline (free of I/Os; removes
+// Lemma 6's constant-factor re-reports).
+func (ix *Index) finish(cand []geom.Point, x1, x2, beta geom.Coord) []geom.Point {
+	var in []geom.Point
+	for _, p := range cand {
+		if p.X >= x1 && p.X <= x2 && p.Y >= beta {
+			in = append(in, p)
+		}
+	}
+	return geom.Skyline(in)
+}
+
+func lca(a, b *tnode) *tnode {
+	for a != b {
+		if a.depth >= b.depth {
+			a = a.parent
+		} else {
+			b = b.parent
+		}
+	}
+	return a
+}
+
+// Grid is the Corollary 1 wrapper: a rank-space Index plus predecessor
+// structures converting [U]² query coordinates in O(log log_B U) I/Os.
+type Grid struct {
+	inner  *Index
+	xs, ys []geom.Coord
+	px, py *pred.Structure
+}
+
+// BuildGrid indexes points with coordinates in [0, u).
+func BuildGrid(d *emio.Disk, u int64, pts []geom.Point) *Grid {
+	rp, xs, ys := geom.RankSpace(pts)
+	g := &Grid{xs: xs, ys: ys}
+	side := int64(len(xs))
+	if int64(len(ys)) > side {
+		side = int64(len(ys))
+	}
+	if side == 0 {
+		side = 1
+	}
+	g.inner = Build(d, side, rp)
+	g.px = pred.Build(d, u, xs)
+	g.py = pred.Build(d, u, ys)
+	return g
+}
+
+// Query answers the top-open query [x1,x2] × [beta, ∞) over the original
+// grid coordinates in O(log log_B U + k/B) I/Os: each bound is converted
+// to rank space with one predecessor/successor search (charged on the
+// pred structures), then the rank-space index answers in O(1 + k/B).
+func (g *Grid) Query(x1, x2, beta geom.Coord) []geom.Point {
+	if g.inner.Len() == 0 || x1 > x2 {
+		return nil
+	}
+	// Lower bounds round up to the next present coordinate, the upper
+	// bound rounds down; an empty rounding means an empty answer.
+	sx, ok := g.px.Successor(clampLo(x1))
+	if !ok {
+		return nil
+	}
+	rx1 := geom.RankLo(g.xs, sx)
+	pxv, ok := g.px.Predecessor(clampU(x2))
+	if !ok {
+		return nil
+	}
+	rx2 := geom.RankHi(g.xs, pxv)
+	rb := geom.Coord(0)
+	if sy, ok := g.py.Successor(clampLo(beta)); ok {
+		rb = geom.RankLo(g.ys, sy)
+	} else {
+		return nil // every point lies below beta
+	}
+	pts := g.inner.Query(rx1, rx2, rb)
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{X: g.xs[p.X], Y: g.ys[p.Y]}
+	}
+	return out
+}
+
+func clampLo(x geom.Coord) int64 {
+	if x < 0 {
+		return 0
+	}
+	if x == geom.PosInf {
+		return int64(1)<<62 - 1
+	}
+	return x
+}
+
+func clampU(x geom.Coord) int64 {
+	if x == geom.PosInf {
+		return int64(1)<<62 - 1
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,137 @@
+package rankspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+func sameAnswer(got, want []geom.Point) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	for _, n := range []int{50, 500, 3000} {
+		pts := geom.GenPermutation(n, int64(n))
+		d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+		ix := Build(d, int64(n), pts)
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		for q := 0; q < 300; q++ {
+			x1 := geom.Coord(rng.Int63n(int64(n)))
+			x2 := x1 + geom.Coord(rng.Int63n(int64(n)))
+			beta := geom.Coord(rng.Int63n(int64(n)))
+			got := ix.Query(x1, x2, beta)
+			want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+			if !sameAnswer(got, want) {
+				t.Fatalf("n=%d Query(%d,%d,%d) = %v, want %v", n, x1, x2, beta, got, want)
+			}
+		}
+	}
+}
+
+func TestQueryCrossChunkBoundaries(t *testing.T) {
+	n := 2000
+	pts := geom.GenPermutation(n, 77)
+	d := emio.NewDisk(emio.Config{B: 8, M: 8 * 64}) // small B: many chunks
+	ix := Build(d, int64(n), pts)
+	rng := rand.New(rand.NewSource(78))
+	for q := 0; q < 400; q++ {
+		x1 := geom.Coord(rng.Int63n(int64(n)))
+		x2 := x1 + geom.Coord(rng.Int63n(int64(n)/2))
+		beta := geom.Coord(rng.Int63n(int64(n)))
+		got := ix.Query(x1, x2, beta)
+		want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+		if !sameAnswer(got, want) {
+			t.Fatalf("Query(%d,%d,%d) = %v, want %v", x1, x2, beta, got, want)
+		}
+	}
+}
+
+func TestEmptyAndFullRange(t *testing.T) {
+	n := 300
+	pts := geom.GenPermutation(n, 5)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	ix := Build(d, int64(n), pts)
+	got := ix.Query(0, geom.Coord(n-1), 0)
+	want := geom.Skyline(pts)
+	if !sameAnswer(got, want) {
+		t.Fatalf("full query = %v, want %v", got, want)
+	}
+	if got := ix.Query(5, 4, 0); got != nil {
+		t.Fatalf("inverted range = %v", got)
+	}
+	empty := Build(d, 10, nil)
+	if got := empty.Query(0, 5, 0); got != nil {
+		t.Fatalf("empty index = %v", got)
+	}
+}
+
+// TestConstantQueryCost: Theorem 2's O(1 + k/B) — cost must not grow
+// with n for fixed output size.
+func TestConstantQueryCost(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 8}
+	rng := rand.New(rand.NewSource(9))
+	var worstSmall [3]uint64
+	for i, n := range []int{2000, 8000, 32000} {
+		pts := geom.GenPermutation(n, 11)
+		d := emio.NewDisk(cfg)
+		ix := Build(d, int64(n), pts)
+		var worst uint64
+		for q := 0; q < 40; q++ {
+			// Narrow queries with small answers.
+			x1 := geom.Coord(rng.Int63n(int64(n - 10)))
+			x2 := x1 + 5
+			beta := geom.Coord(rng.Int63n(int64(n)))
+			var res []geom.Point
+			st := d.Measure(func() { res = ix.Query(x1, x2, beta) })
+			if len(res) > 10 {
+				continue
+			}
+			if st.IOs() > worst {
+				worst = st.IOs()
+			}
+		}
+		worstSmall[i] = worst
+	}
+	// Flat in n: the largest input may cost at most a small factor more
+	// than the smallest (constant-bound, not log-bound, growth).
+	if worstSmall[2] > 2*worstSmall[0]+16 {
+		t.Errorf("small-output query cost grows with n: %v", worstSmall)
+	}
+}
+
+func TestGridMatchesOracle(t *testing.T) {
+	u := int64(1 << 24)
+	pts := geom.GenUniform(800, u, 13)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	g := BuildGrid(d, u, pts)
+	rng := rand.New(rand.NewSource(14))
+	for q := 0; q < 300; q++ {
+		x1 := geom.Coord(rng.Int63n(u))
+		x2 := x1 + geom.Coord(rng.Int63n(u/2))
+		beta := geom.Coord(rng.Int63n(u))
+		got := g.Query(x1, x2, beta)
+		want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+		if !sameAnswer(got, want) {
+			t.Fatalf("Grid Query(%d,%d,%d) = %v, want %v", x1, x2, beta, got, want)
+		}
+	}
+}
+
+func TestGridOpenEdges(t *testing.T) {
+	u := int64(1 << 20)
+	pts := geom.GenUniform(200, u, 15)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 64})
+	g := BuildGrid(d, u, pts)
+	got := g.Query(geom.NegInf, geom.PosInf, geom.NegInf)
+	want := geom.Skyline(pts)
+	if !sameAnswer(got, want) {
+		t.Fatalf("open-edge query = %v, want %v", got, want)
+	}
+}

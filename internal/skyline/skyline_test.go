@@ -1,0 +1,104 @@
+package skyline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+)
+
+func newDisk() *emio.Disk { return emio.NewDisk(emio.Config{B: 16, M: 16 * 8}) }
+
+func TestExternalMatchesOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 50, 500} {
+		d := newDisk()
+		pts := geom.GenUniform(n, 1<<20, int64(n)+1)
+		f := extsort.FromSlice(d, PointWords, pts)
+		sky := External(d, f)
+		got := extsort.ToSlice(sky)
+		want := geom.Skyline(pts)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: External = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestExternalStaircase(t *testing.T) {
+	d := newDisk()
+	pts := geom.GenStaircase(300, 4)
+	f := extsort.FromSlice(d, PointWords, pts)
+	sky := External(d, f)
+	if sky.Len() != 300 {
+		t.Fatalf("staircase skyline has %d points, want 300", sky.Len())
+	}
+}
+
+func TestNaiveRangeSkylineMatchesOracle(t *testing.T) {
+	d := newDisk()
+	pts := geom.GenUniform(400, 1<<16, 9)
+	f := extsort.FromSlice(d, PointWords, pts)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30; i++ {
+		x1 := geom.Coord(rng.Int63n(1 << 16))
+		x2 := x1 + geom.Coord(rng.Int63n(1<<15))
+		y1 := geom.Coord(rng.Int63n(1 << 16))
+		var q geom.Rect
+		if i%2 == 0 {
+			q = geom.TopOpen(x1, x2, y1)
+		} else {
+			q = geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y1 + geom.Coord(rng.Int63n(1<<15))}
+		}
+		got := NaiveRangeSkyline(d, f, q)
+		want := geom.RangeSkyline(pts, q)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %v: got %v want %v", q, got, want)
+		}
+	}
+}
+
+// TestNaiveCostIsSortBound verifies the baseline costs
+// Θ((n/B) log_{M/B}(n/B)) I/Os even when the answer is tiny — the
+// motivation for the paper's indexes.
+func TestNaiveCostIsSortBound(t *testing.T) {
+	cfg := emio.Config{B: 16, M: 16 * 8}
+	d := emio.NewDisk(cfg)
+	n := 20000
+	pts := geom.GenUniform(n, 1<<30, 13)
+	f := extsort.FromSlice(d, PointWords, pts)
+	q := geom.TopOpen(5, 10, 1<<29) // nearly empty answer
+	var got []geom.Point
+	st := d.Measure(func() { got = NaiveRangeSkyline(d, f, q) })
+	if len(got) > 3 {
+		t.Fatalf("expected tiny answer, got %d points", len(got))
+	}
+	nb := float64(n) / float64(cfg.B)
+	// Even with an empty answer the scan alone is n/B reads.
+	if float64(st.Reads) < nb {
+		t.Fatalf("baseline cost %d reads < n/B = %.0f; scan not charged?", st.Reads, nb)
+	}
+	passes := 1 + math.Ceil(math.Log(math.Ceil(float64(n)/float64(cfg.M)))/math.Log(7))
+	budget := 8 * nb * passes
+	if float64(st.IOs()) > budget {
+		t.Fatalf("baseline cost %d I/Os exceeds sort budget %.0f", st.IOs(), budget)
+	}
+}
+
+func TestNaivePreservesInput(t *testing.T) {
+	d := newDisk()
+	pts := geom.GenUniform(100, 1<<16, 21)
+	f := extsort.FromSlice(d, PointWords, pts)
+	_ = NaiveRangeSkyline(d, f, geom.Contour(1<<15))
+	if got := extsort.ToSlice(f); !reflect.DeepEqual(got, pts) {
+		t.Fatal("NaiveRangeSkyline corrupted the input file")
+	}
+}

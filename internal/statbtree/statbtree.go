@@ -1,0 +1,253 @@
+// Package statbtree provides a static external-memory B-tree over sorted
+// int64 keys with an associated value per key and subtree-maximum
+// augmentation. Theorem 1 uses it as the "range-max B-tree indexing the
+// x-coordinates in P" that finds β′ (the highest y-coordinate inside the
+// query range) in O(log_B n) I/Os; it also serves as the predecessor
+// structure wherever a plain O(log_B n) search is required. Being static,
+// it is built bottom-up from sorted input in O(n/B) I/Os, so it is SABE.
+package statbtree
+
+import (
+	"math"
+
+	"repro/internal/emio"
+)
+
+// Entry is one key with its associated value.
+type Entry struct {
+	Key, Val int64
+}
+
+// node is one block of the tree: at most fanout entries. For leaves,
+// entries are the (key, value) pairs; for internal nodes, entry i routes
+// to child i with Key = smallest key in the child's subtree and Val = the
+// maximum value in the child's subtree.
+type node struct {
+	block    emio.BlockID
+	entries  []Entry
+	children []*node // nil for leaves
+	maxKey   int64   // largest key in the subtree
+}
+
+// Tree is the static range-max B-tree.
+type Tree struct {
+	disk   *emio.Disk
+	fanout int
+	root   *node
+	height int
+	n      int
+}
+
+// wordsPerEntry: a key and a value.
+const wordsPerEntry = 2
+
+// Build constructs the tree over entries, which must be sorted by Key
+// (strictly increasing). Cost: O(n/B) I/Os (one streaming write per
+// level, and level sizes shrink geometrically).
+func Build(d *emio.Disk, entries []Entry) *Tree {
+	fanout := d.Config().B / wordsPerEntry
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &Tree{disk: d, fanout: fanout, n: len(entries)}
+	if len(entries) == 0 {
+		return t
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Key >= entries[i].Key {
+			panic("statbtree: keys must be strictly increasing")
+		}
+	}
+	// Leaf level.
+	var level []*node
+	for lo := 0; lo < len(entries); lo += fanout {
+		hi := lo + fanout
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		nd := &node{entries: append([]Entry(nil), entries[lo:hi]...)}
+		nd.maxKey = nd.entries[len(nd.entries)-1].Key
+		nd.block = d.AllocWords(len(nd.entries) * wordsPerEntry)
+		level = append(level, nd)
+	}
+	t.height = 1
+	// Internal levels.
+	for len(level) > 1 {
+		var up []*node
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			nd := &node{children: append([]*node(nil), level[lo:hi]...)}
+			for _, c := range nd.children {
+				nd.entries = append(nd.entries, Entry{
+					Key: c.entries[0].Key,
+					Val: subtreeMax(c),
+				})
+			}
+			nd.maxKey = nd.children[len(nd.children)-1].maxKey
+			nd.block = d.AllocWords(len(nd.entries) * wordsPerEntry)
+			up = append(up, nd)
+		}
+		level = up
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+func subtreeMax(nd *node) int64 {
+	best := int64(math.MinInt64)
+	for _, e := range nd.entries {
+		if e.Val > best {
+			best = e.Val
+		}
+	}
+	return best
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int { return t.height }
+
+// Free releases the tree's blocks.
+func (t *Tree) Free() {
+	var rec func(*node)
+	rec = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		for _, c := range nd.children {
+			rec(c)
+		}
+		t.disk.Free(nd.block)
+	}
+	rec(t.root)
+	t.root = nil
+}
+
+// Predecessor returns the entry with the largest key <= x, and ok=false
+// if every key exceeds x. Cost: O(log_B n) I/Os.
+func (t *Tree) Predecessor(x int64) (Entry, bool) {
+	if t.root == nil {
+		return Entry{}, false
+	}
+	nd := t.root
+	for {
+		t.disk.Read(nd.block)
+		// Largest entry with Key <= x.
+		idx := -1
+		for i, e := range nd.entries {
+			if e.Key <= x {
+				idx = i
+			} else {
+				break
+			}
+		}
+		if idx < 0 {
+			return Entry{}, false
+		}
+		if nd.children == nil {
+			return nd.entries[idx], true
+		}
+		nd = nd.children[idx]
+	}
+}
+
+// Successor returns the entry with the smallest key >= x, and ok=false if
+// every key is below x. Cost: O(log_B n) I/Os.
+func (t *Tree) Successor(x int64) (Entry, bool) {
+	if t.root == nil || t.root.maxKey < x {
+		return Entry{}, false
+	}
+	nd := t.root
+	for {
+		t.disk.Read(nd.block)
+		if nd.children == nil {
+			for _, e := range nd.entries {
+				if e.Key >= x {
+					return e, true
+				}
+			}
+			// Unreachable: descent guaranteed maxKey >= x.
+			return Entry{}, false
+		}
+		for _, c := range nd.children {
+			if c.maxKey >= x {
+				nd = c
+				break
+			}
+		}
+	}
+}
+
+// keyBounds returns the key range [lo, hi] covered by child/entry i of an
+// internal node: the child's first routed key through its true max key.
+func keyBounds(nd *node, i int) (lo, hi int64) {
+	return nd.entries[i].Key, nd.children[i].maxKey
+}
+
+// MaxInRange returns the maximum value among keys in [x1, x2], and
+// ok=false if the range is empty. Cost: O(log_B n) I/Os — the search
+// visits the two boundary paths and uses the max augmentation for the
+// O(B)-ary middle.
+func (t *Tree) MaxInRange(x1, x2 int64) (int64, bool) {
+	if t.root == nil || x1 > x2 {
+		return 0, false
+	}
+	best := int64(math.MinInt64)
+	found := false
+	var rec func(nd *node, lo, hi int64)
+	rec = func(nd *node, lo, hi int64) {
+		t.disk.Read(nd.block)
+		if nd.children == nil {
+			for _, e := range nd.entries {
+				if e.Key >= lo && e.Key <= hi {
+					if !found || e.Val > best {
+						best, found = e.Val, true
+					}
+				}
+			}
+			return
+		}
+		for i, e := range nd.entries {
+			cLo, cHi := keyBounds(nd, i)
+			if cHi < lo || cLo > hi {
+				continue
+			}
+			if cLo >= lo && cHi <= hi {
+				// Fully covered: use the augmentation, no descent.
+				if !found || e.Val > best {
+					best, found = e.Val, true
+				}
+				continue
+			}
+			rec(nd.children[i], lo, hi)
+		}
+	}
+	rec(t.root, x1, x2)
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// Blocks returns the number of blocks the tree occupies.
+func (t *Tree) Blocks() int {
+	count := 0
+	var rec func(*node)
+	rec = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		count++
+		for _, c := range nd.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return count
+}

@@ -1,0 +1,204 @@
+package statbtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+)
+
+func buildRandom(t *testing.T, d *emio.Disk, n int, seed int64) ([]Entry, *Tree) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := map[int64]bool{}
+	var entries []Entry
+	for len(entries) < n {
+		k := rng.Int63n(int64(n) * 10)
+		if keys[k] {
+			continue
+		}
+		keys[k] = true
+		entries = append(entries, Entry{Key: k, Val: rng.Int63n(1 << 30)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries, Build(d, entries)
+}
+
+func TestEmptyTree(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 256})
+	tr := Build(d, nil)
+	if _, ok := tr.Predecessor(5); ok {
+		t.Error("Predecessor on empty tree returned ok")
+	}
+	if _, ok := tr.Successor(5); ok {
+		t.Error("Successor on empty tree returned ok")
+	}
+	if _, ok := tr.MaxInRange(0, 10); ok {
+		t.Error("MaxInRange on empty tree returned ok")
+	}
+}
+
+func TestPredecessorSuccessor(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	entries, tr := buildRandom(t, d, 500, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		x := rng.Int63n(6000) - 500
+		// Oracle.
+		var predWant, succWant *Entry
+		for j := range entries {
+			e := entries[j]
+			if e.Key <= x && (predWant == nil || e.Key > predWant.Key) {
+				predWant = &entries[j]
+			}
+			if e.Key >= x && (succWant == nil || e.Key < succWant.Key) {
+				succWant = &entries[j]
+			}
+		}
+		if got, ok := tr.Predecessor(x); ok != (predWant != nil) || (ok && got != *predWant) {
+			t.Fatalf("Predecessor(%d) = %v,%t want %v", x, got, ok, predWant)
+		}
+		if got, ok := tr.Successor(x); ok != (succWant != nil) || (ok && got != *succWant) {
+			t.Fatalf("Successor(%d) = %v,%t want %v", x, got, ok, succWant)
+		}
+	}
+}
+
+func TestMaxInRangeOracle(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	entries, tr := buildRandom(t, d, 400, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		x1 := rng.Int63n(5000) - 500
+		x2 := x1 + rng.Int63n(2000)
+		want := int64(math.MinInt64)
+		found := false
+		for _, e := range entries {
+			if e.Key >= x1 && e.Key <= x2 && (!found || e.Val > want) {
+				want, found = e.Val, true
+			}
+		}
+		got, ok := tr.MaxInRange(x1, x2)
+		if ok != found || (ok && got != want) {
+			t.Fatalf("MaxInRange(%d,%d) = %d,%t want %d,%t", x1, x2, got, ok, want, found)
+		}
+	}
+}
+
+func TestMaxInRangeEmptyAndInverted(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	_, tr := buildRandom(t, d, 50, 5)
+	if _, ok := tr.MaxInRange(10, 5); ok {
+		t.Error("inverted range returned ok")
+	}
+}
+
+func TestQueryCostLogarithmic(t *testing.T) {
+	cfg := emio.Config{B: 16, M: 16 * 4}
+	for _, n := range []int{100, 1000, 10000, 50000} {
+		d := emio.NewDisk(cfg)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Key: int64(i * 3), Val: int64(i % 97)}
+		}
+		tr := Build(d, entries)
+		fanout := cfg.B / 2
+		height := 1
+		for m := (n + fanout - 1) / fanout; m > 1; m = (m + fanout - 1) / fanout {
+			height++
+		}
+		if tr.Height() != height {
+			t.Errorf("n=%d: height %d, want %d", n, tr.Height(), height)
+		}
+		st := d.Measure(func() { tr.Predecessor(int64(n)) })
+		if int(st.Reads) > height {
+			t.Errorf("n=%d: predecessor cost %d reads > height %d", n, st.Reads, height)
+		}
+		st = d.Measure(func() { tr.MaxInRange(int64(n/4), int64(n*2)) })
+		if int(st.Reads) > 2*height+2 {
+			t.Errorf("n=%d: range-max cost %d reads > 2h+2 = %d", n, st.Reads, 2*height+2)
+		}
+	}
+}
+
+func TestSpaceLinear(t *testing.T) {
+	cfg := emio.Config{B: 16, M: 16 * 4}
+	d := emio.NewDisk(cfg)
+	n := 10000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Val: int64(i)}
+	}
+	tr := Build(d, entries)
+	fanout := cfg.B / 2
+	// Total nodes <= 2 * ceil(n/fanout) + 1.
+	maxBlocks := 2*(n/fanout) + 3
+	if tr.Blocks() > maxBlocks {
+		t.Errorf("tree uses %d blocks, budget %d", tr.Blocks(), maxBlocks)
+	}
+	tr.Free()
+	if d.LiveBlocks() != 0 {
+		t.Errorf("Free leaked %d blocks", d.LiveBlocks())
+	}
+}
+
+func TestBuildCostLinear(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 8}
+	d := emio.NewDisk(cfg)
+	n := 20000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Val: int64(i)}
+	}
+	d.ResetStats()
+	tr := Build(d, entries)
+	d.DropCache()
+	st := d.Stats()
+	nb := float64(n) / float64(cfg.B)
+	if float64(st.IOs()) > 6*nb+10 {
+		t.Errorf("build cost %d I/Os, budget %.0f", st.IOs(), 6*nb+10)
+	}
+	_ = tr
+}
+
+func TestUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted keys")
+		}
+	}()
+	d := emio.NewDisk(emio.Config{B: 16, M: 256})
+	Build(d, []Entry{{Key: 5}, {Key: 3}})
+}
+
+func TestQuickPredecessorMatchesSort(t *testing.T) {
+	f := func(keys []int64, probes []int64) bool {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var entries []Entry
+		for i, k := range keys {
+			if i > 0 && k == keys[i-1] {
+				continue
+			}
+			entries = append(entries, Entry{Key: k, Val: k * 2})
+		}
+		d := emio.NewDisk(emio.Config{B: 6, M: 36})
+		tr := Build(d, entries)
+		for _, x := range probes {
+			i := sort.Search(len(entries), func(j int) bool { return entries[j].Key > x })
+			got, ok := tr.Predecessor(x)
+			if (i > 0) != ok {
+				return false
+			}
+			if ok && got != entries[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

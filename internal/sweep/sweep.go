@@ -1,0 +1,178 @@
+// Package sweep implements the §2.2 reduction machinery: converting a
+// point set P (sorted by x) into the horizontal segment set Σ(P), where
+// each point p becomes σ(p) = [x_p, x_q) × y_p with q = leftdom(p), the
+// leftmost point dominating p (x_q = +∞ if none). The stack sweep emits
+// Σ(P) in non-descending order of right endpoints in O(n/B) I/Os, and the
+// package provides checkers for the two structural properties of Lemma 2
+// (nesting and monotonicity) on which the SABE PPB-tree construction
+// depends.
+package sweep
+
+import (
+	"sort"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+)
+
+// Segment is the horizontal segment σ(p) = [P.X, XEnd) × P.Y derived from
+// point P. XEnd is geom.PosInf when leftdom(p) does not exist.
+type Segment struct {
+	P    geom.Point
+	XEnd geom.Coord
+}
+
+// SegmentWords is the record width of a Segment: three machine words.
+const SegmentWords = 3
+
+// Intersects reports whether the segment crosses the vertical segment
+// x × [y1, y2]: x ∈ [P.X, XEnd) and P.Y ∈ [y1, y2].
+func (s Segment) Intersects(x, y1, y2 geom.Coord) bool {
+	return s.P.X <= x && x < s.XEnd && y1 <= s.P.Y && s.P.Y <= y2
+}
+
+// Segments computes Σ(P) for pts, which must be sorted by x and in
+// general position. The result is in the sweep's output order:
+// non-descending right endpoint, ties broken by favoring lower points.
+// Host-memory version (the oracle); see SegmentsEM for the charged one.
+func Segments(pts []geom.Point) []Segment {
+	var out []Segment
+	var stack []geom.Point
+	for _, p := range pts {
+		for len(stack) > 0 && stack[len(stack)-1].Y < p.Y {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out = append(out, Segment{P: q, XEnd: p.X})
+		}
+		stack = append(stack, p)
+	}
+	// Remaining stack = skyline of P; their segments extend to +∞.
+	// Pop from the top (lowest y first) to respect the tie-break rule.
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, Segment{P: q, XEnd: geom.PosInf})
+	}
+	return out
+}
+
+// SegmentsEM runs the sweep on an x-sorted file of points, charging
+// I/Os: one sequential read pass over the input, one sequential write
+// pass for the output, plus stack traffic. The stack is kept in an emio
+// file whose top block is effectively resident, so the total cost is
+// O(n/B) I/Os. The input file is preserved.
+func SegmentsEM(d *emio.Disk, f *extsort.File[geom.Point]) *extsort.File[Segment] {
+	out := extsort.NewFile[Segment](d, SegmentWords)
+	stack := extsort.NewFile[geom.Point](d, PointWords)
+	top := -1 // index of stack top within the stack file
+	f.Scan(func(_ int, p geom.Point) bool {
+		for top >= 0 {
+			q := stack.Get(top)
+			if q.Y >= p.Y {
+				break
+			}
+			top--
+			out.Append(Segment{P: q, XEnd: p.X})
+		}
+		top++
+		if top < stack.Len() {
+			stack.Set(top, p)
+		} else {
+			stack.Append(p)
+		}
+		return true
+	})
+	for ; top >= 0; top-- {
+		out.Append(Segment{P: stack.Get(top), XEnd: geom.PosInf})
+	}
+	stack.Free()
+	return out
+}
+
+// PointWords mirrors skyline.PointWords without importing it (a point is
+// two machine words).
+const PointWords = 2
+
+// CheckNesting verifies Lemma 2's nesting property: the x-intervals of
+// any two segments are either disjoint or one contains the other. It
+// returns the offending pair if violated. O(n log n) host time via a
+// sweep over sorted endpoints.
+func CheckNesting(segs []Segment) (a, b Segment, ok bool) {
+	// Sort by left endpoint; for intervals sorted by start, nesting
+	// fails iff some interval starts inside a previous one and ends
+	// after it.
+	s := append([]Segment(nil), segs...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].P.X != s[j].P.X {
+			return s[i].P.X < s[j].P.X
+		}
+		return s[i].XEnd > s[j].XEnd
+	})
+	var stack []Segment
+	for _, cur := range s {
+		for len(stack) > 0 && stack[len(stack)-1].XEnd <= cur.P.X {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			encl := stack[len(stack)-1]
+			if cur.XEnd > encl.XEnd {
+				return encl, cur, false
+			}
+		}
+		stack = append(stack, cur)
+	}
+	return Segment{}, Segment{}, true
+}
+
+// CheckMonotonic verifies Lemma 2's monotonicity property: on any
+// vertical line, the segments crossing it, in ascending y order, have
+// non-decreasing x-interval lengths (with the convention that an interval
+// reaching +∞ is longest and ties among +∞ are allowed). It checks every
+// combinatorially distinct vertical line. Quadratic host time; for tests.
+func CheckMonotonic(segs []Segment) bool {
+	// Candidate x positions: every left endpoint.
+	for _, probe := range segs {
+		x := probe.P.X
+		var hit []Segment
+		for _, s := range segs {
+			if s.P.X <= x && x < s.XEnd {
+				hit = append(hit, s)
+			}
+		}
+		sort.Slice(hit, func(i, j int) bool { return hit[i].P.Y < hit[j].P.Y })
+		for i := 1; i < len(hit); i++ {
+			if width(hit[i]) < width(hit[i-1]) {
+				return false
+			}
+			// Stronger consequence used by Observation 2: left
+			// endpoints decrease as y increases.
+			if hit[i].P.X > hit[i-1].P.X {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func width(s Segment) uint64 {
+	if s.XEnd == geom.PosInf {
+		return ^uint64(0)
+	}
+	return uint64(s.XEnd - s.P.X)
+}
+
+// OutputOrderOK verifies the sweep's output contract: segments appear in
+// non-descending right-endpoint order, ties broken by lower y first.
+func OutputOrderOK(segs []Segment) bool {
+	for i := 1; i < len(segs); i++ {
+		a, b := segs[i-1], segs[i]
+		if a.XEnd > b.XEnd {
+			return false
+		}
+		if a.XEnd == b.XEnd && a.P.Y > b.P.Y {
+			return false
+		}
+	}
+	return true
+}

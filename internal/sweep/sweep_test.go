@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+)
+
+// TestFigure3Reduction reproduces Figure 3a: three points on a rising
+// chain; each point's segment ends at its leftdom's x.
+func TestFigure3Reduction(t *testing.T) {
+	p1 := geom.Point{X: 1, Y: 1}
+	p2 := geom.Point{X: 3, Y: 4}
+	p3 := geom.Point{X: 6, Y: 7}
+	segs := Segments([]geom.Point{p1, p2, p3})
+	bySeg := map[geom.Point]geom.Coord{}
+	for _, s := range segs {
+		bySeg[s.P] = s.XEnd
+	}
+	if bySeg[p1] != 3 {
+		t.Errorf("σ(p1) ends at %d, want 3 (leftdom = p2)", bySeg[p1])
+	}
+	if bySeg[p2] != 6 {
+		t.Errorf("σ(p2) ends at %d, want 6 (leftdom = p3)", bySeg[p2])
+	}
+	if bySeg[p3] != geom.PosInf {
+		t.Errorf("σ(p3) ends at %d, want +inf", bySeg[p3])
+	}
+}
+
+func TestSegmentsMatchLeftDomOracle(t *testing.T) {
+	pts := geom.GenUniform(500, 1<<20, 17)
+	geom.SortByX(pts)
+	segs := Segments(pts)
+	if len(segs) != len(pts) {
+		t.Fatalf("got %d segments for %d points", len(segs), len(pts))
+	}
+	for _, s := range segs {
+		q, ok := geom.LeftDom(pts, s.P)
+		want := geom.Coord(geom.PosInf)
+		if ok {
+			want = q.X
+		}
+		if s.XEnd != want {
+			t.Fatalf("σ(%v) ends at %d, want %d", s.P, s.XEnd, want)
+		}
+	}
+}
+
+func TestLemma2Properties(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pts := geom.GenUniform(300, 1<<16, seed)
+		geom.SortByX(pts)
+		segs := Segments(pts)
+		if a, b, ok := CheckNesting(segs); !ok {
+			t.Fatalf("seed %d: nesting violated by %v and %v", seed, a, b)
+		}
+		if !CheckMonotonic(segs) {
+			t.Fatalf("seed %d: monotonicity violated", seed)
+		}
+		if !OutputOrderOK(segs) {
+			t.Fatalf("seed %d: output order violated", seed)
+		}
+	}
+}
+
+func TestQuickLemma2(t *testing.T) {
+	f := func(raw []int16) bool {
+		var pts []geom.Point
+		seenX := map[geom.Coord]bool{}
+		seenY := map[geom.Coord]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := geom.Point{X: geom.Coord(raw[i]), Y: geom.Coord(raw[i+1])}
+			if seenX[p.X] || seenY[p.Y] {
+				continue
+			}
+			seenX[p.X], seenY[p.Y] = true, true
+			pts = append(pts, p)
+		}
+		geom.SortByX(pts)
+		segs := Segments(pts)
+		if _, _, ok := CheckNesting(segs); !ok {
+			return false
+		}
+		return CheckMonotonic(segs) && OutputOrderOK(segs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsEMMatchesHost(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 8, M: 64})
+	pts := geom.GenUniform(400, 1<<20, 23)
+	geom.SortByX(pts)
+	f := extsort.FromSlice(d, PointWords, pts)
+	out := SegmentsEM(d, f)
+	got := extsort.ToSlice(out)
+	want := Segments(pts)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("SegmentsEM disagrees with host Segments")
+	}
+}
+
+// TestSegmentsEMLinearIO: the sweep is O(n/B) I/Os as §2.2 claims.
+func TestSegmentsEMLinearIO(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 8}
+	for _, n := range []int{1000, 4000, 16000} {
+		d := emio.NewDisk(cfg)
+		pts := geom.GenUniform(n, 1<<30, int64(n))
+		geom.SortByX(pts)
+		f := extsort.FromSlice(d, PointWords, pts)
+		d.DropCache()
+		d.ResetStats()
+		out := SegmentsEM(d, f)
+		d.DropCache()
+		st := d.Stats()
+		nb := float64(n) / float64(cfg.B)
+		// input read (2 words/pt) + output write (3 words/seg) +
+		// stack traffic; generous constant 12.
+		if float64(st.IOs()) > 12*nb+20 {
+			t.Errorf("n=%d: sweep cost %d I/Os, budget %.0f", n, st.IOs(), 12*nb+20)
+		}
+		out.Free()
+	}
+}
+
+// TestSweepWorstCaseStack: an anti-staircase forces the whole set onto
+// the stack; cost must stay linear.
+func TestSweepWorstCaseStack(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 8}
+	d := emio.NewDisk(cfg)
+	n := 8000
+	pts := geom.GenStaircase(n, 3) // descending: every point pops fast
+	geom.SortByX(pts)
+	f := extsort.FromSlice(d, PointWords, pts)
+	st := d.Measure(func() { SegmentsEM(d, f).Free() })
+	nb := float64(n) / float64(cfg.B)
+	if float64(st.IOs()) > 12*nb+20 {
+		t.Errorf("staircase sweep cost %d I/Os, budget %.0f", st.IOs(), 12*nb+20)
+	}
+
+	d2 := emio.NewDisk(cfg)
+	pts2 := geom.GenAntiStaircase(n, 3) // ascending: stack stays size 1
+	geom.SortByX(pts2)
+	f2 := extsort.FromSlice(d2, PointWords, pts2)
+	st2 := d2.Measure(func() { SegmentsEM(d2, f2).Free() })
+	if float64(st2.IOs()) > 12*nb+20 {
+		t.Errorf("anti-staircase sweep cost %d I/Os, budget %.0f", st2.IOs(), 12*nb+20)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	s := Segment{P: geom.Point{X: 2, Y: 5}, XEnd: 8}
+	cases := []struct {
+		x, y1, y2 geom.Coord
+		want      bool
+	}{
+		{5, 0, 10, true},
+		{2, 5, 5, true},
+		{8, 0, 10, false}, // right endpoint is exclusive
+		{1, 0, 10, false},
+		{5, 6, 10, false},
+		{5, 0, 4, false},
+	}
+	for _, tc := range cases {
+		if got := s.Intersects(tc.x, tc.y1, tc.y2); got != tc.want {
+			t.Errorf("Intersects(%d,[%d,%d]) = %t, want %t", tc.x, tc.y1, tc.y2, got, tc.want)
+		}
+	}
+}
+
+// TestSkylineSegmentsUnbounded: exactly the skyline points get unbounded
+// segments.
+func TestSkylineSegmentsUnbounded(t *testing.T) {
+	pts := geom.GenUniform(200, 1<<16, 29)
+	geom.SortByX(pts)
+	sky := map[geom.Point]bool{}
+	for _, p := range geom.Skyline(pts) {
+		sky[p] = true
+	}
+	for _, s := range Segments(pts) {
+		if (s.XEnd == geom.PosInf) != sky[s.P] {
+			t.Fatalf("segment %v unbounded=%t but skyline=%t",
+				s.P, s.XEnd == geom.PosInf, sky[s.P])
+		}
+	}
+}

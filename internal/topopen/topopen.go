@@ -1,0 +1,175 @@
+// Package topopen implements Theorem 1: an indivisible linear-size static
+// structure answering top-open range skyline queries in
+// O(log_B n + k/B) I/Os, built in O(n/B) I/Os from x-sorted input (SABE).
+//
+// The structure is the §2.1 reduction: a range-max B-tree over the
+// x-coordinates finds β′, the highest y-coordinate inside the query
+// rectangle; the skyline of P ∩ Q is then exactly the set of segments of
+// Σ(P) that intersect the vertical segment α2 × [β, β′], retrieved from a
+// partially persistent B-tree (Lemma 1).
+//
+// Top-open queries subsume dominance and contour queries (§1.3), and
+// right-open queries reduce to top-open by swapping the coordinate axes;
+// the package provides all four entry points.
+package topopen
+
+import (
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+	"repro/internal/ppb"
+	"repro/internal/statbtree"
+)
+
+// Index is the static top-open range skyline structure of Theorem 1.
+type Index struct {
+	disk *emio.Disk
+	xmax *statbtree.Tree // range-max over x: Key = x, Val = y
+	segs *ppb.Tree       // PPB-tree over Σ(P)
+	n    int
+	maxX geom.Coord // largest indexed x; +∞ query edges clamp here
+}
+
+// Build constructs the index over pts, which must be sorted by x and in
+// general position. Cost: O(n/B) I/Os (the SABE property of Theorem 1).
+// The input file is preserved.
+func Build(d *emio.Disk, pts *extsort.File[geom.Point]) *Index {
+	return buildMode(d, pts, ppb.SABE)
+}
+
+// BuildClassic is Build with the generic O(n log_B n) PPB-tree loader,
+// kept for the E9 ablation.
+func BuildClassic(d *emio.Disk, pts *extsort.File[geom.Point]) *Index {
+	return buildMode(d, pts, ppb.Classic)
+}
+
+func buildMode(d *emio.Disk, pts *extsort.File[geom.Point], mode ppb.Mode) *Index {
+	entries := make([]statbtree.Entry, 0, pts.Len())
+	pts.Scan(func(_ int, p geom.Point) bool {
+		entries = append(entries, statbtree.Entry{Key: p.X, Val: p.Y})
+		return true
+	})
+	ix := &Index{disk: d, n: pts.Len()}
+	if len(entries) > 0 {
+		ix.maxX = entries[len(entries)-1].Key
+	}
+	ix.xmax = statbtree.Build(d, entries)
+	if mode == ppb.SABE {
+		ix.segs = ppb.BuildSABE(d, pts)
+	} else {
+		ix.segs = ppb.BuildClassic(d, pts)
+	}
+	return ix
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.n }
+
+// Query answers the top-open query [x1,x2] × [beta, +∞): the maximal
+// points of P restricted to the rectangle, in increasing-x order.
+// Cost: O(log_B n + k/B) I/Os.
+func (ix *Index) Query(x1, x2, beta geom.Coord) []geom.Point {
+	if ix.n == 0 || x1 > x2 {
+		return nil
+	}
+	if x2 > ix.maxX {
+		// The PPB-tree's timeline ends at the last point's x; every
+		// segment alive "at +∞" is alive at maxX.
+		x2 = ix.maxX
+	}
+	if x1 > x2 {
+		return nil
+	}
+	// β′ = highest y-coordinate among points with x ∈ [x1,x2].
+	betaPrime, ok := ix.xmax.MaxInRange(x1, x2)
+	if !ok || betaPrime < beta {
+		return nil
+	}
+	// Segments of Σ(P) crossing α2 × [β, β′], lowest first.
+	byY := ix.segs.Query(x2, beta, betaPrime)
+	// Ascending y = descending x; flip to the increasing-x convention.
+	out := make([]geom.Point, len(byY))
+	for i, p := range byY {
+		out[len(byY)-1-i] = p
+	}
+	return out
+}
+
+// Dominance answers the 2-sided dominance query [x, +∞) × [y, +∞)
+// (Figure 2e): the skyline of the points dominating (x, y). It is the
+// top-open special case with α2 = +∞.
+func (ix *Index) Dominance(x, y geom.Coord) []geom.Point {
+	return ix.Query(x, geom.PosInf, y)
+}
+
+// Contour answers the 1-sided contour query (-∞, x] × (-∞, ∞)
+// (Figure 2g): the skyline of all points with x-coordinate at most x.
+func (ix *Index) Contour(x geom.Coord) []geom.Point {
+	return ix.Query(geom.NegInf, x, geom.NegInf)
+}
+
+// SpaceWords returns the structure's footprint in words (linear: O(n)).
+func (ix *Index) SpaceWords() int {
+	return ix.xmax.Blocks()*ix.disk.Config().B + ix.segs.SpaceWords()
+}
+
+// Free releases all blocks of the index.
+func (ix *Index) Free() {
+	ix.xmax.Free()
+	ix.segs.Free()
+}
+
+// RightOpen is the axis-swapped companion index answering right-open
+// queries [x, +∞) × [y1, y2] via a top-open Index over the transposed
+// point set (swap the roles of x and y: dominance, and hence maximality,
+// is preserved).
+type RightOpen struct {
+	inner *Index
+}
+
+// BuildRightOpen constructs a right-open index from points sorted by x.
+// It transposes and re-sorts the points (an O((n/B) log_{M/B}(n/B))
+// step if the transposed order must be produced; callers that already
+// hold y-sorted input can pass it via BuildRightOpenFromYSorted to keep
+// the build SABE).
+func BuildRightOpen(d *emio.Disk, pts *extsort.File[geom.Point]) *RightOpen {
+	sw := extsort.NewFile[geom.Point](d, 2)
+	pts.Scan(func(_ int, p geom.Point) bool {
+		sw.Append(geom.Point{X: p.Y, Y: p.X})
+		return true
+	})
+	sorted := extsort.Sort(sw, geom.Less)
+	defer sorted.Free()
+	return &RightOpen{inner: Build(d, sorted)}
+}
+
+// BuildRightOpenFromYSorted builds the right-open index from points
+// already sorted by y, in O(n/B) I/Os. The input file is preserved.
+func BuildRightOpenFromYSorted(d *emio.Disk, ptsByY *extsort.File[geom.Point]) *RightOpen {
+	sw := extsort.NewFile[geom.Point](d, 2)
+	ptsByY.Scan(func(_ int, p geom.Point) bool {
+		sw.Append(geom.Point{X: p.Y, Y: p.X})
+		return true
+	})
+	defer sw.Free()
+	return &RightOpen{inner: Build(d, sw)}
+}
+
+// Query answers the right-open query [x, +∞) × [y1, y2] in
+// O(log_B n + k/B) I/Os, returning maxima in increasing-x order.
+func (r *RightOpen) Query(x, y1, y2 geom.Coord) []geom.Point {
+	sw := r.inner.Query(y1, y2, x)
+	out := make([]geom.Point, len(sw))
+	// Transposed answers come back in increasing (swapped) x = y;
+	// swapping back yields decreasing original x, so reverse.
+	for i, p := range sw {
+		out[len(sw)-1-i] = geom.Point{X: p.Y, Y: p.X}
+	}
+	return out
+}
+
+// Free releases the index.
+func (r *RightOpen) Free() { r.inner.Free() }
+
+// SpaceWords returns the footprint in words.
+func (r *RightOpen) SpaceWords() int { return r.inner.SpaceWords() }

@@ -1,0 +1,208 @@
+package topopen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+)
+
+func pt(x, y geom.Coord) geom.Point { return geom.Point{X: x, Y: y} }
+
+func buildIndex(t testing.TB, cfg emio.Config, pts []geom.Point) (*emio.Disk, *Index) {
+	t.Helper()
+	d := emio.NewDisk(cfg)
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	f := extsort.FromSlice(d, 2, sorted)
+	return d, Build(d, f)
+}
+
+func sameAnswer(got, want []geom.Point) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	pts := geom.GenUniform(500, 5000, 31)
+	d, ix := buildIndex(t, emio.Config{B: 32, M: 32 * 8}, pts)
+	_ = d
+	rng := rand.New(rand.NewSource(32))
+	for q := 0; q < 300; q++ {
+		x1 := geom.Coord(rng.Int63n(5500)) - 250
+		x2 := x1 + geom.Coord(rng.Int63n(3000))
+		beta := geom.Coord(rng.Int63n(5500)) - 250
+		got := ix.Query(x1, x2, beta)
+		want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+		if !sameAnswer(got, want) {
+			t.Fatalf("Query(%d,%d,%d) = %v, want %v", x1, x2, beta, got, want)
+		}
+	}
+}
+
+func TestQueryVariants(t *testing.T) {
+	pts := geom.GenUniform(300, 3000, 41)
+	_, ix := buildIndex(t, emio.Config{B: 16, M: 16 * 8}, pts)
+	rng := rand.New(rand.NewSource(42))
+	for q := 0; q < 100; q++ {
+		x := geom.Coord(rng.Int63n(3300)) - 150
+		y := geom.Coord(rng.Int63n(3300)) - 150
+		if got, want := ix.Dominance(x, y), geom.RangeSkyline(pts, geom.Dominance(x, y)); !sameAnswer(got, want) {
+			t.Fatalf("Dominance(%d,%d) = %v, want %v", x, y, got, want)
+		}
+		if got, want := ix.Contour(x), geom.RangeSkyline(pts, geom.Contour(x)); !sameAnswer(got, want) {
+			t.Fatalf("Contour(%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestQueryOpenEdges(t *testing.T) {
+	pts := geom.GenUniform(200, 2000, 51)
+	_, ix := buildIndex(t, emio.Config{B: 16, M: 16 * 8}, pts)
+	got := ix.Query(geom.NegInf, geom.PosInf, geom.NegInf)
+	want := geom.Skyline(pts)
+	if !sameAnswer(got, want) {
+		t.Fatalf("full-plane query = %v, want skyline %v", got, want)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 256})
+	ix := Build(d, extsort.NewFile[geom.Point](d, 2))
+	if got := ix.Query(0, 10, 0); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	d := emio.NewDisk(emio.Config{B: 16, M: 256})
+	f := extsort.FromSlice(d, 2, []geom.Point{pt(5, 7)})
+	ix := Build(d, f)
+	if got := ix.Query(0, 10, 0); len(got) != 1 || got[0] != pt(5, 7) {
+		t.Fatalf("Query = %v", got)
+	}
+	if got := ix.Query(0, 10, 8); got != nil {
+		t.Fatalf("Query above point = %v", got)
+	}
+	if got := ix.Query(6, 10, 0); got != nil {
+		t.Fatalf("Query right of point = %v", got)
+	}
+}
+
+func TestQuickMatchesOracle(t *testing.T) {
+	f := func(raw []int16, q1, q2, qb int16) bool {
+		var pts []geom.Point
+		seenX := map[geom.Coord]bool{}
+		seenY := map[geom.Coord]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := pt(geom.Coord(raw[i]), geom.Coord(raw[i+1]))
+			if seenX[p.X] || seenY[p.Y] {
+				continue
+			}
+			seenX[p.X], seenY[p.Y] = true, true
+			pts = append(pts, p)
+		}
+		d := emio.NewDisk(emio.Config{B: 16, M: 16 * 6})
+		sorted := append([]geom.Point(nil), pts...)
+		geom.SortByX(sorted)
+		ix := Build(d, extsort.FromSlice(d, 2, sorted))
+		x1, x2 := geom.Coord(q1), geom.Coord(q2)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		got := ix.Query(x1, x2, geom.Coord(qb))
+		want := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, geom.Coord(qb)))
+		return sameAnswer(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryIOBound: Theorem 1's O(log_B n + k/B) with explicit constants.
+func TestQueryIOBound(t *testing.T) {
+	cfg := emio.Config{B: 64, M: 64 * 8}
+	n := 30000
+	pts := geom.GenStaircase(n, 71)
+	d, ix := buildIndex(t, cfg, pts)
+	logB := 1
+	for m := n; m > 1; m = m / (cfg.B / 4) {
+		logB++
+	}
+	rng := rand.New(rand.NewSource(72))
+	for q := 0; q < 40; q++ {
+		x1 := geom.Coord(rng.Int63n(int64(n) * 2))
+		x2 := x1 + geom.Coord(rng.Int63n(int64(n)))
+		beta := geom.Coord(rng.Int63n(int64(n) * 2))
+		var res []geom.Point
+		st := d.Measure(func() { res = ix.Query(x1, x2, beta) })
+		budget := float64(8*logB) + 10 + 20*float64(len(res))/float64(cfg.B)
+		if float64(st.IOs()) > budget {
+			t.Errorf("query k=%d cost %d I/Os, budget %.0f", len(res), st.IOs(), budget)
+		}
+	}
+}
+
+// TestSABEBuildLinear: Theorem 1's build claim.
+func TestSABEBuildLinear(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 16}
+	d := emio.NewDisk(cfg)
+	n := 20000
+	pts := geom.GenUniform(n, int64(n)*8, 73)
+	geom.SortByX(pts)
+	f := extsort.FromSlice(d, 2, pts)
+	d.DropCache()
+	d.ResetStats()
+	ix := Build(d, f)
+	d.DropCache()
+	st := d.Stats()
+	nb := float64(n) / float64(cfg.B)
+	if float64(st.IOs()) > 40*nb+60 {
+		t.Errorf("build cost %d I/Os, budget %.0f", st.IOs(), 40*nb+60)
+	}
+	// Linear space.
+	if words := ix.SpaceWords(); words > 40*n {
+		t.Errorf("index uses %d words for %d points", words, n)
+	}
+	ix.Free()
+}
+
+func TestRightOpenMatchesOracle(t *testing.T) {
+	pts := geom.GenUniform(400, 4000, 81)
+	d := emio.NewDisk(emio.Config{B: 32, M: 32 * 8})
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	f := extsort.FromSlice(d, 2, sorted)
+	ro := BuildRightOpen(d, f)
+	rng := rand.New(rand.NewSource(82))
+	for q := 0; q < 200; q++ {
+		x := geom.Coord(rng.Int63n(4400)) - 200
+		y1 := geom.Coord(rng.Int63n(4400)) - 200
+		y2 := y1 + geom.Coord(rng.Int63n(2500))
+		got := ro.Query(x, y1, y2)
+		want := geom.RangeSkyline(pts, geom.RightOpen(x, y1, y2))
+		if !sameAnswer(got, want) {
+			t.Fatalf("RightOpen(%d,%d,%d) = %v, want %v", x, y1, y2, got, want)
+		}
+	}
+}
+
+func TestRightOpenFullBand(t *testing.T) {
+	pts := geom.GenUniform(200, 2000, 83)
+	d := emio.NewDisk(emio.Config{B: 16, M: 16 * 8})
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	ro := BuildRightOpen(d, extsort.FromSlice(d, 2, sorted))
+	// The Theorem 6 inner query shape: (-∞,∞) x-range, y band.
+	got := ro.Query(geom.NegInf, 500, 1500)
+	want := geom.RangeSkyline(pts, geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: 500, Y2: 1500})
+	if !sameAnswer(got, want) {
+		t.Fatalf("full-band right-open = %v, want %v", got, want)
+	}
+}

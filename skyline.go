@@ -1,0 +1,102 @@
+// Package repro is an I/O-efficient library for planar range skyline
+// reporting and attrition priority queues, reproducing
+//
+//	Kejlberg-Rasmussen, Tao, Tsakalidis, Tsichlas, Yoon.
+//	"I/O-Efficient Planar Range Skyline and Attrition Priority Queues",
+//	PODS 2013.
+//
+// The library runs on a simulated external-memory machine (M words of
+// memory, blocks of B words, cost = block transfers), so every operation
+// reports exactly the I/O cost the paper's theorems bound. See DESIGN.md
+// for the architecture and EXPERIMENTS.md for the reproduced results.
+//
+// Quick start:
+//
+//	db, err := repro.Open(repro.Options{}, points)
+//	sky := db.TopOpen(x1, x2, beta) // maxima of P ∩ [x1,x2]×[beta,∞)
+//
+// The subsystems are importable individually: internal/topopen
+// (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
+// internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
+// internal/lowerbound (Lemma 8 / Theorem 5), internal/foursided
+// (Theorem 6).
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpqa"
+	"repro/internal/emio"
+	"repro/internal/geom"
+	"repro/internal/pqa"
+)
+
+// Re-exported fundamental types.
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Rect is an axis-parallel query rectangle; grounded sides use
+	// NegInf/PosInf.
+	Rect = geom.Rect
+	// Coord is a coordinate value.
+	Coord = geom.Coord
+	// Options configures an index (machine parameters, ε, dynamism).
+	Options = core.Options
+	// DB is the range skyline index.
+	DB = core.DB
+	// MachineConfig fixes the simulated EM machine (B, M).
+	MachineConfig = emio.Config
+	// IOStats counts block transfers.
+	IOStats = emio.Stats
+	// PQAElem is an element of a priority queue with attrition.
+	PQAElem = pqa.Elem
+)
+
+// Grounded-coordinate sentinels.
+const (
+	NegInf = geom.NegInf
+	PosInf = geom.PosInf
+)
+
+// Open builds a range skyline index over pts. See core.Open.
+func Open(opts Options, pts []Point) (*DB, error) { return core.Open(opts, pts) }
+
+// Skyline computes the skyline of pts in memory (the oracle; no I/O
+// accounting).
+func Skyline(pts []Point) []Point { return geom.Skyline(pts) }
+
+// RangeSkyline computes the skyline of pts ∩ r in memory.
+func RangeSkyline(pts []Point, r Rect) []Point { return geom.RangeSkyline(pts, r) }
+
+// Query-rectangle constructors (Figure 2 of the paper).
+var (
+	TopOpen       = geom.TopOpen
+	LeftOpen      = geom.LeftOpen
+	RightOpen     = geom.RightOpen
+	BottomOpen    = geom.BottomOpen
+	Dominance     = geom.Dominance
+	AntiDominance = geom.AntiDominance
+	Contour       = geom.Contour
+)
+
+// PQA is an in-memory priority queue with attrition (Sundar's classic
+// structure, the paper's baseline).
+type PQA = pqa.PQA
+
+// NewPQA returns an empty priority queue with attrition.
+func NewPQA() *PQA { return pqa.New() }
+
+// CPQA is the paper's I/O-efficient catenable priority queue with
+// attrition (Theorem 3). Queues are immutable: operations return new
+// queues that share structure with their inputs.
+type CPQA = cpqa.Queue
+
+// NewCPQA returns an empty I/O-CPQA on a fresh simulated disk with
+// buffer parameter b (1 <= b <= B).
+func NewCPQA(cfg MachineConfig, b int) (*CPQA, *emio.Disk) {
+	d := emio.NewDisk(cfg)
+	return cpqa.New(d, b), d
+}
+
+// CatenateAndAttrite merges two queues: elements of q1 that are >= the
+// minimum of q2 are attrited.
+func CatenateAndAttrite(q1, q2 *CPQA) *CPQA { return cpqa.CatenateAndAttrite(q1, q2) }

@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	pts := []Point{
+		{X: 1, Y: 9}, {X: 2, Y: 4}, {X: 3, Y: 7}, {X: 5, Y: 6},
+		{X: 6, Y: 2}, {X: 7, Y: 5}, {X: 8, Y: 1}, {X: 9, Y: 3},
+	}
+	db, err := Open(Options{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.TopOpen(2, 8, 2)
+	want := RangeSkyline(pts, TopOpen(2, 8, 2))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopOpen = %v, want %v", got, want)
+	}
+	db.Disk().DropCache()
+	db.ResetStats()
+	db.TopOpen(2, 8, 2)
+	if db.Stats().IOs() == 0 {
+		t.Error("cold-cache query charged no I/Os")
+	}
+	if got := db.RangeSkyline(Rect{X1: 2, X2: 8, Y1: 2, Y2: 6}); !reflect.DeepEqual(got, RangeSkyline(pts, Rect{X1: 2, X2: 8, Y1: 2, Y2: 6})) {
+		t.Fatalf("4-sided = %v", got)
+	}
+}
+
+func TestPublicPQA(t *testing.T) {
+	q := NewPQA()
+	for _, k := range []int64{5, 3, 8, 2} {
+		q.InsertAndAttrite(PQAElem{Key: k})
+	}
+	if e, ok := q.FindMin(); !ok || e.Key != 2 {
+		t.Fatalf("FindMin = %v,%t", e, ok)
+	}
+	if q.Len() != 1 { // 2 attrited everything
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestPublicCPQA(t *testing.T) {
+	q, _ := NewCPQA(MachineConfig{B: 16, M: 1 << 16}, 4)
+	for i := int64(0); i < 100; i++ {
+		q = q.InsertAndAttrite(PQAElem{Key: i})
+	}
+	q2, _ := NewCPQA(MachineConfig{B: 16, M: 1 << 16}, 4)
+	_ = q2
+	e, q3, ok := q.DeleteMin()
+	if !ok || e.Key != 0 || q3.Len() != 99 {
+		t.Fatalf("DeleteMin = %v,%t len=%d", e, ok, q3.Len())
+	}
+}
