@@ -17,6 +17,8 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/cpqa"
 	"repro/internal/dyntop"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/ppb"
 	"repro/internal/rankspace"
+	"repro/internal/shard"
 	"repro/internal/skyline"
 	"repro/internal/topopen"
 )
@@ -62,6 +65,7 @@ func main() {
 	run("E8", e8)
 	run("E9", e9)
 	run("E10", e10)
+	run("E11", e11)
 }
 
 func sizes(quickSizes, fullSizes []int) []int {
@@ -301,6 +305,80 @@ func e10() {
 			return len(ix.Query(x1, x2, beta))
 		})
 		fmt.Printf("%10d %14.1f %14.1f %10.1f\n", n, naive, indexed, naive/indexed)
+	}
+}
+
+func e11() {
+	fmt.Println("E11 sharded concurrent engine (internal/shard): throughput scaling")
+	n := sizes([]int{1 << 12}, []int{1 << 14})[0]
+	nq := sizes([]int{400}, []int{2000})[0]
+	const clients = 8
+	all := geom.GenUniform(n+n/2, int64(n)*32, 21)
+	base := append([]geom.Point(nil), all[:n]...)
+	extra := all[n:]
+	geom.SortByX(base)
+	span := int64(n) * 32
+
+	build := func(shards, workers int) *shard.Engine {
+		eng, err := shard.New(shard.Options{Machine: cfg, Shards: shards, Workers: workers, Dynamic: true}, base)
+		if err != nil {
+			panic(err)
+		}
+		return eng
+	}
+
+	fmt.Printf("    %d clients, %d queries over n=%d points\n", clients, nq, n)
+	fmt.Printf("%8s %8s %12s %12s %12s\n", "shards", "workers", "queries/s", "I/Os/query", "mean k")
+	for _, sw := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 4}, {8, 8}} {
+		eng := build(sw[0], sw[1])
+		eng.ResetStats()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for q := 0; q < nq/clients; q++ {
+					x1 := rng.Int63n(span)
+					eng.TopOpen(x1, x1+int64(n), rng.Int63n(span))
+				}
+			}(int64(c))
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		ctr := eng.Counters()
+		fmt.Printf("%8d %8d %12.0f %12.1f %12.1f\n", sw[0], sw[1],
+			float64(ctr.Queries)/elapsed,
+			float64(eng.Stats().IOs())/float64(ctr.Queries),
+			float64(ctr.Points)/float64(ctr.Queries))
+	}
+
+	fmt.Println("    loading: batched inserts vs single-point updates (8 shards)")
+	fmt.Printf("%12s %12s %12s\n", "mode", "points/s", "I/Os/point")
+	for _, batched := range []bool{false, true} {
+		eng := build(8, 8)
+		eng.ResetStats()
+		start := time.Now()
+		if batched {
+			if err := eng.BatchInsert(extra); err != nil {
+				panic(err)
+			}
+		} else {
+			for _, p := range extra {
+				if err := eng.Insert(p); err != nil {
+					panic(err)
+				}
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		mode := "single"
+		if batched {
+			mode = "batched"
+		}
+		fmt.Printf("%12s %12.0f %12.1f\n", mode,
+			float64(len(extra))/elapsed,
+			float64(eng.Stats().IOs())/float64(len(extra)))
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/extsort"
 	"repro/internal/foursided"
 	"repro/internal/geom"
+	"repro/internal/shard"
 	"repro/internal/topopen"
 )
 
@@ -38,6 +39,15 @@ type Options struct {
 	// 3-sided queries faster and builds in O(n/B) after sorting, but
 	// rejects Insert and Delete.
 	Dynamic bool
+	// Shards > 1 partitions the point set by x-range and serves the
+	// top-open query family from a sharded concurrent engine
+	// (internal/shard), each shard owning a private guarded disk. The
+	// answers are identical to the single-disk structures'; the engine
+	// additionally admits concurrent callers.
+	Shards int
+	// Workers bounds the sharded engine's concurrent per-shard tasks;
+	// zero means Shards. Ignored when Shards <= 1.
+	Workers int
 }
 
 // DB is a planar range skyline index over a simulated EM machine.
@@ -51,6 +61,10 @@ type DB struct {
 	// Dynamic engines.
 	dyn  *dyntop.Tree
 	four *foursided.Index
+
+	// Sharded engine (3-sided, static or dynamic); non-nil iff
+	// Options.Shards > 1, replacing top/dyn.
+	eng *shard.Engine
 
 	n int
 }
@@ -73,9 +87,22 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), n: len(pts)}
 	sorted := append([]geom.Point(nil), pts...)
 	geom.SortByX(sorted)
-	if opts.Dynamic {
+	switch {
+	case opts.Shards > 1:
+		eng, err := shard.New(shard.Options{
+			Machine: opts.Machine,
+			Epsilon: opts.Epsilon,
+			Shards:  opts.Shards,
+			Workers: opts.Workers,
+			Dynamic: opts.Dynamic,
+		}, sorted)
+		if err != nil {
+			return nil, err
+		}
+		db.eng = eng
+	case opts.Dynamic:
 		db.dyn = dyntop.BuildSABE(db.disk, opts.Epsilon, sorted)
-	} else {
+	default:
 		f := extsort.FromSlice(db.disk, 2, sorted)
 		db.top = topopen.Build(db.disk, f)
 		f.Free()
@@ -83,6 +110,10 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	db.four = foursided.Build(db.disk, opts.Epsilon, sorted)
 	return db, nil
 }
+
+// Sharded returns the sharded concurrent engine serving the top-open
+// query family, or nil when the index was opened with Shards <= 1.
+func (db *DB) Sharded() *shard.Engine { return db.eng }
 
 // Disk exposes the simulated machine for I/O measurements.
 func (db *DB) Disk() *emio.Disk { return db.disk }
@@ -94,10 +125,14 @@ func (db *DB) Len() int { return db.n }
 // order, dispatching on the rectangle's shape.
 func (db *DB) RangeSkyline(q geom.Rect) []geom.Point {
 	if q.IsTopOpen() {
-		if db.dyn != nil {
+		switch {
+		case db.eng != nil:
+			return db.eng.TopOpen(q.X1, q.X2, q.Y1)
+		case db.dyn != nil:
 			return db.dyn.Query(q.X1, q.X2, q.Y1)
+		default:
+			return db.top.Query(q.X1, q.X2, q.Y1)
 		}
-		return db.top.Query(q.X1, q.X2, q.Y1)
 	}
 	return db.four.Query(q)
 }
@@ -137,10 +172,16 @@ func (db *DB) AntiDominance(x, y geom.Coord) []geom.Point {
 
 // Insert adds a point to a dynamic index.
 func (db *DB) Insert(p geom.Point) error {
-	if db.dyn == nil {
+	if !db.opts.Dynamic {
 		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	db.dyn.Insert(p)
+	if db.eng != nil {
+		if err := db.eng.Insert(p); err != nil {
+			return err
+		}
+	} else {
+		db.dyn.Insert(p)
+	}
 	db.four.Insert(p)
 	db.n++
 	return nil
@@ -148,10 +189,18 @@ func (db *DB) Insert(p geom.Point) error {
 
 // Delete removes a point from a dynamic index, reporting presence.
 func (db *DB) Delete(p geom.Point) (bool, error) {
-	if db.dyn == nil {
+	if !db.opts.Dynamic {
 		return false, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	a := db.dyn.Delete(p)
+	var a bool
+	if db.eng != nil {
+		var err error
+		if a, err = db.eng.Delete(p); err != nil {
+			return false, err
+		}
+	} else {
+		a = db.dyn.Delete(p)
+	}
 	b := db.four.Delete(p)
 	if a != b {
 		return false, fmt.Errorf("core: engines disagree on presence of %v", p)
@@ -162,8 +211,20 @@ func (db *DB) Delete(p geom.Point) (bool, error) {
 	return a, nil
 }
 
-// Stats returns the I/O counters since the last ResetStats.
-func (db *DB) Stats() emio.Stats { return db.disk.Stats() }
+// Stats returns the I/O counters since the last ResetStats, summed over
+// the index's disk and (when sharded) every shard disk.
+func (db *DB) Stats() emio.Stats {
+	s := db.disk.Stats()
+	if db.eng != nil {
+		s = s.Add(db.eng.Stats())
+	}
+	return s
+}
 
 // ResetStats zeroes the I/O counters.
-func (db *DB) ResetStats() { db.disk.ResetStats() }
+func (db *DB) ResetStats() {
+	db.disk.ResetStats()
+	if db.eng != nil {
+		db.eng.ResetStats()
+	}
+}

@@ -1,0 +1,110 @@
+package cpqa
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/pqa"
+)
+
+// FuzzQueueOps drives a random operation sequence — InsertAndAttrite,
+// DeleteMin, FindMin, CatenateAndAttrite — decoded from the fuzz input
+// against a flat reference queue (pqa.PQA, Sundar's in-memory structure),
+// asserting CheckInvariants and min/contents consistency along the way.
+// The first byte selects the buffer parameter b, so one corpus covers
+// every record geometry. Run with:
+//
+//	go test ./internal/cpqa -fuzz FuzzQueueOps -fuzztime 30s
+func FuzzQueueOps(f *testing.F) {
+	f.Add([]byte{2, 0, 1, 2, 0, 3, 4, 8, 12, 1, 5})
+	f.Add([]byte{1, 0, 255, 255, 0, 0, 0, 8, 3, 9})
+	// Increasing keys (nothing attrited), then a global attriter.
+	f.Add([]byte{4, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0, 0, 0})
+	// Catenate-heavy sequence.
+	f.Add([]byte{8, 3, 5, 0, 9, 0, 7, 3, 4, 0, 1, 0, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		b := int(data[0]%8) + 1
+		data = data[1:]
+		d := emio.NewDisk(emio.Config{B: 16, M: 1 << 20})
+		q := New(d, b)
+		model := pqa.New()
+
+		next16 := func() (int64, bool) {
+			if len(data) < 2 {
+				return 0, false
+			}
+			k := int64(binary.LittleEndian.Uint16(data))
+			data = data[2:]
+			return k, true
+		}
+		check := func(ctx string) {
+			if msg := q.CheckInvariants(); msg != "" {
+				t.Fatalf("%s: invariant violated: %s", ctx, msg)
+			}
+			got, want := q.Contents(), model.Items()
+			if len(got) != len(want) {
+				t.Fatalf("%s: contents %v != model %v", ctx, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: contents[%d] = %v, want %v", ctx, i, got[i], want[i])
+				}
+			}
+		}
+
+		ops := 0
+		for len(data) > 0 && ops < 400 {
+			op := data[0]
+			data = data[1:]
+			ops++
+			switch op % 4 {
+			case 0, 1:
+				k, ok := next16()
+				if !ok {
+					break
+				}
+				q = q.InsertAndAttrite(Elem{Key: k})
+				model.InsertAndAttrite(Elem{Key: k})
+			case 2:
+				e1, nq, ok1 := q.DeleteMin()
+				e2, ok2 := model.DeleteMin()
+				if ok1 != ok2 || (ok1 && e1 != e2) {
+					t.Fatalf("op %d: DeleteMin %v,%t vs model %v,%t", ops, e1, ok1, e2, ok2)
+				}
+				q = nq
+			case 3:
+				n := 0
+				if len(data) > 0 {
+					n = int(data[0] % 20)
+					data = data[1:]
+				}
+				q2 := New(d, b)
+				m2 := pqa.New()
+				for i := 0; i < n; i++ {
+					k, ok := next16()
+					if !ok {
+						break
+					}
+					q2 = q2.InsertAndAttrite(Elem{Key: k})
+					m2.InsertAndAttrite(Elem{Key: k})
+				}
+				q = CatenateAndAttrite(q, q2)
+				model.CatenateAndAttrite(m2)
+			}
+			if e1, ok1 := q.FindMin(); true {
+				e2, ok2 := model.FindMin()
+				if ok1 != ok2 || (ok1 && e1 != e2) {
+					t.Fatalf("op %d: FindMin %v,%t vs model %v,%t", ops, e1, ok1, e2, ok2)
+				}
+			}
+			if ops%8 == 0 {
+				check("mid")
+			}
+		}
+		check("final")
+	})
+}

@@ -12,10 +12,18 @@
 // when the evicted frame is dirty). Blocks may be pinned, which models the
 // paper's "critical records ... loaded in main memory" assumption used for
 // the O(1/B) amortized bounds.
+//
+// A Disk is single-threaded by default. Simulations that share one disk
+// between goroutines (the sharded engine of internal/shard) enable the
+// guarded mode with NewConcurrentDisk or Guard: every public operation
+// then takes the disk's mutex, and the I/O counters — which are atomic in
+// both modes — may be read at any time without synchronizing with the
+// operations that advance them.
 package emio
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -74,6 +82,12 @@ func (s Stats) Sub(o Stats) Stats {
 	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes}
 }
 
+// Add returns the element-wise sum s + o. It is used to aggregate the
+// per-shard disks of a sharded engine into one total.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Reads: s.Reads + o.Reads, Writes: s.Writes + o.Writes}
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d ios=%d", s.Reads, s.Writes, s.IOs())
 }
@@ -88,10 +102,23 @@ type frame struct {
 }
 
 // Disk is a simulated external-memory disk with an LRU cache.
-// Disk is not safe for concurrent use; each simulation owns its Disk.
+//
+// By default a Disk is not safe for concurrent use; each simulation owns
+// its Disk. A disk created with NewConcurrentDisk (or switched with
+// Guard) serializes every operation behind a mutex, so goroutines may
+// share it. The I/O counters are atomic in both modes, so Stats is always
+// safe to call concurrently with operations.
 type Disk struct {
-	cfg   Config
-	stats Stats
+	cfg Config
+
+	// guarded selects the concurrent mode; mu is taken by every public
+	// operation when it is set. guarded never changes while operations
+	// are in flight (Guard is called before the disk is shared).
+	guarded bool
+	mu      sync.Mutex
+
+	reads  atomic.Uint64
+	writes atomic.Uint64
 
 	nextID uint64
 
@@ -128,46 +155,104 @@ func NewDisk(cfg Config) *Disk {
 	}
 }
 
+// NewConcurrentDisk returns a Disk in guarded mode: safe for concurrent
+// use by multiple goroutines. Operations serialize behind a mutex, which
+// models the single disk arm of the EM machine; the I/O accounting is
+// identical to the unguarded disk's.
+func NewConcurrentDisk(cfg Config) *Disk {
+	d := NewDisk(cfg)
+	d.guarded = true
+	return d
+}
+
+// Guard switches the disk into guarded (concurrent) mode. It must be
+// called before the disk is shared between goroutines; there is no way
+// back.
+func (d *Disk) Guard() { d.guarded = true }
+
+// Guarded reports whether the disk is in guarded mode.
+func (d *Disk) Guarded() bool { return d.guarded }
+
+func (d *Disk) lock() {
+	if d.guarded {
+		d.mu.Lock()
+	}
+}
+
+func (d *Disk) unlock() {
+	if d.guarded {
+		d.mu.Unlock()
+	}
+}
+
 // Config returns the machine parameters of the disk.
 func (d *Disk) Config() Config { return d.cfg }
 
 // Stats returns the I/O counters accumulated since the last ResetStats.
-func (d *Disk) Stats() Stats { return d.stats }
+// Safe to call at any time, even while another goroutine operates on a
+// guarded disk.
+func (d *Disk) Stats() Stats {
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load()}
+}
 
 // ResetStats zeroes the I/O counters. Resident and pinned blocks are
 // unaffected, so a measurement region sees a warm cache unless DropCache
 // is called as well.
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+func (d *Disk) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+}
 
 // LiveBlocks returns the number of currently allocated blocks; it is the
 // space usage of all structures on this disk, in blocks.
-func (d *Disk) LiveBlocks() int { return len(d.live) }
+func (d *Disk) LiveBlocks() int {
+	d.lock()
+	defer d.unlock()
+	return len(d.live)
+}
 
 // LiveWords returns the number of allocated words.
-func (d *Disk) LiveWords() int64 { return d.liveWords }
+func (d *Disk) LiveWords() int64 {
+	d.lock()
+	defer d.unlock()
+	return d.liveWords
+}
 
 // PeakWords returns the high-water mark of allocated words.
-func (d *Disk) PeakWords() int64 { return d.peakWords }
+func (d *Disk) PeakWords() int64 {
+	d.lock()
+	defer d.unlock()
+	return d.peakWords
+}
 
 // Alloc allocates a new block of up to B words and returns its id. The
 // block becomes resident and dirty (it was produced in memory and must be
 // written back eventually); the read I/O is not charged because nothing
 // is fetched.
 func (d *Disk) Alloc() BlockID {
-	return d.AllocWords(d.cfg.B)
+	d.lock()
+	defer d.unlock()
+	return d.allocWords(d.cfg.B)
 }
 
 // AllocWords allocates a block accounted as holding the given number of
 // words (clamped to [1, B]). Structures that pack less than a full block
 // use this for precise space accounting.
 func (d *Disk) AllocWords(words int) BlockID {
+	d.lock()
+	defer d.unlock()
+	return d.allocWords(words)
+}
+
+func (d *Disk) allocWords(words int) BlockID {
 	if words < 1 {
 		words = 1
 	}
 	if words > d.cfg.B {
 		words = d.cfg.B
 	}
-	id := BlockID(atomic.AddUint64(&d.nextID, 1))
+	d.nextID++
+	id := BlockID(d.nextID)
 	d.live[id] = words
 	d.liveWords += int64(words)
 	if d.liveWords > d.peakWords {
@@ -180,6 +265,12 @@ func (d *Disk) AllocWords(words int) BlockID {
 // Free releases a block. A resident frame is discarded without a
 // write-back (the data is dead).
 func (d *Disk) Free(id BlockID) {
+	d.lock()
+	defer d.unlock()
+	d.free(id)
+}
+
+func (d *Disk) free(id BlockID) {
 	words, ok := d.live[id]
 	if !ok {
 		panic(fmt.Sprintf("emio: Free of unknown block %d", id))
@@ -202,6 +293,8 @@ func (d *Disk) Free(id BlockID) {
 // evicting the least recently used unpinned frame, charging a write I/O
 // if it was dirty).
 func (d *Disk) Read(id BlockID) {
+	d.lock()
+	defer d.unlock()
 	d.touch(id, false)
 }
 
@@ -209,6 +302,8 @@ func (d *Disk) Read(id BlockID) {
 // frame is additionally marked dirty so its eventual eviction costs a
 // write I/O.
 func (d *Disk) Write(id BlockID) {
+	d.lock()
+	defer d.unlock()
 	d.touch(id, true)
 }
 
@@ -218,10 +313,12 @@ func (d *Disk) Write(id BlockID) {
 // bulk-loader on inputs without the bottom-update property), used by
 // ablation baselines.
 func (d *Disk) ReadCold(id BlockID) {
+	d.lock()
+	defer d.unlock()
 	if _, ok := d.live[id]; !ok {
 		panic(fmt.Sprintf("emio: access to unallocated block %d", id))
 	}
-	d.stats.Reads++
+	d.reads.Add(1)
 }
 
 // ReadSpan touches a logical node spanning the given number of words,
@@ -229,21 +326,27 @@ func (d *Disk) ReadCold(id BlockID) {
 // constituent block. Structures whose nodes exceed one block (for
 // example, 4b-element CPQA records with b = B) use this.
 func (d *Disk) ReadSpan(id BlockID, words int) {
+	d.lock()
+	defer d.unlock()
 	for i := 0; i < d.cfg.BlocksFor(words); i++ {
-		d.Read(id + BlockID(i))
+		d.touch(id+BlockID(i), false)
 	}
 }
 
 // WriteSpan is the dirty counterpart of ReadSpan.
 func (d *Disk) WriteSpan(id BlockID, words int) {
+	d.lock()
+	defer d.unlock()
 	for i := 0; i < d.cfg.BlocksFor(words); i++ {
-		d.Write(id + BlockID(i))
+		d.touch(id+BlockID(i), true)
 	}
 }
 
 // AllocSpan allocates ceil(words/B) consecutive blocks accounting a total
 // of words words and returns the first id. The ids are consecutive.
 func (d *Disk) AllocSpan(words int) BlockID {
+	d.lock()
+	defer d.unlock()
 	n := d.cfg.BlocksFor(words)
 	if n == 0 {
 		n = 1
@@ -258,7 +361,7 @@ func (d *Disk) AllocSpan(words int) BlockID {
 		if w < 1 {
 			w = 1
 		}
-		id := d.AllocWords(w)
+		id := d.allocWords(w)
 		if i == 0 {
 			first = id
 		}
@@ -270,8 +373,10 @@ func (d *Disk) AllocSpan(words int) BlockID {
 // FreeSpan frees the consecutive blocks of a span allocated with
 // AllocSpan.
 func (d *Disk) FreeSpan(id BlockID, words int) {
+	d.lock()
+	defer d.unlock()
 	for i := 0; i < d.cfg.BlocksFor(words); i++ {
-		d.Free(id + BlockID(i))
+		d.free(id + BlockID(i))
 	}
 }
 
@@ -279,6 +384,12 @@ func (d *Disk) FreeSpan(id BlockID, words int) {
 // read if needed) and will never be evicted until unpinned. Pins nest.
 // Pinned frames model the paper's critical records.
 func (d *Disk) Pin(id BlockID) {
+	d.lock()
+	defer d.unlock()
+	d.pin(id)
+}
+
+func (d *Disk) pin(id BlockID) {
 	if _, ok := d.live[id]; !ok {
 		panic(fmt.Sprintf("emio: Pin of unallocated block %d", id))
 	}
@@ -294,7 +405,7 @@ func (d *Disk) Pin(id BlockID) {
 	}
 	// Fetch and pin atomically so the new frame cannot be chosen as
 	// its own eviction victim when the cache is saturated with pins.
-	d.stats.Reads++
+	d.reads.Add(1)
 	f := &frame{id: id, pins: 1}
 	d.pushFront(f)
 	d.resident[id] = f
@@ -310,6 +421,12 @@ func (d *Disk) Pin(id BlockID) {
 
 // Unpin releases one pin of a block.
 func (d *Disk) Unpin(id BlockID) {
+	d.lock()
+	defer d.unlock()
+	d.unpin(id)
+}
+
+func (d *Disk) unpin(id BlockID) {
 	f, ok := d.resident[id]
 	if !ok || f.pins == 0 {
 		panic(fmt.Sprintf("emio: Unpin of unpinned block %d", id))
@@ -323,15 +440,19 @@ func (d *Disk) Unpin(id BlockID) {
 
 // PinSpan pins every block of a multi-block node.
 func (d *Disk) PinSpan(id BlockID, words int) {
+	d.lock()
+	defer d.unlock()
 	for i := 0; i < d.cfg.BlocksFor(words); i++ {
-		d.Pin(id + BlockID(i))
+		d.pin(id + BlockID(i))
 	}
 }
 
 // UnpinSpan unpins every block of a multi-block node.
 func (d *Disk) UnpinSpan(id BlockID, words int) {
+	d.lock()
+	defer d.unlock()
 	for i := 0; i < d.cfg.BlocksFor(words); i++ {
-		d.Unpin(id + BlockID(i))
+		d.unpin(id + BlockID(i))
 	}
 }
 
@@ -341,6 +462,12 @@ func (d *Disk) UnpinSpan(id BlockID, words int) {
 // admitted after reading the parent's packed representative block in the
 // §4.2 dynamic structure. Use only when such a justification exists.
 func (d *Disk) Admit(id BlockID) {
+	d.lock()
+	defer d.unlock()
+	d.admitClean(id)
+}
+
+func (d *Disk) admitClean(id BlockID) {
 	if _, ok := d.live[id]; !ok {
 		panic(fmt.Sprintf("emio: Admit of unallocated block %d", id))
 	}
@@ -352,14 +479,22 @@ func (d *Disk) Admit(id BlockID) {
 
 // AdmitSpan admits every block of a multi-block node.
 func (d *Disk) AdmitSpan(id BlockID, words int) {
+	d.lock()
+	defer d.unlock()
 	for i := 0; i < d.cfg.BlocksFor(words); i++ {
-		d.Admit(id + BlockID(i))
+		d.admitClean(id + BlockID(i))
 	}
 }
 
 // DropCache evicts every unpinned frame (charging writes for dirty ones),
 // producing a cold cache for worst-case measurements.
 func (d *Disk) DropCache() {
+	d.lock()
+	defer d.unlock()
+	d.dropCache()
+}
+
+func (d *Disk) dropCache() {
 	for f := d.tail; f != nil; {
 		prev := f.prev
 		if f.pins == 0 {
@@ -371,6 +506,8 @@ func (d *Disk) DropCache() {
 
 // Resident reports whether the block currently occupies a cache frame.
 func (d *Disk) Resident(id BlockID) bool {
+	d.lock()
+	defer d.unlock()
 	_, ok := d.resident[id]
 	return ok
 }
@@ -389,7 +526,7 @@ func (d *Disk) touch(id BlockID, write bool) {
 		}
 		return
 	}
-	d.stats.Reads++
+	d.reads.Add(1)
 	d.admit(id, write)
 }
 
@@ -424,7 +561,7 @@ func (d *Disk) lruUnpinned() *frame {
 
 func (d *Disk) evict(f *frame) {
 	if f.dirty {
-		d.stats.Writes++
+		d.writes.Add(1)
 	}
 	d.unlink(f)
 	delete(d.resident, f.id)
@@ -459,10 +596,12 @@ func (d *Disk) unlink(f *frame) {
 
 // Measure runs fn with a cold cache and returns the I/O stats it
 // incurred. Pinned frames stay resident, matching the model where
-// critical records live in memory across operations.
+// critical records live in memory across operations. The lock is not
+// held across fn, so fn may use the disk freely (but concurrent traffic
+// from other goroutines would be attributed to fn on a shared disk).
 func (d *Disk) Measure(fn func()) Stats {
 	d.DropCache()
-	before := d.stats
+	before := d.Stats()
 	fn()
-	return d.stats.Sub(before)
+	return d.Stats().Sub(before)
 }

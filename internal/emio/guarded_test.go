@@ -1,0 +1,93 @@
+package emio
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGuardedAccountingMatchesUnguarded runs one deterministic
+// single-threaded op sequence on both disk modes: the guarded mode must
+// change synchronization only, never the I/O accounting.
+func TestGuardedAccountingMatchesUnguarded(t *testing.T) {
+	cfg := Config{B: 8, M: 8 * 4}
+	run := func(d *Disk) Stats {
+		var ids []BlockID
+		for i := 0; i < 20; i++ {
+			ids = append(ids, d.AllocWords(5))
+		}
+		for i, id := range ids {
+			d.Write(id)
+			d.Read(ids[(i+7)%len(ids)])
+		}
+		d.Pin(ids[0])
+		d.DropCache()
+		d.Unpin(ids[0])
+		span := d.AllocSpan(3 * 8)
+		d.ReadSpan(span, 3*8)
+		d.WriteSpan(span, 3*8)
+		d.FreeSpan(span, 3*8)
+		for _, id := range ids {
+			d.Free(id)
+		}
+		return d.Stats()
+	}
+	plain := run(NewDisk(cfg))
+	guarded := run(NewConcurrentDisk(cfg))
+	if plain != guarded {
+		t.Fatalf("guarded accounting %v != unguarded %v", guarded, plain)
+	}
+	if NewConcurrentDisk(cfg).Guarded() == false || NewDisk(cfg).Guarded() == true {
+		t.Fatal("Guarded() flag wrong")
+	}
+}
+
+// TestConcurrentDiskStress hammers one guarded disk from many goroutines
+// — private block lifecycles plus concurrent stats/space polling — and
+// is meaningful chiefly under -race (the CI race job). The final
+// bookkeeping must balance.
+func TestConcurrentDiskStress(t *testing.T) {
+	// Two cache frames only, so the three-block working set of each
+	// round forces evictions (hence read and write traffic).
+	d := NewConcurrentDisk(Config{B: 16, M: 16 * 2})
+	const workers = 8
+	const rounds = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := d.AllocWords(9)
+				d.Write(id)
+				d.Read(id)
+				d.Pin(id)
+				d.Unpin(id)
+				span := d.AllocSpan(2 * 16)
+				d.WriteSpan(span, 2*16)
+				d.ReadSpan(span, 2*16)
+				d.FreeSpan(span, 2*16)
+				d.Free(id)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = d.Stats()
+			_ = d.LiveBlocks()
+			_ = d.LiveWords()
+		}
+	}()
+	wg.Wait()
+	if d.LiveBlocks() != 0 || d.LiveWords() != 0 {
+		t.Fatalf("leaked: %d blocks, %d words", d.LiveBlocks(), d.LiveWords())
+	}
+	if d.Stats().IOs() == 0 {
+		t.Fatal("stress performed no I/Os")
+	}
+	d.ResetStats()
+	if d.Stats().IOs() != 0 {
+		t.Fatal("ResetStats did not zero the counters")
+	}
+}

@@ -1,0 +1,344 @@
+// Package shard implements a sharded, concurrent top-open range skyline
+// engine: the first scaling layer above the paper's single-machine
+// structures. The point set is partitioned by x-range into K shards, each
+// owning a private guarded emio.Disk and its own top-open structure — the
+// Theorem 4 dynamic tree (dyntop) or the Theorem 1 static index (topopen).
+// A query TopOpen(x1, x2, β) fans out to the shards whose x-ranges
+// overlap [x1, x2] through a bounded worker pool, and the per-shard
+// skylines are merged right-to-left: a point survives exactly when its y
+// exceeds the maximum y reported by every shard to its right, so the
+// merged answer is identical to the single-disk structure's.
+//
+// Concurrency model: each shard serializes its own operations behind a
+// mutex (one query or update at a time per shard — the simulated disk has
+// one arm), so parallelism comes from spreading work across shards, the
+// same seam that later layers (caching tiers, async update queues,
+// multi-backend disks) plug into. Engine-level counters and the per-shard
+// I/O statistics aggregate atomically and can be read at any time.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+	"repro/internal/topopen"
+)
+
+// Options configures a sharded engine.
+type Options struct {
+	// Machine is the simulated EM machine of each shard's private disk;
+	// zero means emio.DefaultConfig().
+	Machine emio.Config
+	// Epsilon is the Theorem 4 query/update trade-off parameter for the
+	// dynamic per-shard structures; zero means 0.5.
+	Epsilon float64
+	// Shards is the number of x-range partitions K; zero or one means a
+	// single shard (no partitioning).
+	Shards int
+	// Workers bounds the number of per-shard tasks running
+	// concurrently; zero means Shards.
+	Workers int
+	// Dynamic selects updatable per-shard structures (dyntop, Theorem
+	// 4). A static engine uses topopen (Theorem 1) and rejects Insert
+	// and Delete.
+	Dynamic bool
+}
+
+// Counters are the engine-level operation totals, aggregated atomically
+// across all queries and updates.
+type Counters struct {
+	// Queries counts TopOpen calls.
+	Queries uint64
+	// Updates counts applied updates: Inserts (batch inserts count one
+	// per point) and Deletes of present points. A Delete miss is not
+	// counted.
+	Updates uint64
+	// Points counts skyline points reported by queries.
+	Points uint64
+}
+
+// topIndex is the query interface both per-shard structures satisfy.
+type topIndex interface {
+	Query(x1, x2, beta geom.Coord) []geom.Point
+}
+
+// shard is one x-range partition. mu serializes every operation against
+// the shard's structure and disk.
+type shard struct {
+	mu   sync.Mutex
+	disk *emio.Disk
+	top  topIndex
+	dyn  *dyntop.Tree // non-nil iff the engine is dynamic
+}
+
+// Engine is a sharded concurrent top-open range skyline engine.
+type Engine struct {
+	opts   Options
+	shards []*shard
+	// cuts[i] is the largest x owned by shard i (len K-1): shard i
+	// covers (cuts[i-1], cuts[i]], the last shard covers (cuts[K-2], ∞).
+	cuts []geom.Coord
+	sem  chan struct{}
+
+	n atomic.Int64
+
+	queries atomic.Uint64
+	updates atomic.Uint64
+	points  atomic.Uint64
+}
+
+// New builds an engine over pts, which must be strictly sorted by x (use
+// geom.SortByX; general position is the caller's contract, as for the
+// underlying structures). The points are split into K contiguous x-ranges
+// of near-equal population.
+func New(opts Options, pts []geom.Point) (*Engine, error) {
+	if opts.Machine.B == 0 {
+		opts.Machine = emio.DefaultConfig()
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.5
+	}
+	if opts.Epsilon < 0 || opts.Epsilon > 1 {
+		return nil, fmt.Errorf("shard: epsilon %v outside [0,1]", opts.Epsilon)
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Workers < 1 {
+		opts.Workers = opts.Shards
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X >= pts[i].X {
+			return nil, fmt.Errorf("shard: input not strictly sorted by x at index %d", i)
+		}
+	}
+	k := opts.Shards
+	e := &Engine{
+		opts: opts,
+		sem:  make(chan struct{}, opts.Workers),
+	}
+	e.n.Store(int64(len(pts)))
+	n := len(pts)
+	prevCut := geom.Coord(math.MinInt64)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		chunk := pts[lo:hi]
+		s := &shard{disk: emio.NewConcurrentDisk(opts.Machine)}
+		if opts.Dynamic {
+			s.dyn = dyntop.BuildSABE(s.disk, opts.Epsilon, chunk)
+			s.top = s.dyn
+		} else {
+			f := extsort.FromSlice(s.disk, 2, chunk)
+			ix := topopen.Build(s.disk, f)
+			f.Free()
+			s.top = ix
+		}
+		e.shards = append(e.shards, s)
+		if i < k-1 {
+			cut := prevCut
+			if hi > lo {
+				cut = chunk[len(chunk)-1].X
+			}
+			e.cuts = append(e.cuts, cut)
+			prevCut = cut
+		}
+	}
+	return e, nil
+}
+
+// Len returns the number of indexed points.
+func (e *Engine) Len() int { return int(e.n.Load()) }
+
+// NumShards returns the partition count K.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Dynamic reports whether the engine accepts updates.
+func (e *Engine) Dynamic() bool { return e.opts.Dynamic }
+
+// Counters returns the engine-level operation totals. Safe to call while
+// operations are in flight.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Queries: e.queries.Load(),
+		Updates: e.updates.Load(),
+		Points:  e.points.Load(),
+	}
+}
+
+// Stats aggregates the I/O counters of every shard disk. Safe to call
+// while operations are in flight (the counters are atomic).
+func (e *Engine) Stats() emio.Stats {
+	var total emio.Stats
+	for _, s := range e.shards {
+		total = total.Add(s.disk.Stats())
+	}
+	return total
+}
+
+// ResetStats zeroes every shard disk's I/O counters.
+func (e *Engine) ResetStats() {
+	for _, s := range e.shards {
+		s.disk.ResetStats()
+	}
+}
+
+// ShardDisk exposes shard i's disk for per-shard measurements.
+func (e *Engine) ShardDisk(i int) *emio.Disk { return e.shards[i].disk }
+
+// shardFor returns the index of the shard owning x.
+func (e *Engine) shardFor(x geom.Coord) int {
+	return sort.Search(len(e.cuts), func(i int) bool { return x <= e.cuts[i] })
+}
+
+// submit runs fn through the worker pool: on a free worker slot it runs
+// in a new goroutine, otherwise the caller runs it inline (which bounds
+// both goroutine count and queueing without risking deadlock).
+func (e *Engine) submit(wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	select {
+	case e.sem <- struct{}{}:
+		go func() {
+			defer func() { <-e.sem; wg.Done() }()
+			fn()
+		}()
+	default:
+		fn()
+		wg.Done()
+	}
+}
+
+// TopOpen reports the range skyline of [x1,x2] × [beta, ∞) in
+// increasing-x order, fanning the query out to the overlapping shards and
+// merging their answers. The result is identical to a single-disk
+// structure over the whole point set.
+func (e *Engine) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
+	e.queries.Add(1)
+	if x1 > x2 {
+		return nil
+	}
+	lo, hi := e.shardFor(x1), e.shardFor(x2)
+	parts := make([][]geom.Point, hi-lo+1)
+	var wg sync.WaitGroup
+	for i := lo; i <= hi; i++ {
+		s, slot := e.shards[i], i-lo
+		e.submit(&wg, func() {
+			s.mu.Lock()
+			parts[slot] = s.top.Query(x1, x2, beta)
+			s.mu.Unlock()
+		})
+	}
+	wg.Wait()
+	out := mergeSkylines(parts)
+	e.points.Add(uint64(len(out)))
+	return out
+}
+
+// RangeSkyline answers any top-open-family rectangle (top-open,
+// dominance, contour, whole-set). It panics on rectangles with a bounded
+// top edge; those belong to the 4-sided structure.
+func (e *Engine) RangeSkyline(q geom.Rect) []geom.Point {
+	if !q.IsTopOpen() {
+		panic("shard: RangeSkyline requires a top-open rectangle")
+	}
+	return e.TopOpen(q.X1, q.X2, q.Y1)
+}
+
+// Skyline reports the skyline of the whole point set.
+func (e *Engine) Skyline() []geom.Point {
+	return e.TopOpen(geom.NegInf, geom.PosInf, geom.NegInf)
+}
+
+// mergeSkylines concatenates per-shard range skylines (ordered by shard,
+// i.e. by x) after deleting cross-shard dominated points: scanning
+// right-to-left, a point survives iff its y exceeds the best y of every
+// shard to its right. Within a shard the skyline is decreasing in y, so
+// the survivors of each shard form a prefix.
+func mergeSkylines(parts [][]geom.Point) []geom.Point {
+	best := geom.Coord(math.MinInt64)
+	total := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		sky := parts[i]
+		cut := sort.Search(len(sky), func(j int) bool { return sky[j].Y <= best })
+		parts[i] = sky[:cut]
+		total += cut
+		if len(sky) > 0 && sky[0].Y > best {
+			best = sky[0].Y
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]geom.Point, 0, total)
+	for _, sky := range parts {
+		out = append(out, sky...)
+	}
+	return out
+}
+
+// Insert adds a point to a dynamic engine, routing it to the shard owning
+// its x-range. The point must preserve general position.
+func (e *Engine) Insert(p geom.Point) error {
+	if !e.opts.Dynamic {
+		return fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
+	}
+	s := e.shards[e.shardFor(p.X)]
+	s.mu.Lock()
+	s.dyn.Insert(p)
+	s.mu.Unlock()
+	e.n.Add(1)
+	e.updates.Add(1)
+	return nil
+}
+
+// Delete removes a point from a dynamic engine, reporting presence.
+func (e *Engine) Delete(p geom.Point) (bool, error) {
+	if !e.opts.Dynamic {
+		return false, fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
+	}
+	s := e.shards[e.shardFor(p.X)]
+	s.mu.Lock()
+	ok := s.dyn.Delete(p)
+	s.mu.Unlock()
+	if ok {
+		e.n.Add(-1)
+		e.updates.Add(1)
+	}
+	return ok, nil
+}
+
+// BatchInsert adds many points at once: they are grouped by destination
+// shard and each shard's group is applied as one task through the worker
+// pool, so disjoint shards load in parallel and each shard's lock is
+// taken once per batch instead of once per point.
+func (e *Engine) BatchInsert(pts []geom.Point) error {
+	if !e.opts.Dynamic {
+		return fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
+	}
+	groups := make(map[int][]geom.Point)
+	for _, p := range pts {
+		i := e.shardFor(p.X)
+		groups[i] = append(groups[i], p)
+	}
+	var wg sync.WaitGroup
+	for i, group := range groups {
+		s, group := e.shards[i], group
+		e.submit(&wg, func() {
+			s.mu.Lock()
+			for _, p := range group {
+				s.dyn.Insert(p)
+			}
+			s.mu.Unlock()
+		})
+	}
+	wg.Wait()
+	e.n.Add(int64(len(pts)))
+	e.updates.Add(uint64(len(pts)))
+	return nil
+}

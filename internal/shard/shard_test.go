@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/geom"
+	"repro/internal/topopen"
+)
+
+var testCfg = emio.Config{B: 32, M: 32 * 32}
+
+// samePoints fails the test unless got and want are identical sequences.
+func samePoints(t *testing.T, got, want []geom.Point, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points %v, want %d %v", ctx, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: point %d = %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// randTopOpen draws a query mixing bounded and grounded sides.
+func randTopOpen(rng *rand.Rand, span geom.Coord) (x1, x2, beta geom.Coord) {
+	x1 = rng.Int63n(span)
+	x2 = x1 + rng.Int63n(span/2+1)
+	beta = rng.Int63n(span)
+	switch rng.Intn(6) {
+	case 0:
+		x1 = geom.NegInf
+	case 1:
+		x2 = geom.PosInf
+	case 2:
+		beta = geom.NegInf
+	case 3:
+		x1, x2, beta = geom.NegInf, geom.PosInf, geom.NegInf
+	}
+	return x1, x2, beta
+}
+
+// TestMergeMatchesSingleDisk is the core acceptance check: the sharded
+// engine must return byte-identical skylines to a single-disk dyntop tree
+// over the same points, and both must match the in-memory oracle.
+func TestMergeMatchesSingleDisk(t *testing.T) {
+	const n = 600
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 42)
+	geom.SortByX(pts)
+	single := dyntop.BuildSABE(emio.NewDisk(testCfg), 0.5, pts)
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, workers := range []int{1, 4} {
+			eng, err := New(Options{Machine: testCfg, Shards: shards, Workers: workers, Dynamic: true}, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(shards*10 + workers)))
+			for q := 0; q < 120; q++ {
+				x1, x2, beta := randTopOpen(rng, span)
+				got := eng.TopOpen(x1, x2, beta)
+				want := single.Query(x1, x2, beta)
+				ctx := "shards=" + itoa(shards) + " workers=" + itoa(workers) + " q=" + itoa(q)
+				samePoints(t, got, want, ctx+" (vs dyntop)")
+				oracle := geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta))
+				samePoints(t, got, oracle, ctx+" (vs oracle)")
+			}
+		}
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// TestStaticEngine checks the topopen-backed engine and its rejection of
+// updates.
+func TestStaticEngine(t *testing.T) {
+	const n = 500
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 7)
+	geom.SortByX(pts)
+	d := emio.NewDisk(testCfg)
+	f := extsort.FromSlice(d, 2, pts)
+	single := topopen.Build(d, f)
+	eng, err := New(Options{Machine: testCfg, Shards: 4, Dynamic: false}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 100; q++ {
+		x1, x2, beta := randTopOpen(rng, span)
+		samePoints(t, eng.TopOpen(x1, x2, beta), single.Query(x1, x2, beta), "static q="+itoa(q))
+	}
+	if err := eng.Insert(geom.Point{X: -1, Y: -1}); err == nil {
+		t.Fatal("Insert on static engine did not fail")
+	}
+	if _, err := eng.Delete(pts[0]); err == nil {
+		t.Fatal("Delete on static engine did not fail")
+	}
+}
+
+// TestUpdatesThenQueries interleaves routed inserts/deletes with queries,
+// cross-checking against the oracle over a reference slice.
+func TestUpdatesThenQueries(t *testing.T) {
+	const n, extra = 400, 400
+	span := geom.Coord((n + extra) * 16)
+	all := geom.GenUniform(n+extra, span, 11)
+	base := append([]geom.Point(nil), all[:n]...)
+	pool := all[n:]
+	geom.SortByX(base)
+	eng, err := New(Options{Machine: testCfg, Shards: 4, Workers: 4, Dynamic: true}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]geom.Point(nil), base...)
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 30; round++ {
+		// A few routed single-point updates.
+		for i := 0; i < 8 && len(pool) > 0; i++ {
+			if rng.Intn(3) != 0 || len(ref) == 0 {
+				p := pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				if err := eng.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				ref = append(ref, p)
+			} else {
+				j := rng.Intn(len(ref))
+				p := ref[j]
+				ok, err := eng.Delete(p)
+				if err != nil || !ok {
+					t.Fatalf("Delete(%v) = %t, %v", p, ok, err)
+				}
+				ref = append(ref[:j], ref[j+1:]...)
+			}
+		}
+		if eng.Len() != len(ref) {
+			t.Fatalf("round %d: Len = %d, want %d", round, eng.Len(), len(ref))
+		}
+		for q := 0; q < 5; q++ {
+			x1, x2, beta := randTopOpen(rng, span)
+			got := eng.TopOpen(x1, x2, beta)
+			want := geom.RangeSkyline(ref, geom.TopOpen(x1, x2, beta))
+			samePoints(t, got, want, "round="+itoa(round)+" q="+itoa(q))
+		}
+	}
+	// Deleting an absent point reports false without error.
+	if ok, err := eng.Delete(geom.Point{X: span + 1, Y: span + 1}); err != nil || ok {
+		t.Fatalf("Delete(absent) = %t, %v", ok, err)
+	}
+}
+
+// TestBatchInsert loads points in one batch and checks queries and Len.
+func TestBatchInsert(t *testing.T) {
+	const n, batch = 300, 500
+	span := geom.Coord((n + batch) * 16)
+	all := geom.GenUniform(n+batch, span, 17)
+	base := append([]geom.Point(nil), all[:n]...)
+	geom.SortByX(base)
+	eng, err := New(Options{Machine: testCfg, Shards: 4, Workers: 2, Dynamic: true}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BatchInsert(all[n:]); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != n+batch {
+		t.Fatalf("Len = %d, want %d", eng.Len(), n+batch)
+	}
+	samePoints(t, eng.Skyline(), geom.Skyline(all), "post-batch skyline")
+}
+
+// TestCountersAndStats checks the atomic engine-level aggregates.
+func TestCountersAndStats(t *testing.T) {
+	pts := geom.GenUniform(200, 4000, 23)
+	geom.SortByX(pts)
+	eng, err := New(Options{Machine: testCfg, Shards: 3, Dynamic: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ResetStats()
+	for i := 0; i < eng.NumShards(); i++ {
+		eng.ShardDisk(i).DropCache()
+	}
+	k := len(eng.Skyline())
+	if err := eng.Insert(geom.Point{X: 4001, Y: 4001}); err != nil {
+		t.Fatal(err)
+	}
+	c := eng.Counters()
+	if c.Queries != 1 || c.Updates != 1 || c.Points != uint64(k) {
+		t.Fatalf("Counters = %+v, want {1, 1, %d}", c, k)
+	}
+	if eng.Stats().IOs() == 0 {
+		t.Fatal("aggregated stats report zero I/Os after query+insert")
+	}
+	eng.ResetStats()
+	if eng.Stats().IOs() != 0 {
+		t.Fatalf("ResetStats left %v", eng.Stats())
+	}
+	if eng.NumShards() != 3 || !eng.Dynamic() {
+		t.Fatalf("NumShards/Dynamic = %d/%t", eng.NumShards(), eng.Dynamic())
+	}
+}
+
+// TestSmallInputs covers more shards than points, including empty.
+func TestSmallInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 5} {
+		pts := geom.GenUniform(n, 1000, int64(n)+31)
+		geom.SortByX(pts)
+		eng, err := New(Options{Machine: testCfg, Shards: 4, Dynamic: true}, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePoints(t, eng.Skyline(), geom.Skyline(pts), "n="+itoa(n))
+		if got := eng.TopOpen(10, 5, geom.NegInf); got != nil {
+			t.Fatalf("inverted range returned %v", got)
+		}
+	}
+}
+
+// TestUnsortedRejected checks the input contract.
+func TestUnsortedRejected(t *testing.T) {
+	if _, err := New(Options{Machine: testCfg}, []geom.Point{{X: 5, Y: 1}, {X: 3, Y: 2}}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := New(Options{Machine: testCfg, Epsilon: 2}, nil); err == nil {
+		t.Fatal("epsilon out of range accepted")
+	}
+}
+
+func TestMergeSkylines(t *testing.T) {
+	p := func(x, y geom.Coord) geom.Point { return geom.Point{X: x, Y: y} }
+	got := mergeSkylines([][]geom.Point{
+		{p(1, 50), p(2, 40), p(3, 10)}, // p(3,10) dominated by p(11,30)
+		nil,
+		{p(11, 30), p(12, 5)}, // p(12,5) dominated by p(21,20)
+		{p(21, 20)},
+	})
+	want := []geom.Point{p(1, 50), p(2, 40), p(11, 30), p(21, 20)}
+	samePoints(t, got, want, "merge")
+	if mergeSkylines(nil) != nil || mergeSkylines([][]geom.Point{nil, nil}) != nil {
+		t.Fatal("empty merge not nil")
+	}
+}

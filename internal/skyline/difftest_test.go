@@ -1,0 +1,226 @@
+// Differential test harness: randomized workloads (inserts, deletes,
+// mixed x/β queries) cross-checked against a naive O(n²) skyline oracle
+// for every query engine in the repository — the Theorem 1 static index
+// (topopen), the Theorem 4 dynamic tree (dyntop), the Theorem 6 4-sided
+// structure (foursided), and the sharded concurrent engine
+// (internal/shard, both directly and routed through core.Open). Every
+// workload is seeded and each seed runs as its own subtest, so a failure
+// names the exact subtest to replay:
+//
+//	go test ./internal/skyline -run 'TestDifferentialDynamic/seed=3'
+package skyline_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/foursided"
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/topopen"
+)
+
+var diffCfg = emio.Config{B: 32, M: 32 * 32}
+
+// naiveRangeSkyline is the O(n²) oracle: a point of pts ∩ r is reported
+// iff no other point of pts ∩ r dominates it. It is deliberately
+// independent of geom.Skyline so the harness cross-checks that oracle
+// too.
+func naiveRangeSkyline(pts []geom.Point, r geom.Rect) []geom.Point {
+	var in []geom.Point
+	for _, p := range pts {
+		if r.Contains(p) {
+			in = append(in, p)
+		}
+	}
+	var out []geom.Point
+	for _, p := range in {
+		maximal := true
+		for _, q := range in {
+			if q.Dominates(p) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return geom.Less(out[i], out[j]) })
+	return out
+}
+
+func diffPoints(t *testing.T, got, want []geom.Point, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points %v, want %d %v", ctx, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: point %d = %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// randTopOpen mixes bounded and grounded query sides.
+func randTopOpen(rng *rand.Rand, span geom.Coord) (x1, x2, beta geom.Coord) {
+	x1 = rng.Int63n(span)
+	x2 = x1 + rng.Int63n(span/2+1)
+	beta = rng.Int63n(span)
+	switch rng.Intn(8) {
+	case 0:
+		x1 = geom.NegInf
+	case 1:
+		x2 = geom.PosInf
+	case 2:
+		beta = geom.NegInf
+	case 3:
+		x1, x2, beta = geom.NegInf, geom.PosInf, geom.NegInf
+	case 4:
+		x2 = x1 // degenerate slab
+	}
+	return x1, x2, beta
+}
+
+// randFourSided draws a rectangle whose top edge may or may not be
+// bounded, exercising both dispatch paths of core.DB.
+func randFourSided(rng *rand.Rand, span geom.Coord) geom.Rect {
+	x1 := rng.Int63n(span)
+	y1 := rng.Int63n(span)
+	r := geom.Rect{X1: x1, X2: x1 + rng.Int63n(span/2+1), Y1: y1, Y2: y1 + rng.Int63n(span/2+1)}
+	switch rng.Intn(6) {
+	case 0:
+		r.X1 = geom.NegInf
+	case 1:
+		r.Y1 = geom.NegInf
+	case 2:
+		r.X2 = geom.PosInf
+	}
+	return r
+}
+
+// TestDifferentialStatic cross-checks the static engines — topopen,
+// foursided, and the static sharded engine — on random query mixes.
+func TestDifferentialStatic(t *testing.T) {
+	const n = 300
+	span := geom.Coord(n * 16)
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			pts := geom.GenUniform(n, span, seed+500)
+			geom.SortByX(pts)
+			d := emio.NewDisk(diffCfg)
+			f := extsort.FromSlice(d, 2, pts)
+			top := topopen.Build(d, f)
+			four := foursided.Build(emio.NewDisk(diffCfg), 0.5, pts)
+			eng, err := shard.New(shard.Options{Machine: diffCfg, Shards: 4, Workers: 2}, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 80; q++ {
+				x1, x2, beta := randTopOpen(rng, span)
+				r := geom.TopOpen(x1, x2, beta)
+				want := naiveRangeSkyline(pts, r)
+				ctx := fmt.Sprintf("seed=%d q=%d %v", seed, q, r)
+				diffPoints(t, top.Query(x1, x2, beta), want, ctx+" topopen")
+				diffPoints(t, eng.TopOpen(x1, x2, beta), want, ctx+" shard")
+				diffPoints(t, geom.RangeSkyline(pts, r), want, ctx+" geom oracle")
+
+				fr := randFourSided(rng, span)
+				diffPoints(t, four.Query(fr), naiveRangeSkyline(pts, fr),
+					fmt.Sprintf("seed=%d q=%d %v foursided", seed, q, fr))
+			}
+		})
+	}
+}
+
+// TestDifferentialDynamic drives a mixed insert/delete/query workload
+// against three engines at once: a single-disk dyntop tree, a direct
+// sharded engine, and a sharded core.DB (which also exercises foursided
+// and the Figure 2 dispatch). The sharded answers must be byte-identical
+// to the single-disk tree's, and all must match the naive oracle.
+func TestDifferentialDynamic(t *testing.T) {
+	const n, extra = 220, 260
+	span := geom.Coord((n + extra) * 16)
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			all := geom.GenUniform(n+extra, span, seed+900)
+			base := append([]geom.Point(nil), all[:n]...)
+			pool := append([]geom.Point(nil), all[n:]...)
+			geom.SortByX(base)
+
+			tree := dyntop.BuildSABE(emio.NewDisk(diffCfg), 0.5, base)
+			eng, err := shard.New(shard.Options{Machine: diffCfg, Shards: 4, Workers: 3, Dynamic: true}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 3}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Sharded() == nil {
+				t.Fatal("core.Open(Shards: 4) did not build the sharded engine")
+			}
+			ref := append([]geom.Point(nil), base...)
+
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < 250; op++ {
+				ctx := fmt.Sprintf("seed=%d op=%d", seed, op)
+				switch rng.Intn(10) {
+				case 0, 1, 2: // insert
+					if len(pool) == 0 {
+						continue
+					}
+					p := pool[len(pool)-1]
+					pool = pool[:len(pool)-1]
+					tree.Insert(p)
+					if err := eng.Insert(p); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					if err := db.Insert(p); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					ref = append(ref, p)
+				case 3, 4: // delete
+					if len(ref) == 0 {
+						continue
+					}
+					j := rng.Intn(len(ref))
+					p := ref[j]
+					if !tree.Delete(p) {
+						t.Fatalf("%s: dyntop lost %v", ctx, p)
+					}
+					if ok, err := eng.Delete(p); err != nil || !ok {
+						t.Fatalf("%s: shard Delete(%v) = %t, %v", ctx, p, ok, err)
+					}
+					if ok, err := db.Delete(p); err != nil || !ok {
+						t.Fatalf("%s: db Delete(%v) = %t, %v", ctx, p, ok, err)
+					}
+					ref = append(ref[:j], ref[j+1:]...)
+				default: // query
+					x1, x2, beta := randTopOpen(rng, span)
+					r := geom.TopOpen(x1, x2, beta)
+					want := naiveRangeSkyline(ref, r)
+					single := tree.Query(x1, x2, beta)
+					diffPoints(t, single, want, ctx+fmt.Sprintf(" %v dyntop", r))
+					diffPoints(t, eng.TopOpen(x1, x2, beta), single, ctx+fmt.Sprintf(" %v shard vs dyntop", r))
+					diffPoints(t, db.RangeSkyline(r), single, ctx+fmt.Sprintf(" %v db vs dyntop", r))
+
+					fr := randFourSided(rng, span)
+					diffPoints(t, db.RangeSkyline(fr), naiveRangeSkyline(ref, fr),
+						ctx+fmt.Sprintf(" %v db 4-sided", fr))
+				}
+			}
+			if db.Len() != len(ref) || eng.Len() != len(ref) || tree.Len() != len(ref) {
+				t.Fatalf("seed=%d: Len db=%d eng=%d tree=%d, want %d",
+					seed, db.Len(), eng.Len(), tree.Len(), len(ref))
+			}
+		})
+	}
+}

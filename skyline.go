@@ -15,6 +15,12 @@
 //	db, err := repro.Open(repro.Options{}, points)
 //	sky := db.TopOpen(x1, x2, beta) // maxima of P ∩ [x1,x2]×[beta,∞)
 //
+// Opening with Options{Shards: K, Workers: W} partitions the point set
+// by x-range across K shards, each with a private simulated disk, and
+// serves top-open queries from a concurrent worker-pool engine
+// (internal/shard) whose answers are identical to the single-disk
+// structures'.
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
