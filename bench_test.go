@@ -1,7 +1,8 @@
 package repro
 
-// One benchmark per experiment of EXPERIMENTS.md (E1–E10), each
-// regenerating a row of the paper's Table 1 or a claimed bound. Every
+// One benchmark per experiment of EXPERIMENTS.md (E1–E12), each
+// regenerating a row of the paper's Table 1, a claimed bound, or an
+// engine-level scaling claim (E11–E12). Every
 // benchmark reports ios/op — the quantity the paper's theorems bound —
 // alongside Go's wall-clock metrics. cmd/skybench prints the full
 // parameter sweeps; these benches pin one representative configuration
@@ -19,6 +20,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/ppb"
 	"repro/internal/rankspace"
+	"repro/internal/shard"
 	"repro/internal/skyline"
 	"repro/internal/topopen"
 
@@ -234,3 +236,80 @@ func BenchmarkE10NaiveBaseline(b *testing.B) {
 		skyline.NaiveRangeSkyline(d, f, geom.TopOpen(x1, x1+(1<<20), geom.Coord(rng.Int63n(1<<24))))
 	})
 }
+
+// BenchmarkE11ShardedTopOpen — the scaling layer: top-open queries
+// through the 4-shard concurrent engine.
+func BenchmarkE11ShardedTopOpen(b *testing.B) {
+	pts := geom.GenUniform(1<<14, 1<<24, 21)
+	geom.SortByX(pts)
+	eng, err := shard.New(shard.Options{Machine: benchCfg, Shards: 4, Workers: 4, Dynamic: true}, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	eng.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := geom.Coord(rng.Int63n(1 << 24))
+		eng.TopOpen(x1, x1+(1<<20), geom.Coord(rng.Int63n(1<<24)))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+// BenchmarkE12ShardedFourSided — 4-sided-family queries through the
+// per-shard Theorem 6 structures and the right-to-left merge.
+func BenchmarkE12ShardedFourSided(b *testing.B) {
+	pts := geom.GenUniform(1<<14, 1<<24, 23)
+	geom.SortByX(pts)
+	eng, err := shard.New(shard.Options{Machine: benchCfg, Shards: 4, Workers: 4, Dynamic: true}, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	eng.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := geom.Coord(rng.Int63n(1 << 24))
+		y1 := geom.Coord(rng.Int63n(1 << 24))
+		eng.FourSided(geom.Rect{X1: x1, X2: x1 + (1 << 21), Y1: y1, Y2: y1 + (1 << 21)})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+// BenchmarkE12BatchInsert vs BenchmarkE12SingleInsert — the batched
+// update path: one shard-lock acquisition per shard per batch instead of
+// one per point. Each op loads the same 512-point batch into a fresh
+// 4-shard engine.
+func benchBatchLoad(b *testing.B, batched bool) {
+	const nBase, nBatch = 1 << 13, 512
+	all := geom.GenUniform(nBase+nBatch, 1<<24, 25)
+	base := append([]geom.Point(nil), all[:nBase]...)
+	batch := all[nBase:]
+	geom.SortByX(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := shard.New(shard.Options{Machine: benchCfg, Shards: 4, Workers: 4, Dynamic: true}, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if batched {
+			if err := eng.BatchInsert(batch); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, p := range batch {
+				if err := eng.Insert(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(nBatch, "points/op")
+}
+
+func BenchmarkE12BatchInsert(b *testing.B)  { benchBatchLoad(b, true) }
+func BenchmarkE12SingleInsert(b *testing.B) { benchBatchLoad(b, false) }

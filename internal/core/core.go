@@ -1,25 +1,35 @@
 // Package core assembles the paper's structures into one database-style
 // index for planar range skyline reporting — the primary deliverable of
-// the reproduction. It routes each query kind (Figure 2) to the
-// asymptotically best structure:
+// the reproduction. Query execution is delegated to an engine.Planner
+// that routes each query kind (Figure 2) to the asymptotically best
+// registered backend:
 //
-//   - top-open, right-open, dominance and contour queries go to the
-//     Theorem 1 static structure (O(log_B n + k/B)) or, when the index
-//     is opened dynamic, to the Theorem 4 structure
-//     (O(log²_{B^ε}(n/B) + k/B^{1−ε}) with O(log²_{B^ε}(n/B)) updates);
-//   - 4-sided, left-open, bottom-open and anti-dominance queries go to
-//     the Theorem 6 structure (O((n/B)^ε + k/B), optimal at linear
-//     space by Theorem 5; updates O(log(n/B)) amortized).
+//   - top-open, dominance and contour queries go to the Theorem 1 static
+//     structure (O(log_B n + k/B)) or, when the index is opened dynamic,
+//     to the Theorem 4 structure (O(log²_{B^ε}(n/B) + k/B^{1−ε}) with
+//     O(log²_{B^ε}(n/B)) updates);
+//   - 4-sided, left-open, right-open, bottom-open and anti-dominance
+//     queries go to the Theorem 6 structure (O((n/B)^ε + k/B), optimal
+//     at linear space by Theorem 5; updates O(log(n/B)) amortized);
+//   - with Options.Shards > 1, every shape is served by the sharded
+//     concurrent engine (internal/shard), whose per-shard structures are
+//     the same two families on x-disjoint partitions, so its answers are
+//     byte-identical to the single-disk structures'.
 //
-// Everything runs on a simulated external-memory machine (emio), so
-// every operation reports exactly the I/O cost the theorems bound.
+// Updates — single-point and batched — fan out through the same planner
+// to every registered backend, so all backends always index the same
+// point set. Everything runs on a simulated external-memory machine
+// (emio), so every operation reports exactly the I/O cost the theorems
+// bound.
 package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dyntop"
 	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/extsort"
 	"repro/internal/foursided"
 	"repro/internal/geom"
@@ -39,34 +49,37 @@ type Options struct {
 	// 3-sided queries faster and builds in O(n/B) after sorting, but
 	// rejects Insert and Delete.
 	Dynamic bool
-	// Shards > 1 partitions the point set by x-range and serves the
-	// top-open query family from a sharded concurrent engine
-	// (internal/shard), each shard owning a private guarded disk. The
-	// answers are identical to the single-disk structures'; the engine
-	// additionally admits concurrent callers.
+	// Shards > 1 partitions the point set by x-range and serves every
+	// Figure-2 query shape from a sharded concurrent engine
+	// (internal/shard), each shard owning a private guarded disk with
+	// its own top-open and 4-sided structures. The answers are
+	// identical to the single-disk structures'; the engine additionally
+	// admits concurrent callers and batched updates that take each
+	// shard lock once per batch.
 	Shards int
 	// Workers bounds the sharded engine's concurrent per-shard tasks;
 	// zero means Shards. Ignored when Shards <= 1.
 	Workers int
 }
 
-// DB is a planar range skyline index over a simulated EM machine.
+// DB is a planar range skyline index over a simulated EM machine. All
+// queries and updates flow through an engine.Planner over the registered
+// backends.
 type DB struct {
 	opts Options
 	disk *emio.Disk
 
-	// Static engine (3-sided).
-	top *topopen.Index
+	plan *engine.Planner
 
-	// Dynamic engines.
-	dyn  *dyntop.Tree
-	four *foursided.Index
-
-	// Sharded engine (3-sided, static or dynamic); non-nil iff
-	// Options.Shards > 1, replacing top/dyn.
+	// Sharded engine serving every query shape; non-nil iff
+	// Options.Shards > 1, replacing the single-disk backends.
 	eng *shard.Engine
 
-	n int
+	// n is atomic so Len and the update paths are safe for the
+	// concurrent callers the sharded engine admits. The single-disk
+	// backends themselves serialize nothing — concurrent updates are
+	// only safe when sharded, exactly as for the underlying engine.
+	n atomic.Int64
 }
 
 // Open creates an index over pts (any order; sorted internally). For a
@@ -84,11 +97,11 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	if !geom.IsGeneralPosition(pts) {
 		return nil, fmt.Errorf("core: input not in general position (duplicate x or y)")
 	}
-	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), n: len(pts)}
+	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), plan: new(engine.Planner)}
+	db.n.Store(int64(len(pts)))
 	sorted := append([]geom.Point(nil), pts...)
 	geom.SortByX(sorted)
-	switch {
-	case opts.Shards > 1:
+	if opts.Shards > 1 {
 		eng, err := shard.New(shard.Options{
 			Machine: opts.Machine,
 			Epsilon: opts.Epsilon,
@@ -100,41 +113,46 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 			return nil, err
 		}
 		db.eng = eng
-	case opts.Dynamic:
-		db.dyn = dyntop.BuildSABE(db.disk, opts.Epsilon, sorted)
-	default:
-		f := extsort.FromSlice(db.disk, 2, sorted)
-		db.top = topopen.Build(db.disk, f)
-		f.Free()
+		// One backend serves both families: the per-shard merge keeps
+		// its answers identical to the single-disk structures'.
+		db.plan.RegisterTopOpen(eng)
+		db.plan.RegisterGeneral(eng)
+		return db, nil
 	}
-	db.four = foursided.Build(db.disk, opts.Epsilon, sorted)
+	if opts.Dynamic {
+		dyn := dyntop.BuildSABE(db.disk, opts.Epsilon, sorted)
+		db.plan.RegisterTopOpen(engine.NewDynTop(dyn, db.disk))
+	} else {
+		f := extsort.FromSlice(db.disk, 2, sorted)
+		top := topopen.Build(db.disk, f)
+		f.Free()
+		db.plan.RegisterTopOpen(engine.NewTopOpen(top, db.disk))
+	}
+	four := foursided.Build(db.disk, opts.Epsilon, sorted)
+	db.plan.RegisterGeneral(engine.NewFourSided(four, db.disk))
 	return db, nil
 }
 
-// Sharded returns the sharded concurrent engine serving the top-open
-// query family, or nil when the index was opened with Shards <= 1.
+// Sharded returns the sharded concurrent engine serving every query
+// shape, or nil when the index was opened with Shards <= 1.
 func (db *DB) Sharded() *shard.Engine { return db.eng }
 
-// Disk exposes the simulated machine for I/O measurements.
+// Planner exposes the query planner for inspection (which backend a
+// rectangle routes to, the registered backends).
+func (db *DB) Planner() *engine.Planner { return db.plan }
+
+// Disk exposes the simulated machine for I/O measurements. When sharded,
+// the per-shard disks are reached through Sharded().ShardDisk.
 func (db *DB) Disk() *emio.Disk { return db.disk }
 
-// Len returns the number of indexed points.
-func (db *DB) Len() int { return db.n }
+// Len returns the number of indexed points. Safe to call while
+// operations are in flight.
+func (db *DB) Len() int { return int(db.n.Load()) }
 
 // RangeSkyline reports the maximal points of P ∩ q in increasing-x
-// order, dispatching on the rectangle's shape.
+// order, routing the rectangle's shape through the planner.
 func (db *DB) RangeSkyline(q geom.Rect) []geom.Point {
-	if q.IsTopOpen() {
-		switch {
-		case db.eng != nil:
-			return db.eng.TopOpen(q.X1, q.X2, q.Y1)
-		case db.dyn != nil:
-			return db.dyn.Query(q.X1, q.X2, q.Y1)
-		default:
-			return db.top.Query(q.X1, q.X2, q.Y1)
-		}
-	}
-	return db.four.Query(q)
+	return db.plan.RangeSkyline(q)
 }
 
 // Skyline reports the skyline of the whole point set.
@@ -147,21 +165,25 @@ func (db *DB) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
 	return db.RangeSkyline(geom.TopOpen(x1, x2, beta))
 }
 
-// Dominance reports the skyline of the points dominating (x, y)
-// (Figure 2e).
-func (db *DB) Dominance(x, y geom.Coord) []geom.Point {
-	return db.RangeSkyline(geom.Dominance(x, y))
+// RightOpen reports the range skyline of [x,∞) × [y1,y2] (Figure 2b).
+func (db *DB) RightOpen(x, y1, y2 geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.RightOpen(x, y1, y2))
 }
 
-// Contour reports the skyline of the points with x-coordinate <= x
-// (Figure 2g).
-func (db *DB) Contour(x geom.Coord) []geom.Point {
-	return db.RangeSkyline(geom.Contour(x))
+// BottomOpen reports the range skyline of [x1,x2] × (-∞,y] (Figure 2c).
+func (db *DB) BottomOpen(x1, x2, y geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.BottomOpen(x1, x2, y))
 }
 
 // LeftOpen reports the range skyline of (-∞,x] × [y1,y2] (Figure 2d).
 func (db *DB) LeftOpen(x, y1, y2 geom.Coord) []geom.Point {
 	return db.RangeSkyline(geom.LeftOpen(x, y1, y2))
+}
+
+// Dominance reports the skyline of the points dominating (x, y)
+// (Figure 2e).
+func (db *DB) Dominance(x, y geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.Dominance(x, y))
 }
 
 // AntiDominance reports the range skyline of (-∞,x] × (-∞,y]
@@ -170,45 +192,65 @@ func (db *DB) AntiDominance(x, y geom.Coord) []geom.Point {
 	return db.RangeSkyline(geom.AntiDominance(x, y))
 }
 
-// Insert adds a point to a dynamic index.
+// Contour reports the skyline of the points with x-coordinate <= x
+// (Figure 2g).
+func (db *DB) Contour(x geom.Coord) []geom.Point {
+	return db.RangeSkyline(geom.Contour(x))
+}
+
+// Insert adds a point to a dynamic index, applying it to every backend.
 func (db *DB) Insert(p geom.Point) error {
 	if !db.opts.Dynamic {
 		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	if db.eng != nil {
-		if err := db.eng.Insert(p); err != nil {
-			return err
-		}
-	} else {
-		db.dyn.Insert(p)
+	if err := db.plan.Insert(p); err != nil {
+		return err
 	}
-	db.four.Insert(p)
-	db.n++
+	db.n.Add(1)
 	return nil
 }
 
-// Delete removes a point from a dynamic index, reporting presence.
+// Delete removes a point from a dynamic index, reporting presence. The
+// planner consults the primary (top-open) backend first and only mutates
+// the remaining backends after it confirms presence, so a miss never
+// leaves the backends inconsistent.
 func (db *DB) Delete(p geom.Point) (bool, error) {
 	if !db.opts.Dynamic {
 		return false, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	var a bool
-	if db.eng != nil {
-		var err error
-		if a, err = db.eng.Delete(p); err != nil {
-			return false, err
-		}
-	} else {
-		a = db.dyn.Delete(p)
+	ok, err := db.plan.Delete(p)
+	if ok {
+		// Even when err reports backend disagreement, the primary
+		// backend did remove the point; keep n consistent with it.
+		db.n.Add(-1)
 	}
-	b := db.four.Delete(p)
-	if a != b {
-		return false, fmt.Errorf("core: engines disagree on presence of %v", p)
+	return ok, err
+}
+
+// BatchInsert adds many points to a dynamic index through each backend's
+// batched path; the sharded engine takes each shard lock once per batch
+// instead of once per point. The points must preserve general position.
+func (db *DB) BatchInsert(pts []geom.Point) error {
+	if !db.opts.Dynamic {
+		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	if a {
-		db.n--
+	if err := db.plan.BatchInsert(pts); err != nil {
+		return err
 	}
-	return a, nil
+	db.n.Add(int64(len(pts)))
+	return nil
+}
+
+// BatchDelete removes many points from a dynamic index through each
+// backend's batched path, returning how many were present and removed
+// (misses are skipped, not errors).
+func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
+	if !db.opts.Dynamic {
+		return 0, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	}
+	removed, err := db.plan.BatchDelete(pts)
+	db.n.Add(-int64(removed))
+	return removed, err
 }
 
 // Stats returns the I/O counters since the last ResetStats, summed over

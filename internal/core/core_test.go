@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/emio"
@@ -96,6 +97,248 @@ func TestDynamicLifecycle(t *testing.T) {
 	}
 	if db.Len() != len(present) {
 		t.Fatalf("Len = %d, want %d", db.Len(), len(present))
+	}
+}
+
+// TestSevenShapeDispatch drives every named Figure-2 entry point —
+// including the RightOpen and BottomOpen conveniences — against the
+// oracle, for a static single-disk index, a dynamic one, and a sharded
+// one, and checks each shape routes to the expected backend family.
+func TestSevenShapeDispatch(t *testing.T) {
+	pts := geom.GenUniform(400, 4000, 211)
+	cfg := emio.Config{B: 32, M: 32 * 32}
+	for _, opts := range []Options{
+		{Machine: cfg},
+		{Machine: cfg, Dynamic: true},
+		{Machine: cfg, Dynamic: true, Shards: 4, Workers: 2},
+	} {
+		db, err := Open(opts, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(212))
+		for q := 0; q < 60; q++ {
+			x1 := geom.Coord(rng.Int63n(4400)) - 200
+			x2 := x1 + geom.Coord(rng.Int63n(3000))
+			y1 := geom.Coord(rng.Int63n(4400)) - 200
+			y2 := y1 + geom.Coord(rng.Int63n(3000))
+			shapes := []struct {
+				name string
+				got  []geom.Point
+				r    geom.Rect
+			}{
+				{"TopOpen", db.TopOpen(x1, x2, y1), geom.TopOpen(x1, x2, y1)},
+				{"RightOpen", db.RightOpen(x1, y1, y2), geom.RightOpen(x1, y1, y2)},
+				{"BottomOpen", db.BottomOpen(x1, x2, y2), geom.BottomOpen(x1, x2, y2)},
+				{"LeftOpen", db.LeftOpen(x2, y1, y2), geom.LeftOpen(x2, y1, y2)},
+				{"Dominance", db.Dominance(x1, y1), geom.Dominance(x1, y1)},
+				{"AntiDominance", db.AntiDominance(x2, y2), geom.AntiDominance(x2, y2)},
+				{"Contour", db.Contour(x2), geom.Contour(x2)},
+			}
+			for _, s := range shapes {
+				if want := geom.RangeSkyline(pts, s.r); !sameAnswer(s.got, want) {
+					t.Fatalf("opts=%+v %s(%v) = %v, want %v", opts, s.name, s.r, s.got, want)
+				}
+				if db.plan.Route(s.r) == nil {
+					t.Fatalf("no backend for %s", s.name)
+				}
+			}
+		}
+		// Dispatch: with distinct backends, the top-open family must hit
+		// the top-open backend, everything else the general backend.
+		backends := db.plan.Backends()
+		if opts.Shards > 1 {
+			if len(backends) != 1 || backends[0] != db.plan.Route(geom.Contour(9)) {
+				t.Fatalf("sharded: want a single backend serving everything")
+			}
+		} else {
+			if len(backends) != 2 {
+				t.Fatalf("unsharded: %d backends, want 2", len(backends))
+			}
+			if db.plan.Route(geom.TopOpen(1, 9, 3)) != backends[0] {
+				t.Fatal("top-open not routed to the top-open backend")
+			}
+			if db.plan.Route(geom.RightOpen(1, 2, 8)) != backends[1] {
+				t.Fatal("right-open not routed to the general backend")
+			}
+		}
+	}
+}
+
+// TestDeletePresenceCheckFirst is the regression test for the update
+// ordering fix: a Delete whose primary engine reports the point absent
+// must not mutate the 4-sided backend, even if (through corruption or
+// drift) that backend still holds the point.
+func TestDeletePresenceCheckFirst(t *testing.T) {
+	pts := geom.GenUniform(120, 2000, 213)
+	db, err := Open(Options{Machine: emio.Config{B: 16, M: 16 * 64}, Dynamic: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[17]
+	// Simulate drift: remove p from the primary (top-open) backend
+	// directly, behind the planner's back. The 4-sided backend still
+	// holds p.
+	primary := db.plan.Backends()[0]
+	if ok, err := primary.Delete(p); err != nil || !ok {
+		t.Fatalf("primary.Delete(%v) = %t, %v", p, ok, err)
+	}
+	// The routed Delete must now report a miss without error and —
+	// crucially — without mutating the 4-sided backend (the old code
+	// deleted from it unconditionally and returned a disagreement
+	// error after the damage was done).
+	if ok, err := db.Delete(p); err != nil || ok {
+		t.Fatalf("Delete(%v) = %t, %v; want miss without error", p, ok, err)
+	}
+	four := db.plan.Backends()[1]
+	band := geom.Rect{X1: p.X, X2: p.X, Y1: p.Y, Y2: p.Y}
+	if got := four.RangeSkyline(band); len(got) != 1 || got[0] != p {
+		t.Fatalf("4-sided backend lost %v on a primary miss: %v", p, got)
+	}
+	// A delete of a genuinely absent point is a plain miss everywhere.
+	if ok, err := db.Delete(geom.Point{X: 1 << 40, Y: 1 << 40}); err != nil || ok {
+		t.Fatalf("Delete(absent) = %t, %v", ok, err)
+	}
+}
+
+// TestBatchUpdatesThroughCore pushes BatchInsert/BatchDelete through
+// core for both the single-disk and sharded layouts.
+func TestBatchUpdatesThroughCore(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 32}
+	all := geom.GenUniform(700, 20000, 214)
+	base, batch := all[:400], all[400:]
+	for _, opts := range []Options{
+		{Machine: cfg, Dynamic: true},
+		{Machine: cfg, Dynamic: true, Shards: 4, Workers: 4},
+	} {
+		db, err := Open(opts, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BatchInsert(batch); err != nil {
+			t.Fatal(err)
+		}
+		if db.Len() != len(all) {
+			t.Fatalf("Len = %d, want %d", db.Len(), len(all))
+		}
+		if got, want := db.Skyline(), geom.Skyline(all); !sameAnswer(got, want) {
+			t.Fatalf("opts=%+v post-batch skyline mismatch", opts)
+		}
+		removed, err := db.BatchDelete(append([]geom.Point(nil), batch...))
+		if err != nil || removed != len(batch) {
+			t.Fatalf("BatchDelete = %d, %v; want %d", removed, err, len(batch))
+		}
+		// A second batch delete of the same points is all misses.
+		removed, err = db.BatchDelete(append([]geom.Point(nil), batch...))
+		if err != nil || removed != 0 {
+			t.Fatalf("repeat BatchDelete = %d, %v; want 0", removed, err)
+		}
+		if db.Len() != len(base) {
+			t.Fatalf("Len = %d, want %d", db.Len(), len(base))
+		}
+		if got, want := db.Skyline(), geom.Skyline(base); !sameAnswer(got, want) {
+			t.Fatalf("opts=%+v post-batch-delete skyline mismatch", opts)
+		}
+	}
+	// Static indexes reject the batched paths.
+	db, err := Open(Options{Machine: cfg}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BatchInsert(batch); err == nil {
+		t.Fatal("static index accepted BatchInsert")
+	}
+	if _, err := db.BatchDelete(batch); err == nil {
+		t.Fatal("static index accepted BatchDelete")
+	}
+}
+
+// TestConcurrentShardedDB drives a sharded core.DB from concurrent
+// goroutines — queriers over both families, per-point and batched
+// updaters, Len/Stats pollers — then verifies against the oracle after
+// quiescence. Under -race (CI's race job covers this package) it proves
+// the routed path, including the DB's size accounting, is safe for the
+// concurrent callers the sharded engine admits.
+func TestConcurrentShardedDB(t *testing.T) {
+	const nBase, perUpdater, nUpdaters = 600, 200, 2
+	all := geom.GenUniform(nBase+nUpdaters*perUpdater, 40000, 215)
+	base := append([]geom.Point(nil), all[:nBase]...)
+	db, err := Open(Options{Machine: emio.Config{B: 32, M: 32 * 32}, Dynamic: true, Shards: 4, Workers: 4}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < nUpdaters; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		batched := u%2 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if batched {
+				if err := db.BatchInsert(pool); err != nil {
+					t.Error(err)
+					return
+				}
+				var victims []geom.Point
+				for i := 1; i < len(pool); i += 2 {
+					victims = append(victims, pool[i])
+				}
+				if got, err := db.BatchDelete(victims); err != nil || got != len(victims) {
+					t.Errorf("BatchDelete = %d, %v", got, err)
+				}
+			} else {
+				for _, p := range pool {
+					if err := db.Insert(p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := 1; i < len(pool); i += 2 {
+					if ok, err := db.Delete(pool[i]); err != nil || !ok {
+						t.Errorf("Delete(%v) = %t, %v", pool[i], ok, err)
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		seed := int64(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 120; q++ {
+				x1 := geom.Coord(rng.Int63n(40000))
+				y1 := geom.Coord(rng.Int63n(40000))
+				if q%2 == 0 {
+					db.TopOpen(x1, x1+8000, y1)
+				} else {
+					db.RangeSkyline(geom.Rect{X1: x1, X2: x1 + 8000, Y1: y1, Y2: y1 + 8000})
+				}
+				_ = db.Len()
+				_ = db.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	ref := append([]geom.Point(nil), base...)
+	for u := 0; u < nUpdaters; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		for i := 0; i < len(pool); i += 2 {
+			ref = append(ref, pool[i])
+		}
+	}
+	if db.Len() != len(ref) {
+		t.Fatalf("final Len = %d, want %d", db.Len(), len(ref))
+	}
+	rng := rand.New(rand.NewSource(216))
+	for q := 0; q < 30; q++ {
+		x1 := geom.Coord(rng.Int63n(40000))
+		y1 := geom.Coord(rng.Int63n(40000))
+		r := geom.Rect{X1: x1, X2: x1 + 12000, Y1: y1, Y2: y1 + 12000}
+		if got, want := db.RangeSkyline(r), geom.RangeSkyline(ref, r); !sameAnswer(got, want) {
+			t.Fatalf("final q=%d: %v vs %v", q, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+// Backend adapters for the paper's single-disk structures. Each adapter
+// pairs one structure with the disk charged for its I/Os; structures
+// sharing a disk (as in an unsharded core.DB) share the counters, so
+// callers aggregating stats across backends should sum over distinct
+// disks, not distinct backends. The sharded engine (internal/shard)
+// implements Backend natively and needs no adapter.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/foursided"
+	"repro/internal/geom"
+	"repro/internal/topopen"
+)
+
+// errStatic is returned by every update method of a static backend.
+func errStatic(kind string) error {
+	return fmt.Errorf("engine: %s backend is static; reopen with Options.Dynamic", kind)
+}
+
+// TopOpenBackend serves the top-open family from the Theorem 1 static
+// index. All update methods fail.
+type TopOpenBackend struct {
+	ix   *topopen.Index
+	disk *emio.Disk
+}
+
+// NewTopOpen wraps a Theorem 1 index and the disk it lives on.
+func NewTopOpen(ix *topopen.Index, d *emio.Disk) *TopOpenBackend {
+	return &TopOpenBackend{ix: ix, disk: d}
+}
+
+func (b *TopOpenBackend) RangeSkyline(q geom.Rect) []geom.Point {
+	if !q.IsTopOpen() {
+		panic("engine: topopen backend requires a top-open rectangle")
+	}
+	return b.ix.Query(q.X1, q.X2, q.Y1)
+}
+
+func (b *TopOpenBackend) Insert(geom.Point) error         { return errStatic("topopen") }
+func (b *TopOpenBackend) Delete(geom.Point) (bool, error) { return false, errStatic("topopen") }
+func (b *TopOpenBackend) BatchInsert([]geom.Point) error  { return errStatic("topopen") }
+func (b *TopOpenBackend) BatchDelete([]geom.Point) (int, error) {
+	return 0, errStatic("topopen")
+}
+func (b *TopOpenBackend) Stats() emio.Stats { return b.disk.Stats() }
+func (b *TopOpenBackend) ResetStats()       { b.disk.ResetStats() }
+
+// DynTopBackend serves the top-open family from the Theorem 4 dynamic
+// tree.
+type DynTopBackend struct {
+	tree *dyntop.Tree
+	disk *emio.Disk
+}
+
+// NewDynTop wraps a Theorem 4 tree and the disk it lives on.
+func NewDynTop(tree *dyntop.Tree, d *emio.Disk) *DynTopBackend {
+	return &DynTopBackend{tree: tree, disk: d}
+}
+
+func (b *DynTopBackend) RangeSkyline(q geom.Rect) []geom.Point {
+	if !q.IsTopOpen() {
+		panic("engine: dyntop backend requires a top-open rectangle")
+	}
+	return b.tree.Query(q.X1, q.X2, q.Y1)
+}
+
+func (b *DynTopBackend) Insert(p geom.Point) error { b.tree.Insert(p); return nil }
+
+func (b *DynTopBackend) Delete(p geom.Point) (bool, error) { return b.tree.Delete(p), nil }
+
+func (b *DynTopBackend) BatchInsert(pts []geom.Point) error {
+	for _, p := range pts {
+		b.tree.Insert(p)
+	}
+	return nil
+}
+
+func (b *DynTopBackend) BatchDelete(pts []geom.Point) (int, error) {
+	removed := 0
+	for _, p := range pts {
+		if b.tree.Delete(p) {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+func (b *DynTopBackend) Stats() emio.Stats { return b.disk.Stats() }
+func (b *DynTopBackend) ResetStats()       { b.disk.ResetStats() }
+
+// FourSidedBackend serves every rectangle shape from the Theorem 6
+// structure. It is always dynamic (the structure has no static mode).
+type FourSidedBackend struct {
+	ix   *foursided.Index
+	disk *emio.Disk
+}
+
+// NewFourSided wraps a Theorem 6 index and the disk it lives on.
+func NewFourSided(ix *foursided.Index, d *emio.Disk) *FourSidedBackend {
+	return &FourSidedBackend{ix: ix, disk: d}
+}
+
+func (b *FourSidedBackend) RangeSkyline(q geom.Rect) []geom.Point { return b.ix.Query(q) }
+
+func (b *FourSidedBackend) Insert(p geom.Point) error { b.ix.Insert(p); return nil }
+
+func (b *FourSidedBackend) Delete(p geom.Point) (bool, error) { return b.ix.Delete(p), nil }
+
+func (b *FourSidedBackend) BatchInsert(pts []geom.Point) error {
+	for _, p := range pts {
+		b.ix.Insert(p)
+	}
+	return nil
+}
+
+func (b *FourSidedBackend) BatchDelete(pts []geom.Point) (int, error) {
+	removed := 0
+	for _, p := range pts {
+		if b.ix.Delete(p) {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+func (b *FourSidedBackend) Stats() emio.Stats { return b.disk.Stats() }
+func (b *FourSidedBackend) ResetStats()       { b.disk.ResetStats() }

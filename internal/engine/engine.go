@@ -1,0 +1,275 @@
+// Package engine defines the query-execution seam of the repository: a
+// Backend interface every range skyline engine implements, a Figure-2
+// shape classifier, and a small Planner that routes each query rectangle
+// to the best registered backend and fans updates out to every backend.
+//
+// The paper's structures divide the seven Figure-2 query shapes into two
+// families. The top-open family (any rectangle whose top edge is
+// grounded: top-open, dominance, contour, whole-plane)
+// is answered by the Theorem 1/4 structures in O(log) I/Os; everything
+// with a bounded top edge (4-sided, left-open, right-open, bottom-open,
+// anti-dominance) needs the Theorem 6 structure, whose Ω((n/B)^ε) cost
+// is optimal at linear space by Theorem 5. The Planner encodes exactly
+// that split: a backend registered for the top-open family takes the
+// cheap shapes, the general backend takes the rest — and when only a
+// general backend is registered (for example the sharded engine, which
+// serves both families itself), it takes everything.
+//
+// Updates flow through the same seam. core.DB registers one backend per
+// physical structure; Insert/Delete/BatchInsert/BatchDelete apply to all
+// of them so every backend sees the same point set. The first registered
+// backend is the primary: Delete consults it first and touches the
+// others only after the primary confirms presence, so a miss never
+// mutates any backend (see core.DB.Delete's regression test).
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// Backend is one range skyline engine: a structure (or a composite, like
+// the sharded engine) that answers some family of Figure-2 rectangles
+// and, when dynamic, accepts single and batched updates. Static backends
+// return an error from every update method without mutating anything.
+type Backend interface {
+	// RangeSkyline reports the maximal points of P ∩ q in
+	// increasing-x order.
+	RangeSkyline(q geom.Rect) []geom.Point
+	// Insert adds a point (general position is the caller's contract).
+	Insert(p geom.Point) error
+	// Delete removes a point, reporting whether it was present. A miss
+	// must not mutate the backend.
+	Delete(p geom.Point) (bool, error)
+	// BatchInsert adds many points, amortizing per-call overhead
+	// (lock acquisitions, fan-out) across the batch.
+	BatchInsert(pts []geom.Point) error
+	// BatchDelete removes many points, reporting how many were
+	// present and removed.
+	BatchDelete(pts []geom.Point) (int, error)
+	// Stats returns the backend's I/O counters since the last
+	// ResetStats.
+	Stats() emio.Stats
+	// ResetStats zeroes the backend's I/O counters.
+	ResetStats()
+}
+
+// Shape names the seven query rectangle shapes of Figure 2 plus the
+// general 4-sided rectangle of Figure 1b.
+type Shape int
+
+const (
+	// FourSided is a rectangle bounded on all four sides (Figure 1b).
+	FourSided Shape = iota
+	// TopOpenShape is [x1,x2] × [y,∞) (Figure 2a).
+	TopOpenShape
+	// RightOpenShape is [x,∞) × [y1,y2] (Figure 2b).
+	RightOpenShape
+	// BottomOpenShape is [x1,x2] × (-∞,y] (Figure 2c).
+	BottomOpenShape
+	// LeftOpenShape is (-∞,x] × [y1,y2] (Figure 2d).
+	LeftOpenShape
+	// DominanceShape is [x,∞) × [y,∞) (Figure 2e).
+	DominanceShape
+	// AntiDominanceShape is (-∞,x] × (-∞,y] (Figure 2f).
+	AntiDominanceShape
+	// ContourShape is (-∞,x] × (-∞,∞) (Figure 2g).
+	ContourShape
+	// WholePlane is (-∞,∞) × (-∞,∞): the skyline of the whole set.
+	WholePlane
+)
+
+var shapeNames = map[Shape]string{
+	FourSided:          "4-sided",
+	TopOpenShape:       "top-open",
+	RightOpenShape:     "right-open",
+	BottomOpenShape:    "bottom-open",
+	LeftOpenShape:      "left-open",
+	DominanceShape:     "dominance",
+	AntiDominanceShape: "anti-dominance",
+	ContourShape:       "contour",
+	WholePlane:         "whole-plane",
+}
+
+func (s Shape) String() string { return shapeNames[s] }
+
+// Classify names the Figure-2 shape of q from its grounded sides.
+func Classify(q geom.Rect) Shape {
+	left := q.X1 == geom.NegInf
+	right := q.X2 == geom.PosInf
+	bottom := q.Y1 == geom.NegInf
+	top := q.Y2 == geom.PosInf
+	switch {
+	case left && right && bottom && top:
+		return WholePlane
+	case left && top && bottom:
+		return ContourShape
+	case right && top && !left && !bottom:
+		return DominanceShape
+	case left && bottom && !right && !top:
+		return AntiDominanceShape
+	case top && !left && !right && !bottom:
+		return TopOpenShape
+	case bottom && !left && !right && !top:
+		return BottomOpenShape
+	case left && !right && !top && !bottom:
+		return LeftOpenShape
+	case right && !left && !top && !bottom:
+		return RightOpenShape
+	default:
+		// Remaining grounded combinations (e.g. left+right, or
+		// bottom+right) have no Figure-2 name; they are answered as
+		// general rectangles.
+		if top {
+			return TopOpenShape
+		}
+		return FourSided
+	}
+}
+
+// TopOpenFamily reports whether the shape is answerable by the top-open
+// structures (Theorems 1 and 4): exactly the rectangles whose top edge
+// is grounded.
+func (s Shape) TopOpenFamily() bool {
+	switch s {
+	case TopOpenShape, DominanceShape, ContourShape, WholePlane:
+		return true
+	}
+	return false
+}
+
+// Planner routes queries to the best registered backend and fans updates
+// out to every backend. It is not itself safe for concurrent
+// registration; register all backends before use (queries and updates
+// then inherit whatever concurrency the backends support).
+type Planner struct {
+	topOpen  Backend // answers the top-open family; may be nil
+	general  Backend // answers every shape; may be nil
+	backends []Backend
+}
+
+// RegisterTopOpen installs the backend serving the top-open query family
+// (top-open, dominance, contour, whole-plane).
+func (pl *Planner) RegisterTopOpen(b Backend) {
+	pl.topOpen = b
+	pl.addBackend(b)
+}
+
+// RegisterGeneral installs the backend serving every rectangle shape.
+// It answers the top-open family too when no top-open backend is
+// registered.
+func (pl *Planner) RegisterGeneral(b Backend) {
+	pl.general = b
+	pl.addBackend(b)
+}
+
+func (pl *Planner) addBackend(b Backend) {
+	for _, have := range pl.backends {
+		if have == b {
+			return
+		}
+	}
+	pl.backends = append(pl.backends, b)
+}
+
+// Backends returns the distinct registered backends in registration
+// order. The first is the primary consulted by Delete.
+func (pl *Planner) Backends() []Backend { return pl.backends }
+
+// Route returns the backend that should answer q: the top-open backend
+// for the top-open family when registered, the general backend
+// otherwise. It returns nil when no registered backend can answer q.
+func (pl *Planner) Route(q geom.Rect) Backend {
+	if Classify(q).TopOpenFamily() && pl.topOpen != nil {
+		return pl.topOpen
+	}
+	return pl.general
+}
+
+// RangeSkyline answers q through the routed backend.
+func (pl *Planner) RangeSkyline(q geom.Rect) []geom.Point {
+	b := pl.Route(q)
+	if b == nil {
+		panic(fmt.Sprintf("engine: no backend registered for %v (%v)", q, Classify(q)))
+	}
+	return b.RangeSkyline(q)
+}
+
+// Insert applies p to every backend so they index the same point set.
+func (pl *Planner) Insert(p geom.Point) error {
+	for _, b := range pl.backends {
+		if err := b.Insert(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes p, presence-check-first: the primary (first registered)
+// backend is consulted first, and the remaining backends are only
+// mutated after it confirms presence. A miss therefore mutates nothing,
+// and a backend disagreeing with the primary's verdict is reported as
+// corruption. On an error after the primary confirmed presence the
+// reported bool is still true — the point was removed from the primary —
+// so callers can keep their size accounting consistent with it.
+func (pl *Planner) Delete(p geom.Point) (bool, error) {
+	if len(pl.backends) == 0 {
+		return false, fmt.Errorf("engine: no backends registered")
+	}
+	present, err := pl.backends[0].Delete(p)
+	if err != nil || !present {
+		return present, err
+	}
+	for _, b := range pl.backends[1:] {
+		ok, err := b.Delete(p)
+		if err != nil {
+			return true, err
+		}
+		if !ok {
+			return true, fmt.Errorf("engine: backends disagree on presence of %v", p)
+		}
+	}
+	return true, nil
+}
+
+// BatchInsert applies the batch to every backend through its batched
+// path, so each backend amortizes its per-call overhead (the sharded
+// backend takes each shard lock once per batch, not once per point).
+func (pl *Planner) BatchInsert(pts []geom.Point) error {
+	for _, b := range pl.backends {
+		if err := b.BatchInsert(pts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchDelete removes the batch, returning how many points were present
+// and removed. With a single backend (the sharded layout) the batch goes
+// straight through its batched path, which is where true batching —
+// per-shard grouping, one lock per shard per batch — lives. With
+// multiple backends the batch degrades to presence-checked per-point
+// Deletes so the miss-mutates-nothing guarantee of Delete holds for
+// every point; those backends' batch paths are plain loops anyway. The
+// returned count is meaningful even alongside an error.
+func (pl *Planner) BatchDelete(pts []geom.Point) (int, error) {
+	if len(pl.backends) == 0 {
+		return 0, fmt.Errorf("engine: no backends registered")
+	}
+	if len(pl.backends) == 1 {
+		return pl.backends[0].BatchDelete(pts)
+	}
+	removed := 0
+	for _, p := range pts {
+		ok, err := pl.Delete(p)
+		if ok {
+			removed++
+		}
+		if err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

@@ -1,12 +1,16 @@
-// Package shard implements a sharded, concurrent top-open range skyline
-// engine: the first scaling layer above the paper's single-machine
-// structures. The point set is partitioned by x-range into K shards, each
-// owning a private guarded emio.Disk and its own top-open structure — the
-// Theorem 4 dynamic tree (dyntop) or the Theorem 1 static index (topopen).
-// A query TopOpen(x1, x2, β) fans out to the shards whose x-ranges
-// overlap [x1, x2] through a bounded worker pool, and the per-shard
-// skylines are merged right-to-left: a point survives exactly when its y
-// exceeds the maximum y reported by every shard to its right, so the
+// Package shard implements a sharded, concurrent range skyline engine
+// serving every Figure-2 query shape: the first scaling layer above the
+// paper's single-machine structures. The point set is partitioned by
+// x-range into K shards, each owning a private guarded emio.Disk with two
+// structures on it: a top-open structure — the Theorem 4 dynamic tree
+// (dyntop) or the Theorem 1 static index (topopen) — and a Theorem 6
+// 4-sided structure (foursided) for the shapes with a bounded top edge.
+// A query fans out to the shards whose x-ranges overlap [x1, x2] through
+// a bounded worker pool, and the per-shard skylines are merged
+// right-to-left: a point survives exactly when its y exceeds the maximum
+// y reported by every shard to its right. Because the shards are
+// x-disjoint and each per-shard answer is a range skyline (increasing x,
+// decreasing y), the same merge is correct for both families, and the
 // merged answer is identical to the single-disk structure's.
 //
 // Concurrency model: each shard serializes its own operations behind a
@@ -27,6 +31,7 @@ import (
 	"repro/internal/dyntop"
 	"repro/internal/emio"
 	"repro/internal/extsort"
+	"repro/internal/foursided"
 	"repro/internal/geom"
 	"repro/internal/topopen"
 )
@@ -36,8 +41,9 @@ type Options struct {
 	// Machine is the simulated EM machine of each shard's private disk;
 	// zero means emio.DefaultConfig().
 	Machine emio.Config
-	// Epsilon is the Theorem 4 query/update trade-off parameter for the
-	// dynamic per-shard structures; zero means 0.5.
+	// Epsilon is the query/update trade-off parameter: the Theorem 4
+	// exponent of the dynamic top-open structures and the Theorem 6
+	// exponent of the per-shard 4-sided structures; zero means 0.5.
 	Epsilon float64
 	// Shards is the number of x-range partitions K; zero or one means a
 	// single shard (no partitioning).
@@ -47,14 +53,16 @@ type Options struct {
 	Workers int
 	// Dynamic selects updatable per-shard structures (dyntop, Theorem
 	// 4). A static engine uses topopen (Theorem 1) and rejects Insert
-	// and Delete.
+	// and Delete. The per-shard 4-sided structures exist in both modes
+	// (Theorem 6 has no static variant); a static engine still answers
+	// every query shape, it only refuses updates.
 	Dynamic bool
 }
 
 // Counters are the engine-level operation totals, aggregated atomically
 // across all queries and updates.
 type Counters struct {
-	// Queries counts TopOpen calls.
+	// Queries counts queries of every shape (TopOpen and FourSided).
 	Queries uint64
 	// Updates counts applied updates: Inserts (batch inserts count one
 	// per point) and Deletes of present points. A Delete miss is not
@@ -70,15 +78,17 @@ type topIndex interface {
 }
 
 // shard is one x-range partition. mu serializes every operation against
-// the shard's structure and disk.
+// the shard's structures and disk.
 type shard struct {
 	mu   sync.Mutex
 	disk *emio.Disk
 	top  topIndex
 	dyn  *dyntop.Tree // non-nil iff the engine is dynamic
+	four *foursided.Index
 }
 
-// Engine is a sharded concurrent top-open range skyline engine.
+// Engine is a sharded concurrent range skyline engine serving every
+// Figure-2 query shape. It implements the engine.Backend interface.
 type Engine struct {
 	opts   Options
 	shards []*shard
@@ -140,6 +150,7 @@ func New(opts Options, pts []geom.Point) (*Engine, error) {
 			f.Free()
 			s.top = ix
 		}
+		s.four = foursided.Build(s.disk, opts.Epsilon, chunk)
 		e.shards = append(e.shards, s)
 		if i < k-1 {
 			cut := prevCut
@@ -214,11 +225,11 @@ func (e *Engine) submit(wg *sync.WaitGroup, fn func()) {
 	}
 }
 
-// TopOpen reports the range skyline of [x1,x2] × [beta, ∞) in
-// increasing-x order, fanning the query out to the overlapping shards and
-// merging their answers. The result is identical to a single-disk
-// structure over the whole point set.
-func (e *Engine) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
+// fanOut runs query against every shard overlapping [x1, x2] through
+// the worker pool and merges the per-shard skylines right-to-left. Both
+// query families share it: shards are x-disjoint and each per-shard
+// answer is a range skyline, so the max-y survivor merge is exact.
+func (e *Engine) fanOut(x1, x2 geom.Coord, query func(*shard) []geom.Point) []geom.Point {
 	e.queries.Add(1)
 	if x1 > x2 {
 		return nil
@@ -230,7 +241,7 @@ func (e *Engine) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
 		s, slot := e.shards[i], i-lo
 		e.submit(&wg, func() {
 			s.mu.Lock()
-			parts[slot] = s.top.Query(x1, x2, beta)
+			parts[slot] = query(s)
 			s.mu.Unlock()
 		})
 	}
@@ -240,14 +251,39 @@ func (e *Engine) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
 	return out
 }
 
-// RangeSkyline answers any top-open-family rectangle (top-open,
-// dominance, contour, whole-set). It panics on rectangles with a bounded
-// top edge; those belong to the 4-sided structure.
-func (e *Engine) RangeSkyline(q geom.Rect) []geom.Point {
-	if !q.IsTopOpen() {
-		panic("shard: RangeSkyline requires a top-open rectangle")
+// TopOpen reports the range skyline of [x1,x2] × [beta, ∞) in
+// increasing-x order, fanning the query out to the overlapping shards and
+// merging their answers. The result is identical to a single-disk
+// structure over the whole point set.
+func (e *Engine) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
+	return e.fanOut(x1, x2, func(s *shard) []geom.Point {
+		return s.top.Query(x1, x2, beta)
+	})
+}
+
+// FourSided reports the range skyline of an arbitrary rectangle (the
+// 4-sided family: 4-sided, left-open, right-open, bottom-open,
+// anti-dominance) from the per-shard Theorem 6 structures, merged
+// exactly like TopOpen. The result is identical to a single-disk
+// foursided.Index over the whole point set.
+func (e *Engine) FourSided(q geom.Rect) []geom.Point {
+	if q.Y1 > q.Y2 {
+		e.queries.Add(1)
+		return nil
 	}
-	return e.TopOpen(q.X1, q.X2, q.Y1)
+	return e.fanOut(q.X1, q.X2, func(s *shard) []geom.Point {
+		return s.four.Query(q)
+	})
+}
+
+// RangeSkyline answers any Figure-2 rectangle, routing the top-open
+// family to the per-shard top-open structures and everything else to the
+// per-shard 4-sided structures.
+func (e *Engine) RangeSkyline(q geom.Rect) []geom.Point {
+	if q.IsTopOpen() {
+		return e.TopOpen(q.X1, q.X2, q.Y1)
+	}
+	return e.FourSided(q)
 }
 
 // Skyline reports the skyline of the whole point set.
@@ -282,6 +318,30 @@ func mergeSkylines(parts [][]geom.Point) []geom.Point {
 	return out
 }
 
+// insertLocked adds p to both of the shard's structures. Caller holds
+// s.mu.
+func (s *shard) insertLocked(p geom.Point) {
+	s.dyn.Insert(p)
+	s.four.Insert(p)
+}
+
+// deleteLocked removes p from both of the shard's structures,
+// presence-check-first: the dyntop tree verifies presence before
+// mutating, and the 4-sided structure is only touched after that
+// confirmation, so a miss mutates nothing. The structures disagreeing is
+// corruption; the bool is still true then — the top-open structure did
+// remove the point — so callers keep their size accounting consistent.
+// Caller holds s.mu.
+func (s *shard) deleteLocked(p geom.Point) (bool, error) {
+	if !s.dyn.Delete(p) {
+		return false, nil
+	}
+	if !s.four.Delete(p) {
+		return true, fmt.Errorf("shard: structures disagree on presence of %v", p)
+	}
+	return true, nil
+}
+
 // Insert adds a point to a dynamic engine, routing it to the shard owning
 // its x-range. The point must preserve general position.
 func (e *Engine) Insert(p geom.Point) error {
@@ -290,7 +350,7 @@ func (e *Engine) Insert(p geom.Point) error {
 	}
 	s := e.shards[e.shardFor(p.X)]
 	s.mu.Lock()
-	s.dyn.Insert(p)
+	s.insertLocked(p)
 	s.mu.Unlock()
 	e.n.Add(1)
 	e.updates.Add(1)
@@ -304,13 +364,23 @@ func (e *Engine) Delete(p geom.Point) (bool, error) {
 	}
 	s := e.shards[e.shardFor(p.X)]
 	s.mu.Lock()
-	ok := s.dyn.Delete(p)
+	ok, err := s.deleteLocked(p)
 	s.mu.Unlock()
 	if ok {
 		e.n.Add(-1)
 		e.updates.Add(1)
 	}
-	return ok, nil
+	return ok, err
+}
+
+// groupByShard splits pts by destination shard.
+func (e *Engine) groupByShard(pts []geom.Point) map[int][]geom.Point {
+	groups := make(map[int][]geom.Point)
+	for _, p := range pts {
+		i := e.shardFor(p.X)
+		groups[i] = append(groups[i], p)
+	}
+	return groups
 }
 
 // BatchInsert adds many points at once: they are grouped by destination
@@ -321,18 +391,13 @@ func (e *Engine) BatchInsert(pts []geom.Point) error {
 	if !e.opts.Dynamic {
 		return fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
 	}
-	groups := make(map[int][]geom.Point)
-	for _, p := range pts {
-		i := e.shardFor(p.X)
-		groups[i] = append(groups[i], p)
-	}
 	var wg sync.WaitGroup
-	for i, group := range groups {
+	for i, group := range e.groupByShard(pts) {
 		s, group := e.shards[i], group
 		e.submit(&wg, func() {
 			s.mu.Lock()
 			for _, p := range group {
-				s.dyn.Insert(p)
+				s.insertLocked(p)
 			}
 			s.mu.Unlock()
 		})
@@ -341,4 +406,45 @@ func (e *Engine) BatchInsert(pts []geom.Point) error {
 	e.n.Add(int64(len(pts)))
 	e.updates.Add(uint64(len(pts)))
 	return nil
+}
+
+// BatchDelete removes many points at once with the same per-shard
+// grouping as BatchInsert: one lock acquisition per shard per batch. It
+// returns how many of the points were present and removed (misses are
+// skipped, not errors). The first structural-corruption error, if any,
+// is returned after all groups finish.
+func (e *Engine) BatchDelete(pts []geom.Point) (int, error) {
+	if !e.opts.Dynamic {
+		return 0, fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
+	}
+	var removed atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for i, group := range e.groupByShard(pts) {
+		s, group := e.shards[i], group
+		e.submit(&wg, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, p := range group {
+				ok, err := s.deleteLocked(p)
+				if ok {
+					removed.Add(1)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	n := int(removed.Load())
+	e.n.Add(-int64(n))
+	e.updates.Add(uint64(n))
+	return n, firstErr
 }

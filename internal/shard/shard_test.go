@@ -8,6 +8,7 @@ import (
 	"repro/internal/dyntop"
 	"repro/internal/emio"
 	"repro/internal/extsort"
+	"repro/internal/foursided"
 	"repro/internal/geom"
 	"repro/internal/topopen"
 )
@@ -229,6 +230,149 @@ func TestUnsortedRejected(t *testing.T) {
 	}
 	if _, err := New(Options{Machine: testCfg, Epsilon: 2}, nil); err == nil {
 		t.Fatal("epsilon out of range accepted")
+	}
+}
+
+// randFourSided draws a rectangle from the 4-sided family: bounded top
+// edge, other sides bounded or grounded.
+func randFourSided(rng *rand.Rand, span geom.Coord) geom.Rect {
+	x1 := rng.Int63n(span)
+	y1 := rng.Int63n(span)
+	r := geom.Rect{X1: x1, X2: x1 + rng.Int63n(span/2+1), Y1: y1, Y2: y1 + rng.Int63n(span/2+1)}
+	switch rng.Intn(6) {
+	case 0:
+		r.X1 = geom.NegInf // left-open
+	case 1:
+		r.Y1 = geom.NegInf // bottom-open
+	case 2:
+		r.X2 = geom.PosInf // right-open
+	case 3:
+		r.X1, r.Y1 = geom.NegInf, geom.NegInf // anti-dominance
+	}
+	return r
+}
+
+// TestFourSidedMatchesSingleDisk is the 4-sided acceptance check: the
+// sharded engine must return byte-identical answers to a single-disk
+// foursided.Index over the same points, for every shard/worker split.
+func TestFourSidedMatchesSingleDisk(t *testing.T) {
+	const n = 600
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 63)
+	geom.SortByX(pts)
+	single := foursided.Build(emio.NewDisk(testCfg), 0.5, pts)
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, workers := range []int{1, 4} {
+			eng, err := New(Options{Machine: testCfg, Shards: shards, Workers: workers, Dynamic: true}, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(shards*100 + workers)))
+			for q := 0; q < 120; q++ {
+				r := randFourSided(rng, span)
+				got := eng.FourSided(r)
+				want := single.Query(r)
+				ctx := "shards=" + itoa(shards) + " workers=" + itoa(workers) + " q=" + itoa(q)
+				samePoints(t, got, want, ctx+" (vs foursided)")
+				samePoints(t, got, geom.RangeSkyline(pts, r), ctx+" (vs oracle)")
+			}
+		}
+	}
+}
+
+// TestRangeSkylineRouting checks that RangeSkyline serves both families
+// (it used to panic on bounded-top rectangles).
+func TestRangeSkylineRouting(t *testing.T) {
+	const n = 300
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 71)
+	geom.SortByX(pts)
+	eng, err := New(Options{Machine: testCfg, Shards: 4, Dynamic: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	for q := 0; q < 60; q++ {
+		var r geom.Rect
+		if q%2 == 0 {
+			x1, x2, beta := randTopOpen(rng, span)
+			r = geom.TopOpen(x1, x2, beta)
+		} else {
+			r = randFourSided(rng, span)
+		}
+		samePoints(t, eng.RangeSkyline(r), geom.RangeSkyline(pts, r), "q="+itoa(q))
+	}
+	// Degenerate y-range on the 4-sided path.
+	if got := eng.FourSided(geom.Rect{X1: 0, X2: span, Y1: 10, Y2: 5}); got != nil {
+		t.Fatalf("inverted y-range returned %v", got)
+	}
+}
+
+// TestStaticFourSided: a static engine still answers the 4-sided family
+// but rejects batched updates.
+func TestStaticFourSided(t *testing.T) {
+	const n = 400
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 77)
+	geom.SortByX(pts)
+	eng, err := New(Options{Machine: testCfg, Shards: 4, Dynamic: false}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+	for q := 0; q < 60; q++ {
+		r := randFourSided(rng, span)
+		samePoints(t, eng.FourSided(r), geom.RangeSkyline(pts, r), "static q="+itoa(q))
+	}
+	if err := eng.BatchInsert(pts[:2]); err == nil {
+		t.Fatal("BatchInsert on static engine did not fail")
+	}
+	if _, err := eng.BatchDelete(pts[:2]); err == nil {
+		t.Fatal("BatchDelete on static engine did not fail")
+	}
+}
+
+// TestBatchDelete removes a batch spanning every shard plus some absent
+// points, and cross-checks both families afterwards.
+func TestBatchDelete(t *testing.T) {
+	const n = 600
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 81)
+	geom.SortByX(pts)
+	eng, err := New(Options{Machine: testCfg, Shards: 4, Workers: 4, Dynamic: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete every third point, plus points that were never inserted.
+	var batch, ref []geom.Point
+	for i, p := range pts {
+		if i%3 == 0 {
+			batch = append(batch, p)
+		} else {
+			ref = append(ref, p)
+		}
+	}
+	absent := []geom.Point{{X: span + 10, Y: span + 10}, {X: span + 20, Y: span + 20}}
+	removed, err := eng.BatchDelete(append(append([]geom.Point(nil), batch...), absent...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(batch) {
+		t.Fatalf("BatchDelete removed %d, want %d", removed, len(batch))
+	}
+	if eng.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", eng.Len(), len(ref))
+	}
+	if got := eng.Counters().Updates; got != uint64(len(batch)) {
+		t.Fatalf("Updates counter = %d, want %d (misses must not count)", got, len(batch))
+	}
+	rng := rand.New(rand.NewSource(82))
+	for q := 0; q < 40; q++ {
+		x1, x2, beta := randTopOpen(rng, span)
+		samePoints(t, eng.TopOpen(x1, x2, beta),
+			geom.RangeSkyline(ref, geom.TopOpen(x1, x2, beta)), "top q="+itoa(q))
+		r := randFourSided(rng, span)
+		samePoints(t, eng.FourSided(r), geom.RangeSkyline(ref, r), "four q="+itoa(q))
 	}
 }
 

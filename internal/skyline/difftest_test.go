@@ -133,8 +133,12 @@ func TestDifferentialStatic(t *testing.T) {
 				diffPoints(t, geom.RangeSkyline(pts, r), want, ctx+" geom oracle")
 
 				fr := randFourSided(rng, span)
-				diffPoints(t, four.Query(fr), naiveRangeSkyline(pts, fr),
-					fmt.Sprintf("seed=%d q=%d %v foursided", seed, q, fr))
+				fctx := fmt.Sprintf("seed=%d q=%d %v", seed, q, fr)
+				single := four.Query(fr)
+				diffPoints(t, single, naiveRangeSkyline(pts, fr), fctx+" foursided")
+				// The static sharded engine serves the 4-sided family
+				// too, byte-identically to the single-disk structure.
+				diffPoints(t, eng.RangeSkyline(fr), single, fctx+" shard 4-sided vs single")
 			}
 		})
 	}
@@ -156,6 +160,7 @@ func TestDifferentialDynamic(t *testing.T) {
 			geom.SortByX(base)
 
 			tree := dyntop.BuildSABE(emio.NewDisk(diffCfg), 0.5, base)
+			four := foursided.Build(emio.NewDisk(diffCfg), 0.5, base)
 			eng, err := shard.New(shard.Options{Machine: diffCfg, Shards: 4, Workers: 3, Dynamic: true}, base)
 			if err != nil {
 				t.Fatal(err)
@@ -180,6 +185,7 @@ func TestDifferentialDynamic(t *testing.T) {
 					p := pool[len(pool)-1]
 					pool = pool[:len(pool)-1]
 					tree.Insert(p)
+					four.Insert(p)
 					if err := eng.Insert(p); err != nil {
 						t.Fatalf("%s: %v", ctx, err)
 					}
@@ -195,6 +201,9 @@ func TestDifferentialDynamic(t *testing.T) {
 					p := ref[j]
 					if !tree.Delete(p) {
 						t.Fatalf("%s: dyntop lost %v", ctx, p)
+					}
+					if !four.Delete(p) {
+						t.Fatalf("%s: foursided lost %v", ctx, p)
 					}
 					if ok, err := eng.Delete(p); err != nil || !ok {
 						t.Fatalf("%s: shard Delete(%v) = %t, %v", ctx, p, ok, err)
@@ -213,13 +222,108 @@ func TestDifferentialDynamic(t *testing.T) {
 					diffPoints(t, db.RangeSkyline(r), single, ctx+fmt.Sprintf(" %v db vs dyntop", r))
 
 					fr := randFourSided(rng, span)
-					diffPoints(t, db.RangeSkyline(fr), naiveRangeSkyline(ref, fr),
-						ctx+fmt.Sprintf(" %v db 4-sided", fr))
+					single4 := four.Query(fr)
+					diffPoints(t, single4, naiveRangeSkyline(ref, fr),
+						ctx+fmt.Sprintf(" %v foursided", fr))
+					diffPoints(t, eng.RangeSkyline(fr), single4,
+						ctx+fmt.Sprintf(" %v shard 4-sided vs single", fr))
+					diffPoints(t, db.RangeSkyline(fr), single4,
+						ctx+fmt.Sprintf(" %v db 4-sided vs single", fr))
 				}
 			}
 			if db.Len() != len(ref) || eng.Len() != len(ref) || tree.Len() != len(ref) {
 				t.Fatalf("seed=%d: Len db=%d eng=%d tree=%d, want %d",
 					seed, db.Len(), eng.Len(), tree.Len(), len(ref))
+			}
+		})
+	}
+}
+
+// TestDifferentialBatch drives batched updates — BatchInsert and
+// BatchDelete, through both the sharded engine directly and the routed
+// core.DB — against the O(n²) oracle. Batches mix fresh points, present
+// points, and absent points, and every round cross-checks both query
+// families.
+func TestDifferentialBatch(t *testing.T) {
+	const n, extra = 200, 400
+	span := geom.Coord((n + extra) * 16)
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			all := geom.GenUniform(n+extra, span, seed+1300)
+			base := append([]geom.Point(nil), all[:n]...)
+			pool := append([]geom.Point(nil), all[n:]...)
+			geom.SortByX(base)
+
+			eng, err := shard.New(shard.Options{Machine: diffCfg, Shards: 4, Workers: 4, Dynamic: true}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 4}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := append([]geom.Point(nil), base...)
+			rng := rand.New(rand.NewSource(seed + 77))
+			for round := 0; round < 12; round++ {
+				ctx := fmt.Sprintf("seed=%d round=%d", seed, round)
+				if rng.Intn(2) == 0 && len(pool) > 0 {
+					// Insert a batch drawn from the fresh pool.
+					k := 1 + rng.Intn(len(pool))
+					batch := append([]geom.Point(nil), pool[:k]...)
+					pool = pool[k:]
+					if err := eng.BatchInsert(batch); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					if err := db.BatchInsert(batch); err != nil {
+						t.Fatalf("%s: %v", ctx, err)
+					}
+					ref = append(ref, batch...)
+				} else if len(ref) > 0 {
+					// Delete a batch: some present points (possibly
+					// duplicated within the batch) plus guaranteed
+					// absentees.
+					k := 1 + rng.Intn(len(ref))
+					perm := rng.Perm(len(ref))[:k]
+					sort.Ints(perm)
+					var batch []geom.Point
+					for _, j := range perm {
+						batch = append(batch, ref[j])
+					}
+					for i := len(perm) - 1; i >= 0; i-- {
+						j := perm[i]
+						ref = append(ref[:j], ref[j+1:]...)
+					}
+					want := len(batch)
+					// Duplicates in the batch: the second delete of the
+					// same point is a miss, not an error.
+					if len(batch) > 0 && rng.Intn(2) == 0 {
+						batch = append(batch, batch[0])
+					}
+					batch = append(batch, geom.Point{X: span + geom.Coord(round) + 1, Y: span + geom.Coord(round) + 1})
+					got, err := eng.BatchDelete(batch)
+					if err != nil || got != want {
+						t.Fatalf("%s: eng.BatchDelete = %d, %v; want %d", ctx, got, err, want)
+					}
+					got, err = db.BatchDelete(batch)
+					if err != nil || got != want {
+						t.Fatalf("%s: db.BatchDelete = %d, %v; want %d", ctx, got, err, want)
+					}
+				}
+				if eng.Len() != len(ref) || db.Len() != len(ref) {
+					t.Fatalf("%s: Len eng=%d db=%d, want %d", ctx, eng.Len(), db.Len(), len(ref))
+				}
+				for q := 0; q < 10; q++ {
+					x1, x2, beta := randTopOpen(rng, span)
+					r := geom.TopOpen(x1, x2, beta)
+					want := naiveRangeSkyline(ref, r)
+					diffPoints(t, eng.TopOpen(x1, x2, beta), want, ctx+fmt.Sprintf(" %v shard", r))
+					diffPoints(t, db.RangeSkyline(r), want, ctx+fmt.Sprintf(" %v db", r))
+
+					fr := randFourSided(rng, span)
+					want4 := naiveRangeSkyline(ref, fr)
+					diffPoints(t, eng.RangeSkyline(fr), want4, ctx+fmt.Sprintf(" %v shard 4-sided", fr))
+					diffPoints(t, db.RangeSkyline(fr), want4, ctx+fmt.Sprintf(" %v db 4-sided", fr))
+				}
 			}
 		})
 	}

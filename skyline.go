@@ -15,17 +15,27 @@
 //	db, err := repro.Open(repro.Options{}, points)
 //	sky := db.TopOpen(x1, x2, beta) // maxima of P ∩ [x1,x2]×[beta,∞)
 //
+// Every Figure-2 query shape has a named entry point — TopOpen,
+// RightOpen, BottomOpen, LeftOpen, Dominance, AntiDominance, Contour —
+// plus the general DB.RangeSkyline; an internal planner
+// (internal/engine) routes each shape to the asymptotically best
+// backend. Dynamic indexes accept Insert/Delete and the batched
+// DB.BatchInsert/DB.BatchDelete, which amortize per-call overhead
+// across the batch.
+//
 // Opening with Options{Shards: K, Workers: W} partitions the point set
-// by x-range across K shards, each with a private simulated disk, and
-// serves top-open queries from a concurrent worker-pool engine
-// (internal/shard) whose answers are identical to the single-disk
-// structures'.
+// by x-range across K shards, each with a private simulated disk
+// carrying both a top-open and a 4-sided structure, and serves every
+// query shape from a concurrent worker-pool engine (internal/shard)
+// whose answers are identical to the single-disk structures'. Batched
+// updates group by destination shard and take each shard lock once per
+// batch.
 //
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
 // internal/lowerbound (Lemma 8 / Theorem 5), internal/foursided
-// (Theorem 6).
+// (Theorem 6), internal/shard and internal/engine (the scaling seam).
 package repro
 
 import (
