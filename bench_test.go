@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/cpqa"
 	"repro/internal/emio"
 	"repro/internal/extsort"
@@ -313,3 +314,28 @@ func benchBatchLoad(b *testing.B, batched bool) {
 
 func BenchmarkE12BatchInsert(b *testing.B)  { benchBatchLoad(b, true) }
 func BenchmarkE12SingleInsert(b *testing.B) { benchBatchLoad(b, false) }
+
+// BenchmarkE13MirroredRightOpen — mirrored fast path: right-open
+// queries served by the transposed top-open structure in O(log_B n)
+// I/Os, vs the Theorem 6 path's (n/B)^eps on the same index without
+// mirrors (BenchmarkE13Theorem6RightOpen).
+func benchRightOpen(b *testing.B, mirrors bool) {
+	const n = 1 << 14
+	pts := geom.GenUniform(n, int64(n)*16, 29)
+	db, err := core.Open(core.Options{Machine: benchCfg, Mirrors: mirrors}, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	db.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y1 := rng.Int63n(int64(n) * 16)
+		db.RangeSkyline(geom.RightOpen(rng.Int63n(int64(n)*16), y1, y1+int64(n)*2))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(db.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+func BenchmarkE13MirroredRightOpen(b *testing.B) { benchRightOpen(b, true) }
+func BenchmarkE13Theorem6RightOpen(b *testing.B) { benchRightOpen(b, false) }

@@ -1,0 +1,172 @@
+// Command benchguard compares two skybench -json artifacts and warns —
+// loudly, but with exit status 0 — when the current run regressed more
+// than a threshold against the committed baseline. It is the
+// benchstat-style gate of the CI bench job: regressions surface as
+// GitHub workflow warnings on the job summary instead of breaking the
+// build, because wall-clock on shared runners is noisy.
+//
+// Two kinds of comparison, per experiment ID:
+//
+//   - Deterministic I/O metrics: any output line of the form
+//     "<ID>-METRIC key=value ...". Fields with a decimal point are the
+//     metrics (thm6=13.1 mirrored=4.0); every other field — strings and
+//     integers alike — labels the measurement (shape=right-open
+//     n=4096). Simulated block transfers do not depend on the host, so
+//     these compare exactly across machines; a metric regression is a
+//     real algorithmic regression.
+//   - Wall-clock seconds, as a fallback for experiments that emit no
+//     metric lines.
+//
+// Usage:
+//
+//	benchguard [-threshold 0.30] baseline.json current.json
+//
+// Exit status: 0 on any comparison outcome (warnings included);
+// 1 only for unreadable or malformed inputs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+var flagThreshold = flag.Float64("threshold", 0.30, "relative regression that triggers a warning")
+
+// result mirrors cmd/skybench's -json record.
+type result struct {
+	ID      string  `json:"id"`
+	Quick   bool    `json:"quick"`
+	Seconds float64 `json:"seconds"`
+	Output  string  `json:"output"`
+}
+
+// metric is one labelled measurement parsed from a METRIC line.
+type metric struct {
+	labels string // canonical "k=v k=v" string of the non-numeric fields
+	values map[string]float64
+}
+
+// parseMetrics extracts "<ID>-METRIC" lines from an experiment's
+// captured output, keyed by their label set.
+func parseMetrics(id, output string) map[string]metric {
+	out := make(map[string]metric)
+	prefix := id + "-METRIC"
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		var labels []string
+		values := make(map[string]float64)
+		for _, tok := range strings.Fields(line[len(prefix):]) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				continue
+			}
+			// Decimal point ⇒ metric; integers (like n=4096) and
+			// strings are labels identifying the measurement.
+			if f, err := strconv.ParseFloat(v, 64); err == nil && strings.Contains(v, ".") {
+				values[k] = f
+			} else {
+				labels = append(labels, tok)
+			}
+		}
+		if len(values) > 0 {
+			key := strings.Join(labels, " ")
+			out[key] = metric{labels: key, values: values}
+		}
+	}
+	return out
+}
+
+func load(path string) (map[string]result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(blob, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		out[r.ID] = r
+	}
+	return out, nil
+}
+
+// warn prints a GitHub-Actions warning annotation (a plain line off CI).
+func warn(format string, args ...any) {
+	fmt.Printf("::warning::benchguard: "+format+"\n", args...)
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 0.30] baseline.json current.json")
+		os.Exit(1)
+	}
+	baseline, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	current, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	compared, regressions := 0, 0
+	for id, base := range baseline {
+		cur, ok := current[id]
+		if !ok {
+			warn("experiment %s present in baseline but missing from current run", id)
+			continue
+		}
+		if base.Quick != cur.Quick {
+			warn("experiment %s: baseline quick=%t vs current quick=%t; comparison skipped",
+				id, base.Quick, cur.Quick)
+			continue
+		}
+		bm, cm := parseMetrics(id, base.Output), parseMetrics(id, cur.Output)
+		if len(bm) == 0 {
+			// Fallback: wall clock, host-dependent and noisy — hence
+			// warn-only by design.
+			compared++
+			if cur.Seconds > base.Seconds*(1+*flagThreshold) {
+				regressions++
+				warn("%s wall clock %.2fs vs baseline %.2fs (+%.0f%%)",
+					id, cur.Seconds, base.Seconds, 100*(cur.Seconds/base.Seconds-1))
+			}
+			continue
+		}
+		for key, b := range bm {
+			c, ok := cm[key]
+			if !ok {
+				warn("%s metric line [%s] missing from current run", id, key)
+				continue
+			}
+			for name, bv := range b.values {
+				cv, ok := c.values[name]
+				if !ok {
+					warn("%s [%s] metric %s missing from current run", id, key, name)
+					continue
+				}
+				compared++
+				// Guard the ratio: tiny baselines (fully cached paths)
+				// use an absolute slack of one I/O instead.
+				if cv > bv*(1+*flagThreshold) && cv > bv+1 {
+					regressions++
+					warn("%s [%s] %s=%.1f vs baseline %.1f (+%.0f%%)",
+						id, key, name, cv, bv, 100*(cv/bv-1))
+				}
+			}
+		}
+	}
+	fmt.Printf("benchguard: %d comparisons, %d regressions beyond %.0f%% (warn-only)\n",
+		compared, regressions, 100**flagThreshold)
+}

@@ -25,9 +25,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cpqa"
 	"repro/internal/dyntop"
 	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/extsort"
 	"repro/internal/foursided"
 	"repro/internal/geom"
@@ -123,6 +125,7 @@ func main() {
 	run("E10", e10)
 	run("E11", e11)
 	run("E12", e12)
+	run("E13", e13)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {
@@ -575,6 +578,118 @@ func e12() {
 	// the structures' own work dominates coordination cost.
 	fmt.Printf("    speedup batched/single: insert %.2fx, delete %.2fx (GOMAXPROCS-bound)\n",
 		rate[1][0]/rate[0][0], rate[1][1]/rate[0][1])
+}
+
+func e13() {
+	fmt.Println("E13 mirrored fast paths (Options.Mirrors): transposed top-open structures")
+	fmt.Println("    right-open drops from the Theorem 6 (n/B)^eps cost to the Theorem 1 log_B n cost;")
+	fmt.Println("    bottom-open/left-open/anti-dominance cannot move (Theorem 5 lower bound at linear")
+	fmt.Println("    space: no other axis reflection preserves dominance) and stay byte-identical on")
+	fmt.Println("    the Theorem 6 path with or without mirrors.")
+	type shapeGen struct {
+		name string
+		make func(rng *rand.Rand, n int, span int64) geom.Rect
+	}
+	shapes := []shapeGen{
+		{"right-open", func(rng *rand.Rand, n int, span int64) geom.Rect {
+			y1 := rng.Int63n(span)
+			return geom.RightOpen(rng.Int63n(span), y1, y1+int64(n)*2)
+		}},
+		{"bottom-open", func(rng *rand.Rand, n int, span int64) geom.Rect {
+			x1 := rng.Int63n(span)
+			return geom.BottomOpen(x1, x1+int64(n)*2, rng.Int63n(span))
+		}},
+		{"left-open", func(rng *rand.Rand, n int, span int64) geom.Rect {
+			y1 := rng.Int63n(span)
+			return geom.LeftOpen(rng.Int63n(span), y1, y1+int64(n)*2)
+		}},
+		{"anti-dominance", func(rng *rand.Rand, n int, span int64) geom.Rect {
+			return geom.AntiDominance(rng.Int63n(span), rng.Int63n(span))
+		}},
+	}
+	ns := sizes([]int{1 << 12, 1 << 14}, []int{1 << 12, 1 << 14, 1 << 16})
+	const rounds = 40
+	type row struct {
+		plain, mirrored, k float64
+		served             string
+	}
+	results := make(map[string]map[int]row)
+	for _, g := range shapes {
+		results[g.name] = make(map[int]row)
+	}
+	for _, n := range ns {
+		span := int64(n) * 16
+		pts := geom.GenUniform(n, span, int64(n)+29)
+		for _, g := range shapes {
+			// Fresh indexes per shape: reusing one pair across shapes
+			// would let an earlier shape's queries warm one DB's cache
+			// and not the other's, skewing the comparison.
+			plain, err := core.Open(core.Options{Machine: cfg}, pts)
+			if err != nil {
+				panic(err)
+			}
+			mirrored, err := core.Open(core.Options{Machine: cfg, Mirrors: true}, pts)
+			if err != nil {
+				panic(err)
+			}
+			rng := rand.New(rand.NewSource(int64(n) + 31))
+			qs := make([]geom.Rect, rounds)
+			for i := range qs {
+				qs[i] = g.make(rng, n, span)
+			}
+			// Measure both paths before the cross-check loop, so
+			// neither benefits from a cache the other's verification
+			// pass warmed.
+			mirrored.ResetStats()
+			for _, q := range qs {
+				mirrored.RangeSkyline(q)
+			}
+			mirroredIOs := float64(mirrored.Stats().IOs()) / rounds
+			var k uint64
+			plain.ResetStats()
+			for _, q := range qs {
+				k += uint64(len(plain.RangeSkyline(q)))
+			}
+			plainIOs := float64(plain.Stats().IOs()) / rounds
+			for _, q := range qs {
+				// Byte-identical is the contract the differential
+				// harness enforces; re-check it on the fly here so a
+				// benchmark can never report a fast-but-wrong path.
+				got, want := mirrored.RangeSkyline(q), plain.RangeSkyline(q)
+				if len(got) != len(want) {
+					panic(fmt.Sprintf("E13: answers diverge on %v", q))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						panic(fmt.Sprintf("E13: answers diverge on %v", q))
+					}
+				}
+			}
+			served := "thm6"
+			if _, ok := mirrored.Planner().Route(qs[0]).(*engine.MirrorBackend); ok {
+				served = "mirror"
+			}
+			results[g.name][n] = row{plain: plainIOs, mirrored: mirroredIOs,
+				k: float64(k) / rounds, served: served}
+		}
+	}
+	for _, g := range shapes {
+		fmt.Printf("    shape %s\n", g.name)
+		fmt.Printf("%10s %12s %14s %10s %10s %10s %10s\n",
+			"n", "thm6 I/Os", "mirrored I/Os", "served-by", "mean k", "log_B n", "(n/B)^.5")
+		for _, n := range ns {
+			r := results[g.name][n]
+			fmt.Printf("%10d %12.1f %14.1f %10s %10.1f %10.1f %10.1f\n",
+				n, r.plain, r.mirrored, r.served, r.k,
+				math.Log(float64(n))/math.Log(float64(cfg.B)),
+				math.Sqrt(float64(n)/float64(cfg.B)))
+			// Machine-parsable, host-independent (simulated I/Os are
+			// deterministic): cmd/benchguard compares these against the
+			// committed BENCH_e13.json baseline.
+			fmt.Printf("E13-METRIC shape=%s n=%d thm6=%.1f mirrored=%.1f\n",
+				g.name, n, r.plain, r.mirrored)
+		}
+	}
 }
 
 func min(a, b int) int {

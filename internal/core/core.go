@@ -8,9 +8,15 @@
 //     structure (O(log_B n + k/B)) or, when the index is opened dynamic,
 //     to the Theorem 4 structure (O(log²_{B^ε}(n/B) + k/B^{1−ε}) with
 //     O(log²_{B^ε}(n/B)) updates);
-//   - 4-sided, left-open, right-open, bottom-open and anti-dominance
-//     queries go to the Theorem 6 structure (O((n/B)^ε + k/B), optimal
-//     at linear space by Theorem 5; updates O(log(n/B)) amortized);
+//   - with Options.Mirrors, right-open queries (and every rectangle
+//     with a grounded right edge) go to a top-open structure over the
+//     transposed point set, which answers them in the top-open bounds —
+//     the transpose preserves dominance, so the answers are
+//     byte-identical to the Theorem 6 structure's;
+//   - 4-sided, left-open, bottom-open and anti-dominance queries (and
+//     right-open ones, without mirrors) go to the Theorem 6 structure
+//     (O((n/B)^ε + k/B), optimal at linear space by Theorem 5; updates
+//     O(log(n/B)) amortized);
 //   - with Options.Shards > 1, every shape is served by the sharded
 //     concurrent engine (internal/shard), whose per-shard structures are
 //     the same two families on x-disjoint partitions, so its answers are
@@ -60,6 +66,25 @@ type Options struct {
 	// Workers bounds the sharded engine's concurrent per-shard tasks;
 	// zero means Shards. Ignored when Shards <= 1.
 	Workers int
+	// Mirrors trades space for query speed on the grounded-right-edge
+	// query family: it maintains a transposed (x↔y) copy of the point
+	// set under its own top-open structure — sharded alongside the
+	// primary engine when Shards > 1, on a private disk otherwise — and
+	// routes right-open queries (Figure 2b, plus the unnamed rectangles
+	// with a grounded right edge) to it, replacing the Theorem 6
+	// Ω((n/B)^ε) cost with the Theorem 1/4 O(log) bounds. On a static
+	// index the win is immediate (Theorem 1: O(log_B n + k/B), measured
+	// in E13); on a dynamic index the mirror is a Theorem 4 tree whose
+	// polylog search beats (n/B)^ε asymptotically but whose k/B^{1-ε}
+	// reporting term exceeds Theorem 6's k/B, so the crossover arrives
+	// at larger n for queries with large answers. The extra
+	// copy costs roughly one more top-open structure (≈2× the top-open
+	// footprint, well under 2× the whole index) and every update is
+	// applied to it too. Bottom-open, left-open and anti-dominance
+	// queries are NOT accelerated: no other axis reflection preserves
+	// dominance, and Theorem 5 proves those shapes cannot beat the
+	// Theorem 6 bound at linear space.
+	Mirrors bool
 }
 
 // DB is a planar range skyline index over a simulated EM machine. All
@@ -117,20 +142,66 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 		// its answers identical to the single-disk structures'.
 		db.plan.RegisterTopOpen(eng)
 		db.plan.RegisterGeneral(eng)
-		return db, nil
-	}
-	if opts.Dynamic {
-		dyn := dyntop.BuildSABE(db.disk, opts.Epsilon, sorted)
-		db.plan.RegisterTopOpen(engine.NewDynTop(dyn, db.disk))
 	} else {
-		f := extsort.FromSlice(db.disk, 2, sorted)
-		top := topopen.Build(db.disk, f)
-		f.Free()
-		db.plan.RegisterTopOpen(engine.NewTopOpen(top, db.disk))
+		db.plan.RegisterTopOpen(buildTopOpen(db.disk, opts.Epsilon, opts.Dynamic, sorted))
+		four := foursided.Build(db.disk, opts.Epsilon, sorted)
+		db.plan.RegisterGeneral(engine.NewFourSided(four, db.disk))
 	}
-	four := foursided.Build(db.disk, opts.Epsilon, sorted)
-	db.plan.RegisterGeneral(engine.NewFourSided(four, db.disk))
+	if opts.Mirrors {
+		if err := db.addMirror(sorted); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// buildTopOpen builds the top-open-family backend over sorted points on
+// d: the Theorem 4 dynamic tree, or the Theorem 1 static index. The one
+// recipe serves both the primary unsharded backend and the unsharded
+// mirror, so the two can never drift apart.
+func buildTopOpen(d *emio.Disk, eps float64, dynamic bool, sorted []geom.Point) engine.Backend {
+	if dynamic {
+		return engine.NewDynTop(dyntop.BuildSABE(d, eps, sorted), d)
+	}
+	f := extsort.FromSlice(d, 2, sorted)
+	top := topopen.Build(d, f)
+	f.Free()
+	return engine.NewTopOpen(top, d)
+}
+
+// addMirror builds the transposed fast path: a top-open structure (or a
+// sharded TopOnly engine, when the primary is sharded) over the x↔y
+// reflected point set, registered with the planner as a mirror so the
+// grounded-right-edge query family is served in the top-open bounds.
+// The mirrored points are strictly sorted by reflected x because the
+// input is in general position (no duplicate y).
+func (db *DB) addMirror(sorted []geom.Point) error {
+	ref := geom.ReflectSwapXY
+	mirrored := ref.Pts(sorted)
+	geom.SortByX(mirrored)
+	var inner engine.Backend
+	if db.opts.Shards > 1 {
+		meng, err := shard.New(shard.Options{
+			Machine: db.opts.Machine,
+			Epsilon: db.opts.Epsilon,
+			Shards:  db.opts.Shards,
+			Workers: db.opts.Workers,
+			Dynamic: db.opts.Dynamic,
+			TopOnly: true,
+		}, mirrored)
+		if err != nil {
+			return err
+		}
+		inner = meng
+	} else {
+		inner = buildTopOpen(emio.NewDisk(db.opts.Machine), db.opts.Epsilon, db.opts.Dynamic, mirrored)
+	}
+	m, err := engine.NewMirror(ref, inner)
+	if err != nil {
+		return err
+	}
+	db.plan.RegisterMirror(m)
+	return nil
 }
 
 // Sharded returns the sharded concurrent engine serving every query
@@ -253,20 +324,15 @@ func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
 	return removed, err
 }
 
-// Stats returns the I/O counters since the last ResetStats, summed over
-// the index's disk and (when sharded) every shard disk.
+// Stats returns the I/O counters since the last ResetStats, aggregated
+// by the planner over every registered backend — the single-disk
+// structures, every shard disk, and every mirror's private storage —
+// counting each distinct disk exactly once.
 func (db *DB) Stats() emio.Stats {
-	s := db.disk.Stats()
-	if db.eng != nil {
-		s = s.Add(db.eng.Stats())
-	}
-	return s
+	return db.plan.Stats()
 }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the I/O counters of every registered backend.
 func (db *DB) ResetStats() {
-	db.disk.ResetStats()
-	if db.eng != nil {
-		db.eng.ResetStats()
-	}
+	db.plan.ResetStats()
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -356,5 +357,178 @@ func TestSkylineWhole(t *testing.T) {
 	}
 	if got, want := db.Skyline(), geom.Skyline(pts); !sameAnswer(got, want) {
 		t.Fatalf("Skyline = %v, want %v", got, want)
+	}
+}
+
+// TestMirrorRouting pins Options.Mirrors end to end: the planner serves
+// the grounded-right-edge family from the mirror backend, every other
+// shape keeps its pre-mirror route, and all answers stay byte-identical
+// to a mirror-less index — static and dynamic, unsharded and sharded.
+func TestMirrorRouting(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 32}
+	const n = 260
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 61)
+	for _, opts := range []Options{
+		{Machine: cfg, Mirrors: true},
+		{Machine: cfg, Mirrors: true, Dynamic: true},
+		{Machine: cfg, Mirrors: true, Dynamic: true, Shards: 4, Workers: 3},
+	} {
+		db, err := Open(opts, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Open(Options{Machine: cfg, Dynamic: opts.Dynamic, Shards: opts.Shards, Workers: opts.Workers}, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(db.Planner().Mirrors()); got != 1 {
+			t.Fatalf("Mirrors: registered %d mirror backends, want 1", got)
+		}
+		mirror := db.Planner().Mirrors()[0]
+		rng := rand.New(rand.NewSource(62))
+		for i := 0; i < 60; i++ {
+			x := rng.Int63n(span)
+			y1 := rng.Int63n(span)
+			y2 := y1 + rng.Int63n(span/2+1)
+			x2 := x + rng.Int63n(span/2+1)
+			fast := []geom.Rect{
+				geom.RightOpen(x, y1, y2),
+				{X1: x, X2: geom.PosInf, Y1: geom.NegInf, Y2: y2},
+				{X1: geom.NegInf, X2: geom.PosInf, Y1: y1, Y2: y2},
+			}
+			slow := []geom.Rect{
+				geom.BottomOpen(x, x2, y2),
+				geom.LeftOpen(x, y1, y2),
+				geom.AntiDominance(x, y2),
+				{X1: x, X2: x2, Y1: y1, Y2: y2},
+			}
+			for _, q := range fast {
+				if db.Planner().Route(q) != engine.Backend(mirror) {
+					t.Fatalf("%v should route to the mirror", q)
+				}
+				if !sameAnswer(db.RangeSkyline(q), plain.RangeSkyline(q)) {
+					t.Fatalf("%v: mirrored answer differs from Theorem 6 answer", q)
+				}
+			}
+			for _, q := range slow {
+				if db.Planner().Route(q) == engine.Backend(mirror) {
+					t.Fatalf("%v must not route to the mirror (Theorem 5)", q)
+				}
+				if !sameAnswer(db.RangeSkyline(q), plain.RangeSkyline(q)) {
+					t.Fatalf("%v: answer differs with mirrors enabled", q)
+				}
+			}
+			// Top-open family stays on the primary top-open backend.
+			if to := geom.TopOpen(x, x2, y1); db.Planner().Route(to) == engine.Backend(mirror) {
+				t.Fatalf("%v must not route to the mirror", to)
+			}
+		}
+	}
+}
+
+// TestMirrorUpdatesStaySynchronized drives single and batched updates
+// through a mirrored dynamic DB and checks the mirror's answers track
+// the primary's exactly.
+func TestMirrorUpdatesStaySynchronized(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 32}
+	const n, extra = 200, 140
+	span := geom.Coord((n + extra) * 16)
+	all := geom.GenUniform(n+extra, span, 63)
+	base := append([]geom.Point(nil), all[:n]...)
+	pool := all[n:]
+	for _, shards := range []int{1, 4} {
+		db, err := Open(Options{Machine: cfg, Dynamic: true, Shards: shards, Workers: 3, Mirrors: true}, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := append([]geom.Point(nil), base...)
+		check := func(ctx string) {
+			t.Helper()
+			rng := rand.New(rand.NewSource(64))
+			for i := 0; i < 40; i++ {
+				x := rng.Int63n(span)
+				y1 := rng.Int63n(span)
+				q := geom.RightOpen(x, y1, y1+rng.Int63n(span/2+1))
+				if !sameAnswer(db.RangeSkyline(q), geom.RangeSkyline(ref, q)) {
+					t.Fatalf("shards=%d %s: %v wrong after updates", shards, ctx, q)
+				}
+			}
+		}
+		for _, p := range pool[:40] {
+			if err := db.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, p)
+		}
+		check("inserts")
+		if err := db.BatchInsert(pool[40:]); err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, pool[40:]...)
+		check("batch insert")
+		if ok, err := db.Delete(pool[0]); err != nil || !ok {
+			t.Fatalf("Delete = %t, %v", ok, err)
+		}
+		ref = ref[:0]
+		for _, p := range append(append([]geom.Point(nil), base...), pool[1:]...) {
+			ref = append(ref, p)
+		}
+		check("delete")
+		victims := append([]geom.Point(nil), pool[1:80]...)
+		victims = append(victims, pool[1], geom.Point{X: span * 2, Y: span * 2}) // dup + absentee
+		removed, err := db.BatchDelete(victims)
+		if err != nil || removed != 79 {
+			t.Fatalf("BatchDelete = %d, %v; want 79", removed, err)
+		}
+		ref = append(append([]geom.Point(nil), base...), pool[80:]...)
+		check("batch delete")
+		if db.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", db.Len(), len(ref))
+		}
+	}
+}
+
+// TestStatsAggregationWithMirrors pins DB.Stats truthfulness (the
+// skybench contract): stats aggregate over every registered backend
+// including the mirror's private storage, each distinct disk counted
+// once, and ResetStats really zeroes the total.
+func TestStatsAggregationWithMirrors(t *testing.T) {
+	cfg := emio.Config{B: 32, M: 32 * 32}
+	pts := geom.GenUniform(500, 500*16, 65)
+	db, err := Open(Options{Machine: cfg, Mirrors: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	if got := db.Stats().IOs(); got != 0 {
+		t.Fatalf("after ResetStats, IOs = %d", got)
+	}
+	// A right-open query touches only the mirror's disk.
+	db.RangeSkyline(geom.RightOpen(0, 0, 500*16))
+	mirrorIOs := db.Stats().IOs()
+	if mirrorIOs == 0 {
+		t.Fatal("mirror query reported zero I/Os through DB.Stats")
+	}
+	if got := db.Disk().Stats().IOs(); got != 0 {
+		t.Fatalf("mirror query charged %d I/Os to the primary disk", got)
+	}
+	// A 4-sided query touches only the primary disk; the total must be
+	// the exact sum of the two disks (no double counting).
+	db.RangeSkyline(geom.Rect{X1: 10, X2: 5000, Y1: 10, Y2: 5000})
+	primaryIOs := db.Disk().Stats().IOs()
+	if primaryIOs == 0 {
+		t.Fatal("4-sided query reported zero I/Os on the primary disk")
+	}
+	mirror := db.Planner().Mirrors()[0]
+	if got, want := db.Stats(), db.Disk().Stats().Add(mirror.Stats()); got != want {
+		t.Fatalf("Stats() = %+v, want primary+mirror = %+v", got, want)
+	}
+	db.ResetStats()
+	if got := db.Stats().IOs(); got != 0 {
+		t.Fatalf("ResetStats left IOs = %d", got)
+	}
+	if got := db.Disk().Stats().IOs(); got != 0 {
+		t.Fatalf("ResetStats left primary disk IOs = %d", got)
 	}
 }

@@ -1,9 +1,10 @@
 // Backend adapters for the paper's single-disk structures. Each adapter
 // pairs one structure with the disk charged for its I/Os; structures
 // sharing a disk (as in an unsharded core.DB) share the counters, so
-// callers aggregating stats across backends should sum over distinct
-// disks, not distinct backends. The sharded engine (internal/shard)
-// implements Backend natively and needs no adapter.
+// callers aggregating stats across backends must sum over distinct
+// disks, not distinct backends — each adapter exposes its disk through
+// StatsKey and Planner.Stats dedups on it. The sharded engine
+// (internal/shard) implements Backend natively and needs no adapter.
 package engine
 
 import (
@@ -49,6 +50,10 @@ func (b *TopOpenBackend) BatchDelete([]geom.Point) (int, error) {
 func (b *TopOpenBackend) Stats() emio.Stats { return b.disk.Stats() }
 func (b *TopOpenBackend) ResetStats()       { b.disk.ResetStats() }
 
+// StatsKey identifies the disk charged for this backend's I/Os, so
+// Planner.Stats counts structures sharing a disk once.
+func (b *TopOpenBackend) StatsKey() any { return b.disk }
+
 // DynTopBackend serves the top-open family from the Theorem 4 dynamic
 // tree.
 type DynTopBackend struct {
@@ -80,10 +85,17 @@ func (b *DynTopBackend) BatchInsert(pts []geom.Point) error {
 }
 
 func (b *DynTopBackend) BatchDelete(pts []geom.Point) (int, error) {
-	removed := 0
+	removed, err := b.BatchDeleteRemoved(pts)
+	return len(removed), err
+}
+
+// BatchDeleteRemoved reports the removed subset itself, letting the
+// planner fan only confirmed-present points out to the other backends.
+func (b *DynTopBackend) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
+	var removed []geom.Point
 	for _, p := range pts {
 		if b.tree.Delete(p) {
-			removed++
+			removed = append(removed, p)
 		}
 	}
 	return removed, nil
@@ -91,6 +103,9 @@ func (b *DynTopBackend) BatchDelete(pts []geom.Point) (int, error) {
 
 func (b *DynTopBackend) Stats() emio.Stats { return b.disk.Stats() }
 func (b *DynTopBackend) ResetStats()       { b.disk.ResetStats() }
+
+// StatsKey identifies the disk charged for this backend's I/Os.
+func (b *DynTopBackend) StatsKey() any { return b.disk }
 
 // FourSidedBackend serves every rectangle shape from the Theorem 6
 // structure. It is always dynamic (the structure has no static mode).
@@ -129,3 +144,6 @@ func (b *FourSidedBackend) BatchDelete(pts []geom.Point) (int, error) {
 
 func (b *FourSidedBackend) Stats() emio.Stats { return b.disk.Stats() }
 func (b *FourSidedBackend) ResetStats()       { b.disk.ResetStats() }
+
+// StatsKey identifies the disk charged for this backend's I/Os.
+func (b *FourSidedBackend) StatsKey() any { return b.disk }

@@ -15,6 +15,18 @@
 // general backend is registered (for example the sharded engine, which
 // serves both families itself), it takes everything.
 //
+// One refinement cuts across the two families: a MirrorBackend holds a
+// top-open structure over the transposed (x↔y) point set, and because
+// the transpose preserves dominance, it serves every rectangle whose
+// RIGHT edge is grounded — right-open queries and the unnamed
+// right-grounded shapes — in the top-open bounds. The planner offers
+// those rectangles to the mirrors before falling back to the general
+// backend. The remaining bounded-top shapes (4-sided, left-open,
+// bottom-open, anti-dominance) stay on the general backend by
+// necessity, not omission: no other axis reflection preserves
+// dominance, and Theorem 5's lower bound pins them to Ω((n/B)^ε) at
+// linear space.
+//
 // Updates flow through the same seam. core.DB registers one backend per
 // physical structure; Insert/Delete/BatchInsert/BatchDelete apply to all
 // of them so every backend sees the same point set. The first registered
@@ -144,9 +156,20 @@ func (s Shape) TopOpenFamily() bool {
 // out to every backend. It is not itself safe for concurrent
 // registration; register all backends before use (queries and updates
 // then inherit whatever concurrency the backends support).
+//
+// Routing order: the top-open family goes to the top-open backend;
+// everything else is offered to the registered mirrors (a mirror takes
+// a rectangle when its reflection is top-open — the transpose mirror
+// takes the whole grounded-right-edge family, O(log) instead of the
+// general backend's Ω((n/B)^ε)); what remains goes to the general
+// backend. Bottom-open, left-open and anti-dominance rectangles never
+// match a mirror: the only dominance-preserving reflection is the
+// transpose, and Theorem 5 proves those shapes are stuck on the general
+// structure at linear space.
 type Planner struct {
 	topOpen  Backend // answers the top-open family; may be nil
 	general  Backend // answers every shape; may be nil
+	mirrors  []*MirrorBackend
 	backends []Backend
 }
 
@@ -165,6 +188,14 @@ func (pl *Planner) RegisterGeneral(b Backend) {
 	pl.addBackend(b)
 }
 
+// RegisterMirror installs a reflected fast path. Mirrors are consulted
+// in registration order for every rectangle outside the top-open
+// family; the first whose reflection grounds the top edge serves it.
+func (pl *Planner) RegisterMirror(m *MirrorBackend) {
+	pl.mirrors = append(pl.mirrors, m)
+	pl.addBackend(m)
+}
+
 func (pl *Planner) addBackend(b Backend) {
 	for _, have := range pl.backends {
 		if have == b {
@@ -179,14 +210,24 @@ func (pl *Planner) addBackend(b Backend) {
 func (pl *Planner) Backends() []Backend { return pl.backends }
 
 // Route returns the backend that should answer q: the top-open backend
-// for the top-open family when registered, the general backend
-// otherwise. It returns nil when no registered backend can answer q.
+// for the top-open family, then the first mirror whose reflection
+// grounds q's top edge, then the general backend. It returns nil when
+// no registered backend can answer q.
 func (pl *Planner) Route(q geom.Rect) Backend {
 	if Classify(q).TopOpenFamily() && pl.topOpen != nil {
 		return pl.topOpen
 	}
+	for _, m := range pl.mirrors {
+		if m.Serves(q) {
+			return m
+		}
+	}
 	return pl.general
 }
+
+// Mirrors returns the registered mirrored fast paths in registration
+// order.
+func (pl *Planner) Mirrors() []*MirrorBackend { return pl.mirrors }
 
 // RangeSkyline answers q through the routed backend.
 func (pl *Planner) RangeSkyline(q geom.Rect) []geom.Point {
@@ -246,30 +287,102 @@ func (pl *Planner) BatchInsert(pts []geom.Point) error {
 	return nil
 }
 
-// BatchDelete removes the batch, returning how many points were present
-// and removed. With a single backend (the sharded layout) the batch goes
-// straight through its batched path, which is where true batching —
-// per-shard grouping, one lock per shard per batch — lives. With
-// multiple backends the batch degrades to presence-checked per-point
-// Deletes so the miss-mutates-nothing guarantee of Delete holds for
-// every point; those backends' batch paths are plain loops anyway. The
-// returned count is meaningful even alongside an error.
+// batchDeleteReporter is the optional batched analogue of
+// presence-check-first: a backend that can report WHICH points a batch
+// delete removed, not just how many. Both dynamic primaries implement
+// it (DynTopBackend and shard.Engine).
+type batchDeleteReporter interface {
+	BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error)
+}
+
+// BatchDelete removes the batch through every backend's batched path,
+// returning how many points were present and removed. It is
+// presence-check-first, like Delete: the primary resolves the batch
+// first and reports the subset it actually removed, and only that
+// confirmed subset is fanned out to the remaining backends — so a miss
+// mutates nothing anywhere, and concurrent overlapping batches (legal
+// on the sharded layouts, where the primary serializes per shard and
+// resolves every contended point to exactly one caller) fan out
+// disjoint subsets instead of tripping false corruption reports. A
+// secondary backend disagreeing on a confirmed-present point is real
+// corruption; as for Delete, the returned count stays meaningful
+// alongside the error. Every backend runs its batched path — one lock
+// per shard per batch on the sharded engine and the sharded mirror.
+// (A primary without BatchDeleteRemoved — not a configuration core.Open
+// builds — falls back to unfiltered fan-out with count cross-checking,
+// which assumes no concurrent overlapping batches.)
 func (pl *Planner) BatchDelete(pts []geom.Point) (int, error) {
 	if len(pl.backends) == 0 {
 		return 0, fmt.Errorf("engine: no backends registered")
 	}
 	if len(pl.backends) == 1 {
+		// No secondaries to confirm the subset to; skip materializing
+		// the removed-points slice.
 		return pl.backends[0].BatchDelete(pts)
 	}
-	removed := 0
-	for _, p := range pts {
-		ok, err := pl.Delete(p)
-		if ok {
-			removed++
-		}
+	confirmed := pts
+	rep, hasReport := pl.backends[0].(batchDeleteReporter)
+	var removed int
+	var err error
+	if hasReport {
+		confirmed, err = rep.BatchDeleteRemoved(pts)
+		removed = len(confirmed)
+	} else {
+		removed, err = pl.backends[0].BatchDelete(pts)
+	}
+	if err != nil {
+		return removed, err
+	}
+	for _, b := range pl.backends[1:] {
+		got, err := b.BatchDelete(confirmed)
 		if err != nil {
 			return removed, err
 		}
+		if got != removed {
+			return removed, fmt.Errorf(
+				"engine: backends disagree on batch presence (%d vs %d removed)", got, removed)
+		}
 	}
 	return removed, nil
+}
+
+// statsKeyer lets a backend name the storage its Stats method counts,
+// so aggregation can dedup backends sharing a disk (the unsharded
+// layout charges its top-open and 4-sided structures to one disk).
+type statsKeyer interface{ StatsKey() any }
+
+// statsKey returns the dedup key for a backend's I/O counters: its
+// declared storage key when it has one, the backend itself otherwise.
+func statsKey(b Backend) any {
+	if k, ok := b.(statsKeyer); ok {
+		return k.StatsKey()
+	}
+	return b
+}
+
+// Stats aggregates the I/O counters of every registered backend,
+// counting each distinct underlying disk once — backends sharing a disk
+// (the unsharded adapters) do not double-count, and every mirror's
+// private storage is included, so skybench-style measurements through
+// the planner stay truthful.
+func (pl *Planner) Stats() emio.Stats {
+	var total emio.Stats
+	seen := make(map[any]bool, len(pl.backends))
+	for _, b := range pl.backends {
+		k := statsKey(b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		total = total.Add(b.Stats())
+	}
+	return total
+}
+
+// ResetStats zeroes the I/O counters of every registered backend
+// (resetting a shared disk twice is harmless).
+func (pl *Planner) ResetStats() {
+	for _, b := range pl.backends {
+		b.ResetStats()
+	}
 }

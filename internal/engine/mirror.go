@@ -1,0 +1,115 @@
+// MirrorBackend: the reflected fast path. It wraps a top-open-family
+// backend built over a reflected copy of the point set and serves every
+// rectangle whose reflection has a grounded top edge, rewriting the
+// query into the mirrored frame and mapping the answer back into
+// increasing-x order. With the transpose reflection this turns the
+// whole grounded-right-edge family — right-open (Figure 2b) and the
+// unnamed right-grounded rectangles — from Theorem 6's Ω((n/B)^ε) into
+// the Theorem 1/4 O(log) bounds, at the cost of one extra top-open
+// structure's space.
+//
+// Only dominance-preserving reflections are accepted: a reflection that
+// changes the dominance order would make the mirrored structure report
+// a different staircase than the range skyline (see
+// geom.Reflection.PreservesDominance and TestReflectionFallacy). That
+// gate is what keeps bottom-open, left-open and anti-dominance queries
+// on the Theorem 6 backend, where Theorem 5 proves they must stay at
+// linear space.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// MirrorBackend serves queries whose reflection is top-open from a
+// backend indexing the reflected point set. It implements Backend; the
+// inner backend sees only mirrored points and mirrored rectangles.
+type MirrorBackend struct {
+	ref   geom.Reflection
+	inner Backend
+}
+
+// NewMirror wraps inner — a backend over the ref-reflected point set —
+// as a fast path for rectangles whose reflection is top-open. It
+// rejects reflections that do not preserve dominance, because their
+// mirrored answers are not range skylines of the original frame.
+func NewMirror(ref geom.Reflection, inner Backend) (*MirrorBackend, error) {
+	if !ref.PreservesDominance() {
+		return nil, fmt.Errorf("engine: reflection %v does not preserve dominance; "+
+			"a mirrored structure would answer the wrong staircase (Theorem 5)", ref)
+	}
+	return &MirrorBackend{ref: ref, inner: inner}, nil
+}
+
+// Reflection returns the reflection between the original and mirrored
+// frames.
+func (m *MirrorBackend) Reflection() geom.Reflection { return m.ref }
+
+// Inner returns the backend serving the mirrored frame.
+func (m *MirrorBackend) Inner() Backend { return m.inner }
+
+// Serves reports whether q reflects onto the top-open family, i.e.
+// whether this mirror can answer it in the top-open bounds. For the
+// transpose mirror this is exactly the grounded-right-edge family
+// (q.X2 == +∞ with a bounded top edge once the planner has peeled off
+// the native top-open family).
+func (m *MirrorBackend) Serves(q geom.Rect) bool {
+	return m.ref.Rect(q).IsTopOpen()
+}
+
+// RangeSkyline rewrites q into the mirrored frame, queries the inner
+// top-open structure, and maps the answer back into increasing-x order.
+// Because the reflection preserves dominance, the result is
+// byte-identical to what a Theorem 6 structure reports for q.
+func (m *MirrorBackend) RangeSkyline(q geom.Rect) []geom.Point {
+	return m.ref.SkylineToOriginal(m.inner.RangeSkyline(m.ref.Rect(q)))
+}
+
+// Insert adds the reflected point, keeping the mirror synchronized with
+// the primary structures.
+func (m *MirrorBackend) Insert(p geom.Point) error {
+	return m.inner.Insert(m.ref.Point(p))
+}
+
+// Delete removes the reflected point, reporting presence.
+func (m *MirrorBackend) Delete(p geom.Point) (bool, error) {
+	return m.inner.Delete(m.ref.Point(p))
+}
+
+// BatchInsert reflects the batch and applies it through the inner
+// backend's batched path (the sharded mirror takes each mirrored-shard
+// lock once per batch, exactly like the primary engine).
+func (m *MirrorBackend) BatchInsert(pts []geom.Point) error {
+	return m.inner.BatchInsert(m.ref.Pts(pts))
+}
+
+// BatchDelete reflects the batch and removes it through the inner
+// backend's batched path, returning how many points were present.
+func (m *MirrorBackend) BatchDelete(pts []geom.Point) (int, error) {
+	return m.inner.BatchDelete(m.ref.Pts(pts))
+}
+
+// BatchDeleteRemoved forwards the inner backend's removed-subset report
+// (when it has one), mapping the subset back into the original frame,
+// so a mirror can serve as a presence-confirming primary too.
+func (m *MirrorBackend) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
+	rep, ok := m.inner.(batchDeleteReporter)
+	if !ok {
+		return nil, fmt.Errorf("engine: mirror's inner backend cannot report removed points")
+	}
+	removed, err := rep.BatchDeleteRemoved(m.ref.Pts(pts))
+	return m.ref.Inverse().Pts(removed), err
+}
+
+// Stats returns the mirror's I/O counters (the inner backend's disks).
+func (m *MirrorBackend) Stats() emio.Stats { return m.inner.Stats() }
+
+// ResetStats zeroes the mirror's I/O counters.
+func (m *MirrorBackend) ResetStats() { m.inner.ResetStats() }
+
+// StatsKey dedups stats through to the inner backend's disk, so a
+// mirror never double-counts with a backend it shares storage with.
+func (m *MirrorBackend) StatsKey() any { return statsKey(m.inner) }

@@ -1,0 +1,141 @@
+// Reflections of the plane, the algebra behind the engine's mirrored
+// fast paths. A reflected copy of the point set lets a top-open
+// structure (Theorems 1 and 4) answer query rectangles whose reflection
+// is top-open — but only when the reflection preserves the dominance
+// order, because a range skyline is the set of maxima under that fixed
+// order. Of the axis reflections, exactly one nontrivial map qualifies:
+// the transpose x↔y. It turns every rectangle with a grounded *right*
+// edge into one with a grounded *top* edge, which is why right-open
+// queries (Figure 2b) are really top-open queries in disguise.
+//
+// The y-negation map (and its composition with the transpose) reflects
+// the *rectangles* of bottom-open, left-open and anti-dominance queries
+// onto top-open rectangles too — but it does not preserve dominance, so
+// the mirrored structure would report the wrong staircase (the
+// south-east maxima instead of the north-east maxima). That is not an
+// implementation gap: Theorem 5 proves anti-dominance — a special case
+// of both bottom-open and left-open — needs Ω((n/B)^ε) I/Os at linear
+// space, and a mirrored copy is linear space. The PreservesDominance
+// gate (and TestReflectionFallacy) keeps that boundary honest.
+package geom
+
+// Reflection is an axis reflection of the plane. All four values are
+// involutions: applying one twice is the identity.
+type Reflection uint8
+
+const (
+	// ReflectIdentity maps (x,y) ↦ (x,y).
+	ReflectIdentity Reflection = iota
+	// ReflectSwapXY is the transpose (x,y) ↦ (y,x). It preserves
+	// dominance, so skylines commute with it; it is the reflection
+	// behind every sound mirrored fast path.
+	ReflectSwapXY
+	// ReflectNegY maps (x,y) ↦ (x,−y). It does NOT preserve dominance
+	// (maxima become the south-east staircase), so it cannot serve
+	// range skyline queries byte-identically; see the package comment.
+	ReflectNegY
+	// ReflectAntiTranspose maps (x,y) ↦ (−y,−x). It REVERSES dominance
+	// (maxima become minima), so it cannot serve range skyline queries
+	// either.
+	ReflectAntiTranspose
+)
+
+var reflectionNames = map[Reflection]string{
+	ReflectIdentity:      "identity",
+	ReflectSwapXY:        "swap-xy",
+	ReflectNegY:          "neg-y",
+	ReflectAntiTranspose: "anti-transpose",
+}
+
+func (r Reflection) String() string { return reflectionNames[r] }
+
+// negCoord negates a coordinate, mapping the grounded-side sentinels
+// onto each other so reflected rectangles stay well-formed.
+func negCoord(c Coord) Coord {
+	switch c {
+	case NegInf:
+		return PosInf
+	case PosInf:
+		return NegInf
+	}
+	return -c
+}
+
+// Point applies the reflection to a point.
+func (r Reflection) Point(p Point) Point {
+	switch r {
+	case ReflectSwapXY:
+		return Point{X: p.Y, Y: p.X}
+	case ReflectNegY:
+		return Point{X: p.X, Y: negCoord(p.Y)}
+	case ReflectAntiTranspose:
+		return Point{X: negCoord(p.Y), Y: negCoord(p.X)}
+	}
+	return p
+}
+
+// Pts applies the reflection to every point, returning a new slice.
+func (r Reflection) Pts(pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = r.Point(p)
+	}
+	return out
+}
+
+// Rect applies the reflection to a query rectangle, mapping grounded
+// sides (NegInf/PosInf sentinels) onto grounded sides: the image of
+// {p : q.Contains(p)} is exactly {p : r.Rect(q).Contains(r.Point(p))}.
+func (r Reflection) Rect(q Rect) Rect {
+	switch r {
+	case ReflectSwapXY:
+		return Rect{X1: q.Y1, X2: q.Y2, Y1: q.X1, Y2: q.X2}
+	case ReflectNegY:
+		return Rect{X1: q.X1, X2: q.X2, Y1: negCoord(q.Y2), Y2: negCoord(q.Y1)}
+	case ReflectAntiTranspose:
+		return Rect{X1: negCoord(q.Y2), X2: negCoord(q.Y1), Y1: negCoord(q.X2), Y2: negCoord(q.X1)}
+	}
+	return q
+}
+
+// Inverse returns the reflection undoing r. Every axis reflection here
+// is an involution, so the inverse is the reflection itself; the method
+// exists to keep call sites self-documenting.
+func (r Reflection) Inverse() Reflection { return r }
+
+// PreservesDominance reports whether p.Dominates(q) ⇔
+// r.Point(p).Dominates(r.Point(q)) for all points. Only such
+// reflections can serve range skyline (maxima) queries from a mirrored
+// structure; the others change which points are maximal.
+func (r Reflection) PreservesDominance() bool {
+	return r == ReflectIdentity || r == ReflectSwapXY
+}
+
+// flipsSkylineOrder reports whether a skyline listed in increasing
+// mirrored-x order maps back to *decreasing* original-x order. The
+// transpose does: mirrored x is original y, and a skyline's y decreases
+// as its x increases.
+func (r Reflection) flipsSkylineOrder() bool {
+	return r == ReflectSwapXY || r == ReflectAntiTranspose
+}
+
+// SkylineToOriginal maps a range skyline reported in the mirrored frame
+// (increasing mirrored-x order) back to the original frame in the
+// canonical increasing-x order. The input slice is not modified.
+func (r Reflection) SkylineToOriginal(mirror []Point) []Point {
+	if len(mirror) == 0 {
+		return nil
+	}
+	out := make([]Point, len(mirror))
+	inv := r.Inverse()
+	if r.flipsSkylineOrder() {
+		for i, p := range mirror {
+			out[len(mirror)-1-i] = inv.Point(p)
+		}
+	} else {
+		for i, p := range mirror {
+			out[i] = inv.Point(p)
+		}
+	}
+	return out
+}

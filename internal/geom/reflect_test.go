@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var allReflections = []Reflection{
+	ReflectIdentity, ReflectSwapXY, ReflectNegY, ReflectAntiTranspose,
+}
+
+func randPointR(rng *rand.Rand, span Coord) Point {
+	return Point{X: rng.Int63n(2*span) - span, Y: rng.Int63n(2*span) - span}
+}
+
+// randRectR mixes bounded and grounded sides, including every Figure-2
+// shape, so the involution/containment properties cover the sentinels.
+func randRectR(rng *rand.Rand, span Coord) Rect {
+	x1 := rng.Int63n(2*span) - span
+	y1 := rng.Int63n(2*span) - span
+	r := Rect{X1: x1, X2: x1 + rng.Int63n(span), Y1: y1, Y2: y1 + rng.Int63n(span)}
+	if rng.Intn(3) == 0 {
+		r.X1 = NegInf
+	}
+	if rng.Intn(3) == 0 {
+		r.X2 = PosInf
+	}
+	if rng.Intn(3) == 0 {
+		r.Y1 = NegInf
+	}
+	if rng.Intn(3) == 0 {
+		r.Y2 = PosInf
+	}
+	return r
+}
+
+// TestReflectionInvolution: applying any reflection twice is the
+// identity, on points and on rectangles (including grounded sides).
+func TestReflectionInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ref := range allReflections {
+		for i := 0; i < 500; i++ {
+			p := randPointR(rng, 1<<20)
+			if got := ref.Point(ref.Point(p)); got != p {
+				t.Fatalf("%v: %v round-trips to %v", ref, p, got)
+			}
+			q := randRectR(rng, 1<<20)
+			if got := ref.Rect(ref.Rect(q)); got != q {
+				t.Fatalf("%v: %v round-trips to %v", ref, q, got)
+			}
+		}
+	}
+}
+
+// TestReflectionContains: containment commutes with every reflection —
+// the image of P ∩ q is exactly (reflected P) ∩ (reflected q).
+func TestReflectionContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, ref := range allReflections {
+		for i := 0; i < 2000; i++ {
+			p := randPointR(rng, 1<<16)
+			q := randRectR(rng, 1<<16)
+			if q.Contains(p) != ref.Rect(q).Contains(ref.Point(p)) {
+				t.Fatalf("%v: Contains disagrees for %v in %v (image %v in %v)",
+					ref, p, q, ref.Point(p), ref.Rect(q))
+			}
+		}
+	}
+}
+
+// TestReflectionDominance pins which reflections preserve the dominance
+// order — the property that decides whether a mirrored top-open
+// structure answers range skyline queries correctly.
+func TestReflectionDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, ref := range allReflections {
+		preserved, reversed := true, true
+		for i := 0; i < 4000; i++ {
+			p, q := randPointR(rng, 1<<12), randPointR(rng, 1<<12)
+			rp, rq := ref.Point(p), ref.Point(q)
+			if p.Dominates(q) != rp.Dominates(rq) {
+				preserved = false
+			}
+			if p.Dominates(q) != rq.Dominates(rp) {
+				reversed = false
+			}
+		}
+		if preserved != ref.PreservesDominance() {
+			t.Fatalf("%v: PreservesDominance() = %t, measured %t",
+				ref, ref.PreservesDominance(), preserved)
+		}
+		// The anti-transpose reverses dominance exactly; neg-y does
+		// neither (it preserves the x-order but flips the y-order).
+		if ref == ReflectAntiTranspose && !reversed {
+			t.Fatalf("anti-transpose should reverse dominance")
+		}
+		if ref == ReflectNegY && (preserved || reversed) {
+			t.Fatalf("neg-y should neither preserve nor reverse dominance")
+		}
+	}
+}
+
+// TestSwapXYSkylineCommutes is the soundness property of the mirrored
+// fast path: for the transpose, the range skyline of any rectangle can
+// be computed in the mirrored frame and mapped back byte-identically —
+// regardless of the rectangle's shape.
+func TestSwapXYSkylineCommutes(t *testing.T) {
+	ref := ReflectSwapXY
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + 40))
+			pts := GenUniform(200, 200*16, seed+40)
+			mpts := ref.Pts(pts)
+			for i := 0; i < 200; i++ {
+				q := randRectR(rng, 200*16)
+				want := RangeSkyline(pts, q)
+				got := ref.SkylineToOriginal(RangeSkyline(mpts, ref.Rect(q)))
+				if len(got) != len(want) {
+					t.Fatalf("q=%v: got %d points %v, want %d %v",
+						q, len(got), got, len(want), want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("q=%v: point %d = %v, want %v", q, j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReflectionFallacy documents why the engine materializes no neg-y
+// or anti-transpose mirrors: those reflections map the *rectangles* of
+// bottom-open / left-open / anti-dominance queries onto top-open
+// rectangles, but not the *answers* — the mirrored skyline is a
+// different staircase. This is the geometric face of Theorem 5: those
+// shapes provably cannot leave the Ω((n/B)^ε) Theorem 6 path at linear
+// space, and any "fast path" for them would have to return wrong
+// results. The counterexample is pinned so the fallacy cannot be
+// reintroduced.
+func TestReflectionFallacy(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	// Anti-dominance query (-∞,3] × (-∞,3] contains both points;
+	// (2,2) dominates (1,1), so the answer is {(2,2)}.
+	q := AntiDominance(3, 3)
+	want := RangeSkyline(pts, q)
+	if len(want) != 1 || want[0] != (Point{X: 2, Y: 2}) {
+		t.Fatalf("oracle answer = %v, want [(2,2)]", want)
+	}
+	for _, ref := range []Reflection{ReflectNegY, ReflectAntiTranspose} {
+		if !ref.Rect(q).IsTopOpen() {
+			t.Fatalf("%v should map the anti-dominance rectangle to a "+
+				"top-open one (that is what makes the fallacy tempting)", ref)
+		}
+		got := ref.SkylineToOriginal(RangeSkyline(ref.Pts(pts), ref.Rect(q)))
+		if len(got) == 1 && got[0] == want[0] {
+			t.Fatalf("%v unexpectedly produced the correct answer; the "+
+				"counterexample no longer demonstrates the fallacy", ref)
+		}
+	}
+}
+
+// TestSwapXYGroundedRightFamily pins the serving condition of the swap
+// mirror: a rectangle reflects onto the top-open family exactly when
+// its right edge is grounded.
+func TestSwapXYGroundedRightFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		q := randRectR(rng, 1<<16)
+		if got, want := ReflectSwapXY.Rect(q).IsTopOpen(), q.X2 == PosInf; got != want {
+			t.Fatalf("%v: reflected IsTopOpen = %t, want %t", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// BenchmarkMergeAlloc measures the allocation profile of the query hot
+// path: fan-out over every shard plus the right-to-left merge. Run with
+// -benchmem; the per-shard fan-out buffers come from partsPool and
+// single-shard answers are handed through uncopied, so allocs/op stays
+// flat as shard count grows. (Before pooling: one [][]Point per query
+// plus one copy of every single-shard answer.)
+func BenchmarkMergeAlloc(b *testing.B) {
+	const n = 1 << 12
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 42)
+	geom.SortByX(pts)
+	for _, shards := range []int{4, 8} {
+		eng, err := New(Options{Machine: testCfg, Shards: shards, Workers: 1}, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{4: "shards=4", 8: "shards=8"}[shards], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate wide (every shard) and narrow (one shard)
+				// queries: the narrow case exercises the no-copy
+				// single-contributor path, the wide one the pooled
+				// multi-shard merge.
+				if i%2 == 0 {
+					eng.TopOpen(geom.NegInf, geom.PosInf, rng.Int63n(span))
+				} else {
+					x1 := rng.Int63n(span)
+					eng.TopOpen(x1, x1+span/geom.Coord(4*shards), rng.Int63n(span))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMirrorShardTopOpen pins the mirrored sharded configuration
+// (TopOnly) that engine.MirrorBackend runs on: top-open queries over
+// the reflected frame, no Theorem 6 structures built.
+func BenchmarkMirrorShardTopOpen(b *testing.B) {
+	const n = 1 << 12
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 43)
+	geom.SortByX(pts)
+	eng, err := New(Options{Machine: testCfg, Shards: 8, Workers: 4, TopOnly: true}, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := rng.Int63n(span)
+		eng.TopOpen(x1, x1+span/8, rng.Int63n(span))
+	}
+}

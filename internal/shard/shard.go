@@ -57,6 +57,13 @@ type Options struct {
 	// (Theorem 6 has no static variant); a static engine still answers
 	// every query shape, it only refuses updates.
 	Dynamic bool
+	// TopOnly skips the per-shard Theorem 6 structures: the engine then
+	// serves only the top-open family. This is the configuration of the
+	// mirrored fast-path engine (engine.MirrorBackend over a sharded
+	// backend): the mirror only ever receives reflected top-open
+	// rectangles, so carrying 4-sided structures in the mirrored frame
+	// would double its space for nothing.
+	TopOnly bool
 }
 
 // Counters are the engine-level operation totals, aggregated atomically
@@ -150,7 +157,9 @@ func New(opts Options, pts []geom.Point) (*Engine, error) {
 			f.Free()
 			s.top = ix
 		}
-		s.four = foursided.Build(s.disk, opts.Epsilon, chunk)
+		if !opts.TopOnly {
+			s.four = foursided.Build(s.disk, opts.Epsilon, chunk)
+		}
 		e.shards = append(e.shards, s)
 		if i < k-1 {
 			cut := prevCut
@@ -225,6 +234,13 @@ func (e *Engine) submit(wg *sync.WaitGroup, fn func()) {
 	}
 }
 
+// partsPool recycles the per-shard fan-out buffers: every query needs a
+// [][]Point with one slot per overlapped shard, and allocating it fresh
+// per query dominated the merge's allocation profile (see
+// BenchmarkMergeAlloc). Entries are nilled before a buffer is returned
+// so pooled buffers never pin per-shard answers.
+var partsPool = sync.Pool{New: func() any { return new([][]geom.Point) }}
+
 // fanOut runs query against every shard overlapping [x1, x2] through
 // the worker pool and merges the per-shard skylines right-to-left. Both
 // query families share it: shards are x-disjoint and each per-shard
@@ -235,7 +251,13 @@ func (e *Engine) fanOut(x1, x2 geom.Coord, query func(*shard) []geom.Point) []ge
 		return nil
 	}
 	lo, hi := e.shardFor(x1), e.shardFor(x2)
-	parts := make([][]geom.Point, hi-lo+1)
+	pp := partsPool.Get().(*[][]geom.Point)
+	parts := *pp
+	if need := hi - lo + 1; cap(parts) < need {
+		parts = make([][]geom.Point, need)
+	} else {
+		parts = parts[:need]
+	}
 	var wg sync.WaitGroup
 	for i := lo; i <= hi; i++ {
 		s, slot := e.shards[i], i-lo
@@ -247,6 +269,11 @@ func (e *Engine) fanOut(x1, x2 geom.Coord, query func(*shard) []geom.Point) []ge
 	}
 	wg.Wait()
 	out := mergeSkylines(parts)
+	for i := range parts {
+		parts[i] = nil
+	}
+	*pp = parts[:0]
+	partsPool.Put(pp)
 	e.points.Add(uint64(len(out)))
 	return out
 }
@@ -265,8 +292,13 @@ func (e *Engine) TopOpen(x1, x2, beta geom.Coord) []geom.Point {
 // 4-sided family: 4-sided, left-open, right-open, bottom-open,
 // anti-dominance) from the per-shard Theorem 6 structures, merged
 // exactly like TopOpen. The result is identical to a single-disk
-// foursided.Index over the whole point set.
+// foursided.Index over the whole point set. A TopOnly engine has no
+// Theorem 6 structures and panics — its owner (the mirror backend)
+// routes only reflected top-open rectangles here.
 func (e *Engine) FourSided(q geom.Rect) []geom.Point {
+	if e.opts.TopOnly {
+		panic("shard: TopOnly engine serves only the top-open family")
+	}
 	if q.Y1 > q.Y2 {
 		e.queries.Add(1)
 		return nil
@@ -295,21 +327,35 @@ func (e *Engine) Skyline() []geom.Point {
 // i.e. by x) after deleting cross-shard dominated points: scanning
 // right-to-left, a point survives iff its y exceeds the best y of every
 // shard to its right. Within a shard the skyline is decreasing in y, so
-// the survivors of each shard form a prefix.
+// the survivors of each shard form a prefix. When a single shard
+// contributes every survivor — the common case for narrow queries — its
+// buffer is handed through without copying (it is freshly allocated by
+// the per-shard structure and owned by nobody else).
 func mergeSkylines(parts [][]geom.Point) []geom.Point {
 	best := geom.Coord(math.MinInt64)
 	total := 0
+	sole := -1 // index of the only contributing shard, -1 if several
 	for i := len(parts) - 1; i >= 0; i-- {
 		sky := parts[i]
 		cut := sort.Search(len(sky), func(j int) bool { return sky[j].Y <= best })
 		parts[i] = sky[:cut]
-		total += cut
+		if cut > 0 {
+			if total == 0 {
+				sole = i
+			} else {
+				sole = -1
+			}
+			total += cut
+		}
 		if len(sky) > 0 && sky[0].Y > best {
 			best = sky[0].Y
 		}
 	}
 	if total == 0 {
 		return nil
+	}
+	if sole >= 0 {
+		return parts[sole]
 	}
 	out := make([]geom.Point, 0, total)
 	for _, sky := range parts {
@@ -318,11 +364,13 @@ func mergeSkylines(parts [][]geom.Point) []geom.Point {
 	return out
 }
 
-// insertLocked adds p to both of the shard's structures. Caller holds
-// s.mu.
+// insertLocked adds p to the shard's structures (the 4-sided one only
+// when present — TopOnly engines carry none). Caller holds s.mu.
 func (s *shard) insertLocked(p geom.Point) {
 	s.dyn.Insert(p)
-	s.four.Insert(p)
+	if s.four != nil {
+		s.four.Insert(p)
+	}
 }
 
 // deleteLocked removes p from both of the shard's structures,
@@ -336,7 +384,7 @@ func (s *shard) deleteLocked(p geom.Point) (bool, error) {
 	if !s.dyn.Delete(p) {
 		return false, nil
 	}
-	if !s.four.Delete(p) {
+	if s.four != nil && !s.four.Delete(p) {
 		return true, fmt.Errorf("shard: structures disagree on presence of %v", p)
 	}
 	return true, nil
@@ -414,22 +462,37 @@ func (e *Engine) BatchInsert(pts []geom.Point) error {
 // skipped, not errors). The first structural-corruption error, if any,
 // is returned after all groups finish.
 func (e *Engine) BatchDelete(pts []geom.Point) (int, error) {
+	removed, err := e.BatchDeleteRemoved(pts)
+	return len(removed), err
+}
+
+// BatchDeleteRemoved is BatchDelete reporting the removed points
+// themselves, not just their count. The planner uses it for its
+// presence-check-first batch fan-out: because each shard serializes its
+// deletes, concurrent overlapping batches resolve every contended point
+// to exactly one caller, and the reported subsets are disjoint across
+// those callers.
+func (e *Engine) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
 	if !e.opts.Dynamic {
-		return 0, fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
+		return nil, fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
 	}
-	var removed atomic.Int64
+	groups := e.groupByShard(pts)
+	removedGroups := make([][]geom.Point, len(groups))
 	var errMu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
-	for i, group := range e.groupByShard(pts) {
+	next := 0
+	for i, group := range groups {
 		s, group := e.shards[i], group
+		slot := &removedGroups[next]
+		next++
 		e.submit(&wg, func() {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			for _, p := range group {
 				ok, err := s.deleteLocked(p)
 				if ok {
-					removed.Add(1)
+					*slot = append(*slot, p)
 				}
 				if err != nil {
 					errMu.Lock()
@@ -443,8 +506,11 @@ func (e *Engine) BatchDelete(pts []geom.Point) (int, error) {
 		})
 	}
 	wg.Wait()
-	n := int(removed.Load())
-	e.n.Add(-int64(n))
-	e.updates.Add(uint64(n))
-	return n, firstErr
+	var removed []geom.Point
+	for _, g := range removedGroups {
+		removed = append(removed, g...)
+	}
+	e.n.Add(-int64(len(removed)))
+	e.updates.Add(uint64(len(removed)))
+	return removed, firstErr
 }

@@ -390,3 +390,73 @@ func TestMergeSkylines(t *testing.T) {
 		t.Fatal("empty merge not nil")
 	}
 }
+
+// TestTopOnlyEngine pins the mirror configuration: a TopOnly engine
+// answers the top-open family identically to a full engine (with and
+// without updates), skips building the per-shard Theorem 6 structures,
+// and panics on 4-sided-family rectangles instead of silently serving
+// them wrong.
+func TestTopOnlyEngine(t *testing.T) {
+	const n = 400
+	span := geom.Coord(n * 16)
+	all := geom.GenUniform(n+100, span, 701)
+	pts := append([]geom.Point(nil), all[:n]...)
+	pool := all[n:]
+	geom.SortByX(pts)
+	topOnly, err := New(Options{Machine: testCfg, Shards: 4, Workers: 2, Dynamic: true, TopOnly: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(Options{Machine: testCfg, Shards: 4, Workers: 2, Dynamic: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range topOnly.shards {
+		if s.four != nil {
+			t.Fatal("TopOnly engine built a foursided structure")
+		}
+	}
+	rng := rand.New(rand.NewSource(702))
+	check := func(ctx string) {
+		for q := 0; q < 40; q++ {
+			x1, x2, beta := randTopOpen(rng, span)
+			samePoints(t, topOnly.TopOpen(x1, x2, beta), full.TopOpen(x1, x2, beta),
+				ctx+" q="+itoa(q))
+		}
+	}
+	check("static")
+	for _, p := range pool[:50] {
+		if err := topOnly.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := topOnly.BatchInsert(pool[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.BatchInsert(pool[50:]); err != nil {
+		t.Fatal(err)
+	}
+	check("after inserts")
+	var victims []geom.Point
+	for i := 0; i < len(pool); i += 2 {
+		victims = append(victims, pool[i])
+	}
+	got, err := topOnly.BatchDelete(victims)
+	if err != nil || got != len(victims) {
+		t.Fatalf("TopOnly BatchDelete = %d, %v; want %d", got, err, len(victims))
+	}
+	if got, err := full.BatchDelete(victims); err != nil || got != len(victims) {
+		t.Fatalf("full BatchDelete = %d, %v; want %d", got, err, len(victims))
+	}
+	check("after deletes")
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FourSided on a TopOnly engine did not panic")
+		}
+	}()
+	topOnly.FourSided(geom.Rect{X1: 1, X2: 100, Y1: 1, Y2: 100})
+}

@@ -2,8 +2,11 @@
 // mixed x/β queries) cross-checked against a naive O(n²) skyline oracle
 // for every query engine in the repository — the Theorem 1 static index
 // (topopen), the Theorem 4 dynamic tree (dyntop), the Theorem 6 4-sided
-// structure (foursided), and the sharded concurrent engine
-// (internal/shard, both directly and routed through core.Open). Every
+// structure (foursided), the sharded concurrent engine
+// (internal/shard, both directly and routed through core.Open), and the
+// mirrored fast paths (core.Options.Mirrors, unsharded and sharded,
+// which must stay byte-identical to the Theorem 6 answers on the whole
+// mirror family). Every
 // workload is seeded and each seed runs as its own subtest, so a failure
 // names the exact subtest to replay:
 //
@@ -14,11 +17,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dyntop"
 	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/extsort"
 	"repro/internal/foursided"
 	"repro/internal/geom"
@@ -326,5 +331,335 @@ func TestDifferentialBatch(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// randMirrorFamily draws from the four bounded-top shapes whose
+// rectangles reflect onto top-open ones — right-open, bottom-open,
+// left-open, anti-dominance — plus the unnamed
+// grounded-right rectangles the mirror also serves (lower-right
+// quadrant, horizontal band, horizontal contour). Only the
+// grounded-right ones ride the mirrored fast path; the rest must keep
+// their Theorem 6 answers bit for bit.
+func randMirrorFamily(rng *rand.Rand, span geom.Coord) geom.Rect {
+	x := rng.Int63n(span)
+	x2 := x + rng.Int63n(span/2+1)
+	y1 := rng.Int63n(span)
+	y2 := y1 + rng.Int63n(span/2+1)
+	switch rng.Intn(7) {
+	case 0:
+		return geom.RightOpen(x, y1, y2)
+	case 1:
+		return geom.BottomOpen(x, x2, y2)
+	case 2:
+		return geom.LeftOpen(x, y1, y2)
+	case 3:
+		return geom.AntiDominance(x, y2)
+	case 4: // lower-right quadrant [x,∞) × (-∞,y2]
+		return geom.Rect{X1: x, X2: geom.PosInf, Y1: geom.NegInf, Y2: y2}
+	case 5: // horizontal band (-∞,∞) × [y1,y2]
+		return geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: y1, Y2: y2}
+	default: // horizontal contour (-∞,∞) × (-∞,y2]
+		return geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: y2}
+	}
+}
+
+// TestDifferentialMirrors drives mixed single/batched updates and
+// mirror-family queries against three engines at once — a mirror-less
+// core.DB (the Theorem 6 reference), an unsharded mirrored DB, and a
+// sharded mirrored DB — asserting all answers byte-identical to each
+// other and to the O(n²) oracle, and that right-open really routes to
+// the mirror while the Theorem 5 shapes never do.
+func TestDifferentialMirrors(t *testing.T) {
+	const n, extra = 200, 240
+	span := geom.Coord((n + extra) * 16)
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			all := geom.GenUniform(n+extra, span, seed+1700)
+			base := append([]geom.Point(nil), all[:n]...)
+			pool := append([]geom.Point(nil), all[n:]...)
+			geom.SortByX(base)
+
+			ref6, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dbM, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true, Mirrors: true}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dbMS, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true, Mirrors: true, Shards: 4, Workers: 3}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, db := range []*core.DB{dbM, dbMS} {
+				if len(db.Planner().Mirrors()) != 1 {
+					t.Fatal("mirrored DB did not register a mirror backend")
+				}
+			}
+			ref := append([]geom.Point(nil), base...)
+			dbs := []*core.DB{ref6, dbM, dbMS}
+
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < 220; op++ {
+				ctx := fmt.Sprintf("seed=%d op=%d", seed, op)
+				switch rng.Intn(12) {
+				case 0, 1: // single insert
+					if len(pool) == 0 {
+						continue
+					}
+					p := pool[len(pool)-1]
+					pool = pool[:len(pool)-1]
+					for _, db := range dbs {
+						if err := db.Insert(p); err != nil {
+							t.Fatalf("%s: %v", ctx, err)
+						}
+					}
+					ref = append(ref, p)
+				case 2: // batch insert
+					if len(pool) < 2 {
+						continue
+					}
+					k := 1 + rng.Intn(len(pool)/2)
+					batch := append([]geom.Point(nil), pool[:k]...)
+					pool = pool[k:]
+					for _, db := range dbs {
+						if err := db.BatchInsert(batch); err != nil {
+							t.Fatalf("%s: %v", ctx, err)
+						}
+					}
+					ref = append(ref, batch...)
+				case 3, 4: // single delete
+					if len(ref) == 0 {
+						continue
+					}
+					j := rng.Intn(len(ref))
+					p := ref[j]
+					for _, db := range dbs {
+						if ok, err := db.Delete(p); err != nil || !ok {
+							t.Fatalf("%s: Delete(%v) = %t, %v", ctx, p, ok, err)
+						}
+					}
+					ref = append(ref[:j], ref[j+1:]...)
+				case 5: // batch delete with dup + absentee
+					if len(ref) < 4 {
+						continue
+					}
+					k := 1 + rng.Intn(len(ref)/2)
+					perm := rng.Perm(len(ref))[:k]
+					sort.Ints(perm)
+					var batch []geom.Point
+					for _, j := range perm {
+						batch = append(batch, ref[j])
+					}
+					for i := len(perm) - 1; i >= 0; i-- {
+						j := perm[i]
+						ref = append(ref[:j], ref[j+1:]...)
+					}
+					want := len(batch)
+					batch = append(batch, batch[0],
+						geom.Point{X: span + geom.Coord(op) + 1, Y: span + geom.Coord(op) + 1})
+					for i, db := range dbs {
+						got, err := db.BatchDelete(batch)
+						if err != nil || got != want {
+							t.Fatalf("%s: db%d.BatchDelete = %d, %v; want %d", ctx, i, got, err, want)
+						}
+					}
+				default: // mirror-family queries
+					q := randMirrorFamily(rng, span)
+					want := naiveRangeSkyline(ref, q)
+					from6 := ref6.RangeSkyline(q)
+					diffPoints(t, from6, want, ctx+fmt.Sprintf(" %v theorem6", q))
+					diffPoints(t, dbM.RangeSkyline(q), from6, ctx+fmt.Sprintf(" %v mirrored vs theorem6", q))
+					diffPoints(t, dbMS.RangeSkyline(q), from6, ctx+fmt.Sprintf(" %v sharded-mirrored vs theorem6", q))
+					// Routing honesty: grounded right edge ⇔ mirror.
+					for i, db := range []*core.DB{dbM, dbMS} {
+						m := db.Planner().Mirrors()[0]
+						toMirror := db.Planner().Route(q) == engine.Backend(m)
+						if wantMirror := q.X2 == geom.PosInf && q.Y2 != geom.PosInf; toMirror != wantMirror {
+							t.Fatalf("%s: db%d routes %v to mirror=%t, want %t", ctx, i, q, toMirror, wantMirror)
+						}
+					}
+				}
+			}
+			for i, db := range dbs {
+				if db.Len() != len(ref) {
+					t.Fatalf("seed=%d: db%d.Len = %d, want %d", seed, i, db.Len(), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestMirrorRaceStress is the -race variant with mirrors enabled: four
+// queriers sweep the mirror family (so both the mirrored sharded engine
+// and the primary engine serve concurrently) while two updaters mix
+// single and batched updates and a poller reads stats. Mid-flight
+// answers are checked structurally (containment + staircase); full
+// answers are verified against the oracle after quiescence.
+func TestMirrorRaceStress(t *testing.T) {
+	const (
+		nBase      = 900
+		perUpdater = 240
+		nQueriers  = 4
+		queries    = 150
+	)
+	span := geom.Coord((nBase + 2*perUpdater) * 16)
+	all := geom.GenUniform(nBase+2*perUpdater, span, 1900)
+	base := append([]geom.Point(nil), all[:nBase]...)
+	geom.SortByX(base)
+	db, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 4, Mirrors: true}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		batched := u == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if batched {
+				const chunk = 48
+				for lo := 0; lo < len(pool); lo += chunk {
+					hi := lo + chunk
+					if hi > len(pool) {
+						hi = len(pool)
+					}
+					if err := db.BatchInsert(pool[lo:hi]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				var victims []geom.Point
+				for i := 1; i < len(pool); i += 2 {
+					victims = append(victims, pool[i])
+				}
+				if got, err := db.BatchDelete(victims); err != nil || got != len(victims) {
+					t.Errorf("BatchDelete = %d, %v; want %d", got, err, len(victims))
+				}
+			} else {
+				for _, p := range pool {
+					if err := db.Insert(p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := 1; i < len(pool); i += 2 {
+					if ok, err := db.Delete(pool[i]); err != nil || !ok {
+						t.Errorf("Delete(%v) = %t, %v", pool[i], ok, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < nQueriers; g++ {
+		seed := int64(g + 3000)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < queries; q++ {
+				r := randMirrorFamily(rng, span)
+				sky := db.RangeSkyline(r)
+				for i, p := range sky {
+					if !r.Contains(p) {
+						t.Errorf("query %d: %v outside %v", q, p, r)
+						return
+					}
+					if i > 0 && (sky[i-1].X >= p.X || sky[i-1].Y <= p.Y) {
+						t.Errorf("query %d: not a staircase at %d: %v, %v", q, i, sky[i-1], p)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			_ = db.Stats()
+			_ = db.Len()
+		}
+	}()
+	wg.Wait()
+
+	ref := append([]geom.Point(nil), base...)
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		for i := 0; i < len(pool); i += 2 {
+			ref = append(ref, pool[i])
+		}
+	}
+	if db.Len() != len(ref) {
+		t.Fatalf("final Len = %d, want %d", db.Len(), len(ref))
+	}
+	rng := rand.New(rand.NewSource(1901))
+	for q := 0; q < 40; q++ {
+		r := randMirrorFamily(rng, span)
+		diffPoints(t, db.RangeSkyline(r), naiveRangeSkyline(ref, r), fmt.Sprintf("final q=%d %v", q, r))
+	}
+}
+
+// TestConcurrentOverlappingBatchDelete pins the presence-check-first
+// batch fan-out: two goroutines batch-delete the SAME victim set on a
+// sharded mirrored DB. The primary engine serializes per shard and
+// resolves every contended point to exactly one caller, so the planner
+// fans disjoint confirmed subsets out to the mirror — no spurious
+// "backends disagree" corruption errors, counts summing to exactly one
+// removal per victim, and a final state byte-identical to the oracle.
+func TestConcurrentOverlappingBatchDelete(t *testing.T) {
+	const n, nVictims = 800, 300
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 2500)
+	geom.SortByX(pts)
+	db, err := core.Open(core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 4, Mirrors: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2501))
+	perm := rng.Perm(n)[:nVictims]
+	victims := make([]geom.Point, nVictims)
+	for i, j := range perm {
+		victims[i] = pts[j]
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, 2)
+	errs := make([]error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			counts[g], errs[g] = db.BatchDelete(victims)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: BatchDelete error: %v", g, err)
+		}
+	}
+	if counts[0]+counts[1] != nVictims {
+		t.Fatalf("removal counts %d + %d != %d victims", counts[0], counts[1], nVictims)
+	}
+	dead := make(map[geom.Point]bool, nVictims)
+	for _, p := range victims {
+		dead[p] = true
+	}
+	var ref []geom.Point
+	for _, p := range pts {
+		if !dead[p] {
+			ref = append(ref, p)
+		}
+	}
+	if db.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", db.Len(), len(ref))
+	}
+	for q := 0; q < 40; q++ {
+		r := randMirrorFamily(rng, span)
+		diffPoints(t, db.RangeSkyline(r), naiveRangeSkyline(ref, r), fmt.Sprintf("q=%d %v", q, r))
 	}
 }

@@ -31,6 +31,18 @@
 // updates group by destination shard and take each shard lock once per
 // batch.
 //
+// Opening with Options{Mirrors: true} additionally maintains a
+// transposed (x↔y) copy of the point set under its own top-open
+// structure and serves RightOpen — and every query rectangle with a
+// grounded right edge — from it in O(log) I/Os instead of the Theorem 6
+// (n/B)^ε cost, byte-identically, at roughly one extra top-open
+// structure of space (on dynamic indexes the mirrored structure is the
+// Theorem 4 tree, whose k/B^{1−ε} reporting term defers the win to
+// larger n for wide queries). LeftOpen, BottomOpen and AntiDominance stay on
+// the Theorem 6 path: the transpose is the only reflection of the plane
+// that preserves dominance, and the paper's Theorem 5 lower bound
+// proves those shapes cannot beat (n/B)^ε at linear space.
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
