@@ -1,9 +1,20 @@
-// Command benchguard compares two skybench -json artifacts and warns —
-// loudly, but with exit status 0 — when the current run regressed more
-// than a threshold against the committed baseline. It is the
-// benchstat-style gate of the CI bench job: regressions surface as
-// GitHub workflow warnings on the job summary instead of breaking the
-// build, because wall-clock on shared runners is noisy.
+// Command benchguard compares two skybench -json artifacts against the
+// committed baseline. It is the benchstat-style gate of the CI bench
+// job, with two severities:
+//
+//   - Warn-only (the default, and always the rule for wall-clock
+//     comparisons): regressions surface as GitHub workflow warnings on
+//     the job summary, because wall-clock on shared runners is noisy.
+//   - Failing (-strict-io): the deterministic I/O metrics compare
+//     exactly across hosts — a simulated block transfer does not care
+//     what machine CI landed on — so a metric regression, or a metric
+//     that vanished from the current run, is a real algorithmic
+//     regression and exits non-zero with ::error:: annotations.
+//
+// Regardless of mode, a gate that compares NOTHING is a broken gate: a
+// missing, malformed or empty baseline (for example a renamed
+// BENCH_*.json, or an -e filter that matches no experiment) exits
+// non-zero instead of silently passing.
 //
 // Two kinds of comparison, per experiment ID:
 //
@@ -19,10 +30,11 @@
 //
 // Usage:
 //
-//	benchguard [-threshold 0.30] baseline.json current.json
+//	benchguard [-threshold 0.30] [-strict-io] baseline.json current.json
 //
-// Exit status: 0 on any comparison outcome (warnings included);
-// 1 only for unreadable or malformed inputs.
+// Exit status: 0 when comparisons ran and (in -strict-io mode) no
+// deterministic metric regressed; 1 for unreadable or malformed
+// inputs, zero performed comparisons, or strict-mode metric failures.
 package main
 
 import (
@@ -34,7 +46,11 @@ import (
 	"strings"
 )
 
-var flagThreshold = flag.Float64("threshold", 0.30, "relative regression that triggers a warning")
+var (
+	flagThreshold = flag.Float64("threshold", 0.30, "relative regression that triggers a warning")
+	flagStrictIO  = flag.Bool("strict-io", false,
+		"fail (exit 1) on deterministic I/O-metric regressions and on baseline metrics missing from the current run; wall-clock comparisons stay warn-only")
+)
 
 // result mirrors cmd/skybench's -json record.
 type result struct {
@@ -104,6 +120,27 @@ func warn(format string, args ...any) {
 	fmt.Printf("::warning::benchguard: "+format+"\n", args...)
 }
 
+// failed is set by fail; main exits non-zero when it is.
+var failed bool
+
+// fail prints a GitHub-Actions error annotation and marks the run
+// failed. Deterministic-metric problems route here in -strict-io mode,
+// and warn otherwise.
+func fail(format string, args ...any) {
+	failed = true
+	fmt.Printf("::error::benchguard: "+format+"\n", args...)
+}
+
+// metricProblem reports a deterministic-metric regression or gap:
+// failing in -strict-io mode, a warning otherwise.
+func metricProblem(format string, args ...any) {
+	if *flagStrictIO {
+		fail(format, args...)
+	} else {
+		warn(format, args...)
+	}
+}
+
 func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -124,7 +161,7 @@ func main() {
 	for id, base := range baseline {
 		cur, ok := current[id]
 		if !ok {
-			warn("experiment %s present in baseline but missing from current run", id)
+			metricProblem("experiment %s present in baseline but missing from current run", id)
 			continue
 		}
 		if base.Quick != cur.Quick {
@@ -147,26 +184,44 @@ func main() {
 		for key, b := range bm {
 			c, ok := cm[key]
 			if !ok {
-				warn("%s metric line [%s] missing from current run", id, key)
+				metricProblem("%s metric line [%s] missing from current run", id, key)
 				continue
 			}
 			for name, bv := range b.values {
 				cv, ok := c.values[name]
 				if !ok {
-					warn("%s [%s] metric %s missing from current run", id, key, name)
+					metricProblem("%s [%s] metric %s missing from current run", id, key, name)
 					continue
 				}
 				compared++
-				// Guard the ratio: tiny baselines (fully cached paths)
-				// use an absolute slack of one I/O instead.
-				if cv > bv*(1+*flagThreshold) && cv > bv+1 {
+				// Guard the ratio with a flat absolute floor of one
+				// printed-precision step (metrics print with >= 0.1
+				// granularity), so a near-zero baseline can't trip on
+				// its last rounded digit — but nothing looser: these
+				// metrics are deterministic, and a wider slack would
+				// quietly exempt small baselines from the documented
+				// 30% contract.
+				if cv > bv*(1+*flagThreshold) && cv-bv > 0.1 {
 					regressions++
-					warn("%s [%s] %s=%.1f vs baseline %.1f (+%.0f%%)",
+					metricProblem("%s [%s] %s=%.2f vs baseline %.2f (+%.0f%%)",
 						id, key, name, cv, bv, 100*(cv/bv-1))
 				}
 			}
 		}
 	}
-	fmt.Printf("benchguard: %d comparisons, %d regressions beyond %.0f%% (warn-only)\n",
-		compared, regressions, 100**flagThreshold)
+	if compared == 0 {
+		// A renamed baseline, an empty artifact or a filter matching
+		// nothing would otherwise disable the gate without a trace.
+		fail("no comparisons performed: baseline %s provides nothing to compare against %s",
+			flag.Arg(0), flag.Arg(1))
+	}
+	mode := "warn-only"
+	if *flagStrictIO {
+		mode = "strict-io"
+	}
+	fmt.Printf("benchguard: %d comparisons, %d regressions beyond %.0f%% (%s)\n",
+		compared, regressions, 100**flagThreshold, mode)
+	if failed {
+		os.Exit(1)
+	}
 }

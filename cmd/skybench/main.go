@@ -126,6 +126,7 @@ func main() {
 	run("E11", e11)
 	run("E12", e12)
 	run("E13", e13)
+	run("E14", e14)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {
@@ -689,6 +690,204 @@ func e13() {
 			fmt.Printf("E13-METRIC shape=%s n=%d thm6=%.1f mirrored=%.1f\n",
 				g.name, n, r.plain, r.mirrored)
 		}
+	}
+}
+
+// e14Rect draws rectangle i of the E14 query pool: shape cycles through
+// all seven Figure-2 shapes plus whole-plane and general 4-sided, so
+// the cache is exercised across the full routing surface (top-open
+// family, mirror family, Theorem 6 shapes).
+func e14Rect(rng *rand.Rand, shape, n int, span int64) geom.Rect {
+	x1 := rng.Int63n(span)
+	x2 := x1 + int64(n)*2
+	y1 := rng.Int63n(span)
+	y2 := y1 + int64(n)*2
+	switch shape {
+	case 0:
+		return geom.TopOpen(x1, x2, y1)
+	case 1:
+		return geom.RightOpen(x1, y1, y2)
+	case 2:
+		return geom.BottomOpen(x1, x2, y2)
+	case 3:
+		return geom.LeftOpen(x2, y1, y2)
+	case 4:
+		return geom.Dominance(x1, y1)
+	case 5:
+		return geom.AntiDominance(x2, y2)
+	case 6:
+		return geom.Contour(x2)
+	case 7:
+		return geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf}
+	default:
+		return geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+	}
+}
+
+// e14Check panics unless got and want are byte-identical: a cache that
+// is fast but wrong must never survive a benchmark run.
+func e14Check(ctx string, q geom.Rect, got, want []geom.Point) {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("E14 %s: answers diverge on %v (%d vs %d points)", ctx, q, len(got), len(want)))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("E14 %s: answers diverge on %v at %d", ctx, q, i))
+		}
+	}
+}
+
+func e14() {
+	fmt.Println("E14 read-through skyline cache (Options.CacheEntries): Zipf-skewed query streams")
+	fmt.Println("    Hot rectangles are re-answered from memory at zero simulated I/O; every cached")
+	fmt.Println("    answer is cross-checked byte-identical to the uncached engines. All rates and")
+	fmt.Println("    I/O counts below are deterministic (simulated disks, seeded streams), so the")
+	fmt.Println("    E14-METRIC lines compare exactly across hosts (cmd/benchguard -strict-io).")
+	n := sizes([]int{1 << 12}, []int{1 << 14})[0]
+	span := int64(n) * 16
+	poolSize := sizes([]int{256}, []int{512})[0]
+	nQueries := sizes([]int{4000}, []int{16000})[0]
+
+	all := geom.GenUniform(n+n/4, span, 57)
+	base := append([]geom.Point(nil), all[:n]...)
+	writePool := all[n:]
+	geom.SortByX(base)
+
+	rng := rand.New(rand.NewSource(59))
+	qpool := make([]geom.Rect, poolSize)
+	for i := range qpool {
+		qpool[i] = e14Rect(rng, i%9, n, span)
+	}
+
+	refStatic, err := core.Open(core.Options{Machine: cfg, Shards: 8, Workers: 4, Mirrors: true}, base)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("    part 1: read-only Zipf streams over a %d-rect pool, %d queries, n=%d\n",
+		poolSize, nQueries, n)
+	fmt.Printf("    (static, 8 shards, mirrors; entries=0 is the uncached reference)\n")
+	fmt.Printf("%8s %10s %10s %12s %12s\n", "zipf s", "entries", "hit rate", "I/Os/query", "evictions")
+	for _, skew := range []float64{1.1, 1.5} {
+		for _, entries := range []int{0, poolSize / 8, poolSize} {
+			db, err := core.Open(core.Options{
+				Machine: cfg, Shards: 8, Workers: 4, Mirrors: true, CacheEntries: entries,
+			}, base)
+			if err != nil {
+				panic(err)
+			}
+			zipf := rand.NewZipf(rand.New(rand.NewSource(61)), skew, 1, uint64(poolSize-1))
+			db.ResetStats()
+			for q := 0; q < nQueries; q++ {
+				db.RangeSkyline(qpool[zipf.Uint64()])
+			}
+			ios := float64(db.Stats().IOs()) / float64(nQueries)
+			hitRate, missRate := 0.0, 1.0
+			var evictions uint64
+			if entries > 0 {
+				ctr := db.Cache().Counters()
+				hitRate = float64(ctr.Hits) / float64(ctr.Hits+ctr.Misses)
+				missRate = 1 - hitRate
+				evictions = ctr.Evictions
+				// The whole pool is answerable from the cached DB;
+				// every answer must match the uncached reference bit
+				// for bit (the differential harness enforces the same
+				// under updates).
+				for _, q := range qpool {
+					e14Check("part1", q, db.RangeSkyline(q), refStatic.RangeSkyline(q))
+				}
+				if entries == poolSize && hitRate < 0.90 {
+					panic(fmt.Sprintf("E14: full-cache hit rate %.3f < 0.90 at zipf s=%.1f", hitRate, skew))
+				}
+			}
+			fmt.Printf("%8.1f %10d %10.3f %12.2f %12d\n", skew, entries, hitRate, ios, evictions)
+			// zipf=s1.1 and entries=4096 parse as labels (no lone
+			// decimal number), missrate/ios as metrics — and missrate,
+			// unlike hit rate, regresses UPWARD, matching benchguard's
+			// bigger-is-worse comparison.
+			fmt.Printf("E14-METRIC mix=zipf zipf=s%.1f entries=%d n=%d missrate=%.4f ios=%.2f\n",
+				skew, entries, n, missRate, ios)
+		}
+	}
+
+	fmt.Println("    part 2: 5% writes interleaved (insert/delete cycle), zipf s=1.1 —")
+	fmt.Println("    shard-aware invalidation (8 shards: only the written slab is evicted,")
+	fmt.Println("    cuts learned via engine.Partitioned) vs full flush (1 shard: no cuts)")
+	streamLen := sizes([]int{3000}, []int{10000})[0]
+	entries2 := poolSize / 2
+	// A slab-local working set: the bounded-x shapes (top-open,
+	// bottom-open, 4-sided), whose rectangles touch one or two shards.
+	// The grounded-x shapes of part 1 intersect every slab, so no
+	// partition knowledge can save their entries from a write — for
+	// them, shard-aware and flush-all invalidation coincide.
+	rng2 := rand.New(rand.NewSource(63))
+	qpool2 := make([]geom.Rect, poolSize)
+	for i := range qpool2 {
+		qpool2[i] = e14Rect(rng2, []int{0, 2, 8}[i%3], n, span)
+	}
+	refRW, err := core.Open(core.Options{Machine: cfg, Dynamic: true, Shards: 8, Workers: 4}, base)
+	if err != nil {
+		panic(err)
+	}
+	flat, err := core.Open(core.Options{Machine: cfg, Dynamic: true, CacheEntries: entries2}, base)
+	if err != nil {
+		panic(err)
+	}
+	sharded, err := core.Open(core.Options{
+		Machine: cfg, Dynamic: true, Shards: 8, Workers: 4, CacheEntries: entries2,
+	}, base)
+	if err != nil {
+		panic(err)
+	}
+	dbs := []*core.DB{refRW, flat, sharded}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(67)), 1.1, 1, uint64(poolSize-1))
+	for _, db := range dbs {
+		db.ResetStats()
+	}
+	var inserted []geom.Point
+	wi := 0
+	queries := 0
+	for op := 0; op < streamLen; op++ {
+		if op%20 == 19 {
+			if len(inserted) > 0 && wi%2 == 1 {
+				p := inserted[0]
+				inserted = inserted[1:]
+				for _, db := range dbs {
+					if ok, err := db.Delete(p); err != nil || !ok {
+						panic(fmt.Sprintf("E14: Delete(%v) = %t, %v", p, ok, err))
+					}
+				}
+			} else {
+				p := writePool[wi%len(writePool)]
+				for _, db := range dbs {
+					if err := db.Insert(p); err != nil {
+						panic(err)
+					}
+				}
+				inserted = append(inserted, p)
+			}
+			wi++
+			continue
+		}
+		q := qpool2[zipf.Uint64()]
+		want := refRW.RangeSkyline(q)
+		e14Check("part2 flat", q, flat.RangeSkyline(q), want)
+		e14Check("part2 sharded", q, sharded.RangeSkyline(q), want)
+		queries++
+	}
+	fmt.Printf("%12s %10s %12s %14s %12s\n", "layout", "hit rate", "I/Os/query", "invalidations", "entries")
+	for _, row := range []struct {
+		name   string
+		shards int
+		db     *core.DB
+	}{{"1 shard", 1, flat}, {"8 shards", 8, sharded}} {
+		ctr := row.db.Cache().Counters()
+		hitRate := float64(ctr.Hits) / float64(ctr.Hits+ctr.Misses)
+		ios := float64(row.db.Stats().IOs()) / float64(queries)
+		fmt.Printf("%12s %10.3f %12.2f %14d %12d\n",
+			row.name, hitRate, ios, ctr.Invalidations, entries2)
+		fmt.Printf("E14-METRIC mix=readwrite shards=%d entries=%d n=%d missrate=%.4f ios=%.2f\n",
+			row.shards, entries2, n, 1-hitRate, ios)
 	}
 }
 

@@ -85,6 +85,18 @@ type Options struct {
 	// dominance, and Theorem 5 proves those shapes cannot beat the
 	// Theorem 6 bound at linear space.
 	Mirrors bool
+	// CacheEntries > 0 puts a read-through cache (engine.CacheBackend)
+	// in front of the whole planner, memoizing up to CacheEntries
+	// RangeSkyline answers in an LRU map keyed by the canonicalized
+	// query rectangle — hot rectangles are re-answered from memory at
+	// zero simulated I/O, byte-identically to the uncached answers.
+	// Updates invalidate shard-aware: with Shards > 1 the cache learns
+	// the engine's x-cuts (and, with Mirrors, the mirrored engine's
+	// y-cuts) and a write evicts only the entries whose rectangles
+	// intersect the written point's slab; unsharded indexes flush the
+	// cache on every applied write. A Delete that misses evicts
+	// nothing.
+	CacheEntries int
 }
 
 // DB is a planar range skyline index over a simulated EM machine. All
@@ -95,6 +107,15 @@ type DB struct {
 	disk *emio.Disk
 
 	plan *engine.Planner
+
+	// front is the backend every query and update flows through: the
+	// read-through cache when Options.CacheEntries > 0 (wrapping the
+	// planner), the planner itself otherwise. Updates must pass
+	// through it so the cache sees every invalidating write.
+	front engine.Backend
+
+	// cache is the memoizing backend; non-nil iff CacheEntries > 0.
+	cache *engine.CacheBackend
 
 	// Sharded engine serving every query shape; non-nil iff
 	// Options.Shards > 1, replacing the single-disk backends.
@@ -152,6 +173,20 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 			return nil, err
 		}
 	}
+	db.front = db.plan
+	if opts.CacheEntries > 0 {
+		// The cache wraps the WHOLE planner, not one backend: keys are
+		// the original (canonicalized) rectangles, so a right-open
+		// query shares its entry whether the planner routes it to a
+		// mirror or to the Theorem 6 structure, and every update path
+		// below flows through the cache to invalidate it.
+		cache, err := engine.NewCache(db.plan, opts.CacheEntries)
+		if err != nil {
+			return nil, err
+		}
+		db.cache = cache
+		db.front = cache
+	}
 	return db, nil
 }
 
@@ -208,6 +243,11 @@ func (db *DB) addMirror(sorted []geom.Point) error {
 // shape, or nil when the index was opened with Shards <= 1.
 func (db *DB) Sharded() *shard.Engine { return db.eng }
 
+// Cache returns the read-through cache in front of the planner, or nil
+// when the index was opened with CacheEntries <= 0. Its Counters
+// report hits, misses, evictions and invalidations.
+func (db *DB) Cache() *engine.CacheBackend { return db.cache }
+
 // Planner exposes the query planner for inspection (which backend a
 // rectangle routes to, the registered backends).
 func (db *DB) Planner() *engine.Planner { return db.plan }
@@ -221,9 +261,11 @@ func (db *DB) Disk() *emio.Disk { return db.disk }
 func (db *DB) Len() int { return int(db.n.Load()) }
 
 // RangeSkyline reports the maximal points of P ∩ q in increasing-x
-// order, routing the rectangle's shape through the planner.
+// order, routing the rectangle's shape through the planner (behind the
+// read-through cache when one is configured; cached answers are shared
+// slices and must not be mutated).
 func (db *DB) RangeSkyline(q geom.Rect) []geom.Point {
-	return db.plan.RangeSkyline(q)
+	return db.front.RangeSkyline(q)
 }
 
 // Skyline reports the skyline of the whole point set.
@@ -274,7 +316,7 @@ func (db *DB) Insert(p geom.Point) error {
 	if !db.opts.Dynamic {
 		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	if err := db.plan.Insert(p); err != nil {
+	if err := db.front.Insert(p); err != nil {
 		return err
 	}
 	db.n.Add(1)
@@ -289,7 +331,7 @@ func (db *DB) Delete(p geom.Point) (bool, error) {
 	if !db.opts.Dynamic {
 		return false, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	ok, err := db.plan.Delete(p)
+	ok, err := db.front.Delete(p)
 	if ok {
 		// Even when err reports backend disagreement, the primary
 		// backend did remove the point; keep n consistent with it.
@@ -305,7 +347,7 @@ func (db *DB) BatchInsert(pts []geom.Point) error {
 	if !db.opts.Dynamic {
 		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	if err := db.plan.BatchInsert(pts); err != nil {
+	if err := db.front.BatchInsert(pts); err != nil {
 		return err
 	}
 	db.n.Add(int64(len(pts)))
@@ -319,7 +361,7 @@ func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
 	if !db.opts.Dynamic {
 		return 0, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
-	removed, err := db.plan.BatchDelete(pts)
+	removed, err := db.front.BatchDelete(pts)
 	db.n.Add(-int64(removed))
 	return removed, err
 }
@@ -329,10 +371,13 @@ func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
 // structures, every shard disk, and every mirror's private storage —
 // counting each distinct disk exactly once.
 func (db *DB) Stats() emio.Stats {
-	return db.plan.Stats()
+	return db.front.Stats()
 }
 
-// ResetStats zeroes the I/O counters of every registered backend.
+// ResetStats zeroes the I/O counters of every registered backend and
+// the cache's hit/miss/eviction counters. Memoized entries are kept:
+// resetting measurement state does not change what the next query
+// costs.
 func (db *DB) ResetStats() {
-	db.plan.ResetStats()
+	db.front.ResetStats()
 }

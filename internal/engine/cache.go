@@ -1,0 +1,449 @@
+// CacheBackend: the read-through memoization layer of the engine. It
+// wraps any Backend — the full Planner in core.DB, a sharded engine, a
+// mirror, or a single-disk adapter — and caches RangeSkyline answers in
+// an LRU map keyed by the canonicalized query rectangle, so hot
+// rectangles are re-answered from memory instead of re-walking the
+// dyntop/top-open or Theorem 6 machinery. Because the key is the
+// ORIGINAL rectangle (canonicalized, never the mirror-rewritten one),
+// the same entry serves a query whether the planner under the cache
+// routes it to the general backend, the top-open backend, or a
+// transposed mirror.
+//
+// Correctness rests on one geometric fact: RangeSkyline(q) depends only
+// on the points inside q, so an Insert or Delete of point p can change
+// the answer of a cached rectangle only if that rectangle contains p.
+// Invalidation exploits it twice:
+//
+//   - Exactly: only entries whose rectangle could contain a written
+//     point are evicted; a Delete that misses every backend changes no
+//     answer and evicts nothing.
+//   - Shard-aware: when the wrapped backend exposes its x-cuts through
+//     the optional Partitioned interface (shard.Engine does), entries
+//     are tagged with the range of x-slabs their rectangle intersects,
+//     and a write only scans out entries intersecting the written
+//     point's slab — the rest of the cache survives the write. A
+//     transposed mirror's inner engine partitions by original y, so its
+//     cuts refine invalidation on the other axis: an entry is evicted
+//     only when its rectangle intersects the affected x-slab AND the
+//     affected y-slab. Without partition information the whole cache is
+//     one slab and every applied write flushes it.
+//
+// Concurrent readers and invalidating writers are safe: fills are
+// guarded by per-x-slab generation counters. A miss snapshots the
+// generations of the slabs its rectangle intersects before querying the
+// wrapped backend, and installs the answer only if none changed —
+// writers bump the generations AFTER the underlying write completes, so
+// an answer computed concurrently with a write that could have affected
+// it is returned to its caller but never cached.
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// Partitioned is the optional interface of backends that partition
+// their point set into contiguous x-ranges (shard.Engine). Cuts returns
+// the partition boundaries in the backend's own frame: cut i is the
+// largest x owned by partition i, so partition i covers
+// (cuts[i-1], cuts[i]] and the last partition covers (cuts[K-2], +∞).
+// A CacheBackend uses the cuts to evict only the entries a write can
+// affect instead of flushing everything.
+type Partitioned interface {
+	Cuts() []geom.Coord
+}
+
+// CanonicalQuery maps q to the representative of its answer-equivalence
+// class used as the cache key: every rectangle containing no point at
+// all — X1 > X2 or Y1 > Y2 — collapses onto one canonical empty
+// rectangle, and every non-empty rectangle is its own representative.
+// The invariant (fuzzed by FuzzCanonicalQuery) is that q and
+// CanonicalQuery(q) contain exactly the same points, hence have
+// byte-identical range skylines.
+func CanonicalQuery(q geom.Rect) geom.Rect {
+	if q.X1 > q.X2 || q.Y1 > q.Y2 {
+		return geom.Rect{X1: 0, X2: -1, Y1: 0, Y2: -1}
+	}
+	return q
+}
+
+// CacheCounters are a cache's operation totals since the last
+// ResetStats.
+type CacheCounters struct {
+	// Hits counts queries answered from the cache.
+	Hits uint64
+	// Misses counts queries that fell through to the wrapped backend.
+	Misses uint64
+	// Evictions counts entries dropped to respect the capacity bound.
+	Evictions uint64
+	// Invalidations counts entries dropped because a write could have
+	// changed their answer.
+	Invalidations uint64
+}
+
+// Add returns the element-wise sum c + o.
+func (c CacheCounters) Add(o CacheCounters) CacheCounters {
+	return CacheCounters{
+		Hits:          c.Hits + o.Hits,
+		Misses:        c.Misses + o.Misses,
+		Evictions:     c.Evictions + o.Evictions,
+		Invalidations: c.Invalidations + o.Invalidations,
+	}
+}
+
+// cacheEntry is one memoized answer plus the bucket rectangle its query
+// intersects: x-slabs [xLo, xHi] and y-slabs [yLo, yHi]. The canonical
+// empty rectangle maps to whatever slab owns the origin; evicting it is
+// unnecessary (its answer is empty under every point set) but harmless.
+type cacheEntry struct {
+	key    geom.Rect
+	answer []geom.Point
+	xLo    int
+	xHi    int
+	yLo    int
+	yHi    int
+}
+
+// CacheBackend is a read-through RangeSkyline cache over any Backend.
+// It implements Backend: queries are memoized, updates pass through to
+// the wrapped backend and invalidate the affected entries. Answers
+// returned from the cache are shared slices and must not be mutated by
+// callers — the same contract every structure's Query already has.
+type CacheBackend struct {
+	inner Backend
+	cap   int
+
+	// xcuts/ycuts are the partition boundaries learned from the wrapped
+	// backend (nil = one slab covering the whole axis). Fixed at
+	// construction, like the cuts of the engines they come from.
+	xcuts []geom.Coord
+	ycuts []geom.Coord
+
+	mu      sync.Mutex
+	entries map[geom.Rect]*list.Element
+	lru     *list.List // front = most recently used
+	// genX[i] counts the applied writes that touched x-slab i; fills
+	// are dropped when a slab generation moved under them.
+	genX []uint64
+
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+}
+
+// NewCache wraps inner with a read-through cache holding at most
+// entries memoized answers (entries < 1 is an error — a cache that can
+// hold nothing should not be built). Partition cuts are discovered from
+// the wrapped backend: a Planner is walked backend by backend, a
+// Partitioned backend contributes the x-cuts, and a transpose mirror
+// whose inner backend is Partitioned contributes the y-cuts (the
+// mirrored frame's x is the original frame's y).
+func NewCache(inner Backend, entries int) (*CacheBackend, error) {
+	if entries < 1 {
+		return nil, fmt.Errorf("engine: cache capacity %d < 1", entries)
+	}
+	c := &CacheBackend{
+		inner:   inner,
+		cap:     entries,
+		entries: make(map[geom.Rect]*list.Element, entries),
+		lru:     list.New(),
+	}
+	c.learnPartitions(inner)
+	c.genX = make([]uint64, len(c.xcuts)+1)
+	return c, nil
+}
+
+// learnPartitions harvests partition cuts from b: x-cuts from any
+// Partitioned backend, y-cuts from a transpose mirror over one.
+func (c *CacheBackend) learnPartitions(b Backend) {
+	switch v := b.(type) {
+	case *Planner:
+		for _, bk := range v.Backends() {
+			c.learnPartitions(bk)
+		}
+	case *MirrorBackend:
+		if v.ref != geom.ReflectSwapXY {
+			return
+		}
+		if p, ok := v.inner.(Partitioned); ok && c.ycuts == nil {
+			c.ycuts = append([]geom.Coord(nil), p.Cuts()...)
+		}
+	default:
+		if p, ok := b.(Partitioned); ok && c.xcuts == nil {
+			c.xcuts = append([]geom.Coord(nil), p.Cuts()...)
+		}
+	}
+}
+
+// Inner returns the wrapped backend.
+func (c *CacheBackend) Inner() Backend { return c.inner }
+
+// Cap returns the capacity bound (maximum memoized answers).
+func (c *CacheBackend) Cap() int { return c.cap }
+
+// Len returns the number of memoized answers currently held.
+func (c *CacheBackend) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// XCuts returns the x-partition boundaries invalidation is aware of
+// (nil when the wrapped backend exposed none).
+func (c *CacheBackend) XCuts() []geom.Coord { return append([]geom.Coord(nil), c.xcuts...) }
+
+// YCuts returns the y-partition boundaries invalidation is aware of.
+func (c *CacheBackend) YCuts() []geom.Coord { return append([]geom.Coord(nil), c.ycuts...) }
+
+// Counters returns the cache's operation totals since the last
+// ResetStats. Safe to call while operations are in flight.
+func (c *CacheBackend) Counters() CacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheCounters{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}
+
+// bucketFor returns the index of the slab owning x: the smallest i with
+// x <= cuts[i], or len(cuts) when x lies beyond the last cut.
+func bucketFor(cuts []geom.Coord, x geom.Coord) int {
+	return sort.Search(len(cuts), func(i int) bool { return x <= cuts[i] })
+}
+
+// buckets returns the slab interval [lo, hi] a coordinate range
+// intersects. An empty range (x1 > x2) yields hi < lo.
+func buckets(cuts []geom.Coord, x1, x2 geom.Coord) (lo, hi int) {
+	return bucketFor(cuts, x1), bucketFor(cuts, x2)
+}
+
+// RangeSkyline answers q from the cache when a memoized entry exists,
+// and reads through to the wrapped backend otherwise. The answer is
+// byte-identical to the wrapped backend's: a hit returns exactly the
+// slice a previous read-through stored, and invalidation guarantees no
+// stored answer survives a write that could have changed it.
+func (c *CacheBackend) RangeSkyline(q geom.Rect) []geom.Point {
+	key := CanonicalQuery(q)
+	xLo, xHi := buckets(c.xcuts, key.X1, key.X2)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		ans := el.Value.(*cacheEntry).answer
+		c.mu.Unlock()
+		return ans
+	}
+	c.misses++
+	// Snapshot the generations of every x-slab the rectangle
+	// intersects: a write inside the rectangle must land in one of
+	// them, so an unchanged snapshot proves no such write raced the
+	// read-through below.
+	var gens []uint64
+	if xLo <= xHi {
+		gens = append(gens, c.genX[xLo:xHi+1]...)
+	}
+	c.mu.Unlock()
+
+	ans := c.inner.RangeSkyline(q)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		// A concurrent reader installed the same key first; keep its
+		// entry (the two answers agree — no invalidating write came
+		// between, or both fills would have been dropped).
+		return ans
+	}
+	for i := xLo; i <= xHi; i++ {
+		if c.genX[i] != gens[i-xLo] {
+			// An invalidating write landed in one of our slabs while
+			// the answer was being computed; it may predate the write.
+			return ans
+		}
+	}
+	e := &cacheEntry{key: key, answer: ans, xLo: xLo, xHi: xHi}
+	e.yLo, e.yHi = buckets(c.ycuts, key.Y1, key.Y2)
+	if c.lru.Len() >= c.cap {
+		c.dropLocked(c.lru.Back())
+		c.evictions++
+	}
+	c.entries[key] = c.lru.PushFront(e)
+	return ans
+}
+
+// dropLocked removes an LRU element from both indexes. Caller holds mu.
+func (c *CacheBackend) dropLocked(el *list.Element) {
+	delete(c.entries, el.Value.(*cacheEntry).key)
+	c.lru.Remove(el)
+}
+
+// invalidate drops every entry whose rectangle could contain one of the
+// applied writes and bumps the touched slab generations. It must be
+// called AFTER the underlying write completed: the generation bump is
+// what tells concurrent read-throughs their answer may be stale, and
+// bumping early would let a fill started after the bump cache an answer
+// computed before the write landed.
+func (c *CacheBackend) invalidate(pts []geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	// Dedup the touched (x-slab, y-slab) pairs: a batch localized to
+	// one shard scans the cache once, not once per point. Single-point
+	// writes — the Insert/Delete hot path — skip the maps entirely.
+	type slabPair struct{ x, y int }
+	var touched []slabPair
+	if len(pts) == 1 {
+		touched = []slabPair{{bucketFor(c.xcuts, pts[0].X), bucketFor(c.ycuts, pts[0].Y)}}
+	} else {
+		set := make(map[slabPair]bool, len(pts))
+		for _, p := range pts {
+			pair := slabPair{bucketFor(c.xcuts, p.X), bucketFor(c.ycuts, p.Y)}
+			if !set[pair] {
+				set[pair] = true
+				touched = append(touched, pair)
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bumped := -1 // touched is grouped enough that a last-seen check dedups most bumps
+	for _, pair := range touched {
+		if pair.x != bumped {
+			bumped = pair.x
+			c.genX[pair.x]++
+		}
+	}
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		for _, pair := range touched {
+			if e.xLo <= pair.x && pair.x <= e.xHi && e.yLo <= pair.y && pair.y <= e.yHi {
+				c.dropLocked(el)
+				c.invalidations++
+				break
+			}
+		}
+	}
+}
+
+// Insert applies p through the wrapped backend and evicts the entries
+// whose rectangles could contain p — even when the backend reports an
+// error, because a planner error can arrive AFTER the primary applied
+// the write (the same conservatism Delete applies to corruption
+// errors). An error from a backend that mutated nothing (a static
+// index) makes the invalidation unnecessary, never wrong.
+func (c *CacheBackend) Insert(p geom.Point) error {
+	err := c.inner.Insert(p)
+	c.invalidate([]geom.Point{p})
+	return err
+}
+
+// Delete removes p through the wrapped backend. A miss changed no
+// answer and therefore evicts nothing; only a confirmed removal
+// invalidates (even alongside a corruption error — the primary did
+// remove the point, so cached answers containing it are stale).
+func (c *CacheBackend) Delete(p geom.Point) (bool, error) {
+	present, err := c.inner.Delete(p)
+	if present {
+		c.invalidate([]geom.Point{p})
+	}
+	return present, err
+}
+
+// BatchInsert applies the batch through the wrapped backend's batched
+// path and invalidates every inserted point's slab pair in one scan —
+// on error too, since part of the batch may have been applied (see
+// Insert).
+func (c *CacheBackend) BatchInsert(pts []geom.Point) error {
+	err := c.inner.BatchInsert(pts)
+	c.invalidate(pts)
+	return err
+}
+
+// BatchDelete removes the batch through the wrapped backend's batched
+// path. When the backend reports WHICH points it removed (the planner
+// and both sharded/dynamic primaries do), only those drive
+// invalidation — a batch of all misses evicts nothing. A backend
+// without the report falls back to invalidating every requested point
+// once anything was removed: a superset, never a miss.
+func (c *CacheBackend) BatchDelete(pts []geom.Point) (int, error) {
+	if rep, ok := c.inner.(batchDeleteReporter); ok {
+		removed, err := rep.BatchDeleteRemoved(pts)
+		c.invalidate(removed)
+		return len(removed), err
+	}
+	n, err := c.inner.BatchDelete(pts)
+	if n > 0 {
+		c.invalidate(pts)
+	}
+	return n, err
+}
+
+// BatchDeleteRemoved forwards the wrapped backend's removed-subset
+// report, invalidating exactly that subset, so a cache composes with
+// the planner's presence-check-first batch fan-out.
+func (c *CacheBackend) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
+	rep, ok := c.inner.(batchDeleteReporter)
+	if !ok {
+		return nil, fmt.Errorf("engine: cache's inner backend cannot report removed points")
+	}
+	removed, err := rep.BatchDeleteRemoved(pts)
+	c.invalidate(removed)
+	return removed, err
+}
+
+// Stats returns the wrapped backend's I/O counters: the cache itself
+// performs no simulated I/O, which is the whole point — hits cost zero.
+func (c *CacheBackend) Stats() emio.Stats { return c.inner.Stats() }
+
+// ResetStats zeroes the cache counters and the wrapped backend's I/O
+// counters WITHOUT dropping the memoized entries: resetting measurement
+// state must not change what the next query costs.
+func (c *CacheBackend) ResetStats() {
+	c.mu.Lock()
+	c.hits, c.misses, c.evictions, c.invalidations = 0, 0, 0, 0
+	c.mu.Unlock()
+	c.inner.ResetStats()
+}
+
+// StatsKey dedups stats through to the wrapped backend, so a registered
+// cache never double-counts I/Os with the backend it wraps (exactly
+// like MirrorBackend).
+func (c *CacheBackend) StatsKey() any { return statsKey(c.inner) }
+
+// cacheCounterer is implemented by backends carrying cache counters
+// (CacheBackend; a future tiered cache would too).
+type cacheCounterer interface{ Counters() CacheCounters }
+
+// CacheCounters aggregates the hit/miss/eviction counters of every
+// registered caching backend, deduped by StatsKey like Stats, so a
+// cache registered for several roles (top-open and general, say) is
+// counted once.
+func (pl *Planner) CacheCounters() CacheCounters {
+	var total CacheCounters
+	seen := make(map[any]bool, len(pl.backends))
+	for _, b := range pl.backends {
+		cc, ok := b.(cacheCounterer)
+		if !ok {
+			continue
+		}
+		k := statsKey(b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		total = total.Add(cc.Counters())
+	}
+	return total
+}

@@ -320,21 +320,16 @@ func (pl *Planner) BatchDelete(pts []geom.Point) (int, error) {
 		// the removed-points slice.
 		return pl.backends[0].BatchDelete(pts)
 	}
-	confirmed := pts
-	rep, hasReport := pl.backends[0].(batchDeleteReporter)
-	var removed int
-	var err error
-	if hasReport {
-		confirmed, err = rep.BatchDeleteRemoved(pts)
-		removed = len(confirmed)
-	} else {
-		removed, err = pl.backends[0].BatchDelete(pts)
+	if _, ok := pl.backends[0].(batchDeleteReporter); ok {
+		removed, err := pl.BatchDeleteRemoved(pts)
+		return len(removed), err
 	}
+	removed, err := pl.backends[0].BatchDelete(pts)
 	if err != nil {
 		return removed, err
 	}
 	for _, b := range pl.backends[1:] {
-		got, err := b.BatchDelete(confirmed)
+		got, err := b.BatchDelete(pts)
 		if err != nil {
 			return removed, err
 		}
@@ -344,6 +339,38 @@ func (pl *Planner) BatchDelete(pts []geom.Point) (int, error) {
 		}
 	}
 	return removed, nil
+}
+
+// BatchDeleteRemoved is BatchDelete reporting the removed points
+// themselves: the primary resolves the batch, the confirmed subset is
+// fanned out to the secondaries, and that subset is returned. A
+// CacheBackend wrapping the planner uses it to invalidate exactly the
+// removed points — a batch of all misses then evicts nothing. It
+// requires a primary that can report its removed subset (every dynamic
+// configuration core.Open builds has one).
+func (pl *Planner) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
+	if len(pl.backends) == 0 {
+		return nil, fmt.Errorf("engine: no backends registered")
+	}
+	rep, ok := pl.backends[0].(batchDeleteReporter)
+	if !ok {
+		return nil, fmt.Errorf("engine: primary backend cannot report removed points")
+	}
+	confirmed, err := rep.BatchDeleteRemoved(pts)
+	if err != nil {
+		return confirmed, err
+	}
+	for _, b := range pl.backends[1:] {
+		got, err := b.BatchDelete(confirmed)
+		if err != nil {
+			return confirmed, err
+		}
+		if got != len(confirmed) {
+			return confirmed, fmt.Errorf(
+				"engine: backends disagree on batch presence (%d vs %d removed)", got, len(confirmed))
+		}
+	}
+	return confirmed, nil
 }
 
 // statsKeyer lets a backend name the storage its Stats method counts,

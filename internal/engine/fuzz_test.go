@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzCanonicalQuery fuzzes the shape classifier and the cache-key
+// canonicalization over arbitrary rectangles. The invariants:
+//
+//   - Classify is total and agrees with IsTopOpen on the top-open
+//     family (the planner's routing predicate);
+//   - CanonicalQuery is idempotent;
+//   - q and CanonicalQuery(q) contain exactly the same points and have
+//     byte-identical range skylines — the property that makes the
+//     canonical rectangle a sound cache key.
+//
+// The seed corpus pins the Theorem-5 counterexample rectangles of
+// TestReflectionFallacy (the anti-dominance query whose neg-y and
+// anti-transpose images are top-open but answer the wrong staircase):
+// exactly the family where a routing or keying bug would silently trade
+// correctness for speed.
+func FuzzCanonicalQuery(f *testing.F) {
+	antiDom := geom.AntiDominance(3, 3)
+	add := func(q geom.Rect) { f.Add(q.X1, q.X2, q.Y1, q.Y2) }
+	add(antiDom)
+	add(geom.ReflectNegY.Rect(antiDom))
+	add(geom.ReflectAntiTranspose.Rect(antiDom))
+	add(geom.TopOpen(1, 2, 1))
+	add(geom.RightOpen(1, 1, 2))
+	add(geom.BottomOpen(1, 2, 2))
+	add(geom.LeftOpen(2, 1, 2))
+	add(geom.Dominance(1, 1))
+	add(geom.Contour(2))
+	add(geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf})
+	add(geom.Rect{X1: 9, X2: 3, Y1: 0, Y2: 5}) // empty in x
+	add(geom.Rect{X1: 0, X2: 5, Y1: 9, Y2: 3}) // empty in y
+	add(geom.Rect{X1: 2, X2: 2, Y1: 2, Y2: 2}) // degenerate point
+	f.Fuzz(func(t *testing.T, x1, x2, y1, y2 geom.Coord) {
+		q := geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+		if got, want := Classify(q).TopOpenFamily(), q.IsTopOpen(); got != want {
+			t.Fatalf("%v: Classify(q).TopOpenFamily() = %t, IsTopOpen = %t", q, got, want)
+		}
+		c := CanonicalQuery(q)
+		if again := CanonicalQuery(c); again != c {
+			t.Fatalf("%v: canonicalization not idempotent: %v -> %v", q, c, again)
+		}
+		if (q.X1 > q.X2 || q.Y1 > q.Y2) != (c == geom.Rect{X1: 0, X2: -1, Y1: 0, Y2: -1}) {
+			t.Fatalf("%v: canonical form %v does not match emptiness", q, c)
+		}
+		// Membership equivalence on a probe set built from the
+		// rectangle's own corners (the only places behavior can flip)
+		// plus the Theorem-5 counterexample points.
+		probes := []geom.Point{
+			{X: 1, Y: 1}, {X: 2, Y: 2},
+			{X: x1, Y: y1}, {X: x1, Y: y2}, {X: x2, Y: y1}, {X: x2, Y: y2},
+			{X: x1/2 + x2/2, Y: y1/2 + y2/2},
+			{X: x1 + 1, Y: y1 + 1}, {X: x2 - 1, Y: y2 - 1},
+		}
+		for _, p := range probes {
+			if q.Contains(p) != c.Contains(p) {
+				t.Fatalf("%v vs canonical %v disagree on membership of %v", q, c, p)
+			}
+		}
+		// Answer equivalence: the canonical rectangle is only a sound
+		// cache key if every point set yields byte-identical skylines.
+		got := geom.RangeSkyline(probes, c)
+		want := geom.RangeSkyline(probes, q)
+		if len(got) != len(want) {
+			t.Fatalf("%v vs canonical %v: %d vs %d skyline points", q, c, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v vs canonical %v: skyline point %d = %v, want %v", q, c, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -212,6 +212,14 @@ func (e *Engine) ResetStats() {
 // ShardDisk exposes shard i's disk for per-shard measurements.
 func (e *Engine) ShardDisk(i int) *emio.Disk { return e.shards[i].disk }
 
+// Cuts returns the x-coordinates partitioning the shards: cut i is the
+// largest x owned by shard i, so shard i covers (cuts[i-1], cuts[i]]
+// and the last shard covers (cuts[K-2], +∞). The cuts are fixed at
+// build time. Cuts implements the engine.Partitioned interface, which
+// is how a caching backend wrapping this engine learns to evict only
+// the entries a write's shard can affect.
+func (e *Engine) Cuts() []geom.Coord { return append([]geom.Coord(nil), e.cuts...) }
+
 // shardFor returns the index of the shard owning x.
 func (e *Engine) shardFor(x geom.Coord) int {
 	return sort.Search(len(e.cuts), func(i int) bool { return x <= e.cuts[i] })

@@ -663,3 +663,309 @@ func TestConcurrentOverlappingBatchDelete(t *testing.T) {
 		diffPoints(t, db.RangeSkyline(r), naiveRangeSkyline(ref, r), fmt.Sprintf("q=%d %v", q, r))
 	}
 }
+
+// randAnyShape draws from every Figure-2 shape plus the general 4-sided
+// rectangle: the full query surface the read-through cache must keep
+// byte-identical to the uncached engines.
+func randAnyShape(rng *rand.Rand, span geom.Coord) geom.Rect {
+	x1 := rng.Int63n(span)
+	x2 := x1 + rng.Int63n(span/2+1)
+	y1 := rng.Int63n(span)
+	y2 := y1 + rng.Int63n(span/2+1)
+	switch rng.Intn(9) {
+	case 0:
+		return geom.TopOpen(x1, x2, y1)
+	case 1:
+		return geom.RightOpen(x1, y1, y2)
+	case 2:
+		return geom.BottomOpen(x1, x2, y2)
+	case 3:
+		return geom.LeftOpen(x2, y1, y2)
+	case 4:
+		return geom.Dominance(x1, y1)
+	case 5:
+		return geom.AntiDominance(x2, y2)
+	case 6:
+		return geom.Contour(x2)
+	case 7:
+		return geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf}
+	default:
+		return geom.Rect{X1: x1, X2: x2, Y1: y1, Y2: y2}
+	}
+}
+
+// TestDifferentialCache drives mixed workloads against cached and
+// uncached DBs side by side — unsharded, sharded, and sharded+mirrored,
+// all dynamic — cross-checking every answer against the uncached DB and
+// the O(n²) oracle across all seven Figure-2 shapes. Queries are drawn
+// from a recurring pool so the cache actually serves hits, and updates
+// (single and batched, hits and misses) run between query rounds so
+// invalidation is exercised on every configuration.
+func TestDifferentialCache(t *testing.T) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"unsharded", core.Options{Machine: diffCfg, Dynamic: true, CacheEntries: 32}},
+		{"sharded", core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 3, CacheEntries: 32}},
+		{"sharded-mirrored", core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 3, Mirrors: true, CacheEntries: 32}},
+	}
+	const n, extra = 200, 160
+	span := geom.Coord((n + extra) * 16)
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					all := geom.GenUniform(n+extra, span, seed+3100)
+					base := append([]geom.Point(nil), all[:n]...)
+					pool := append([]geom.Point(nil), all[n:]...)
+					geom.SortByX(base)
+					uncachedOpts := cfg.opts
+					uncachedOpts.CacheEntries = 0
+					plain, err := core.Open(uncachedOpts, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cached, err := core.Open(cfg.opts, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if cached.Cache() == nil {
+						t.Fatal("core.Open(CacheEntries: 32) did not build a cache")
+					}
+					ref := append([]geom.Point(nil), base...)
+
+					rng := rand.New(rand.NewSource(seed + 31))
+					// A recurring pool of rectangles, refreshed slowly, so
+					// repeats hit the cache while updates invalidate.
+					qpool := make([]geom.Rect, 12)
+					for i := range qpool {
+						qpool[i] = randAnyShape(rng, span)
+					}
+					for op := 0; op < 160; op++ {
+						ctx := fmt.Sprintf("%s seed=%d op=%d", cfg.name, seed, op)
+						switch rng.Intn(12) {
+						case 0: // single insert
+							if len(pool) == 0 {
+								continue
+							}
+							p := pool[len(pool)-1]
+							pool = pool[:len(pool)-1]
+							if err := plain.Insert(p); err != nil {
+								t.Fatalf("%s: %v", ctx, err)
+							}
+							if err := cached.Insert(p); err != nil {
+								t.Fatalf("%s: %v", ctx, err)
+							}
+							ref = append(ref, p)
+						case 1: // batch insert
+							if len(pool) < 2 {
+								continue
+							}
+							k := 1 + rng.Intn(len(pool)/2)
+							batch := append([]geom.Point(nil), pool[:k]...)
+							pool = pool[k:]
+							if err := plain.BatchInsert(batch); err != nil {
+								t.Fatalf("%s: %v", ctx, err)
+							}
+							if err := cached.BatchInsert(batch); err != nil {
+								t.Fatalf("%s: %v", ctx, err)
+							}
+							ref = append(ref, batch...)
+						case 2, 3: // single delete (sometimes a miss)
+							if rng.Intn(4) == 0 || len(ref) == 0 {
+								absent := geom.Point{X: span + geom.Coord(op) + 1, Y: span + geom.Coord(op) + 1}
+								if ok, err := cached.Delete(absent); ok || err != nil {
+									t.Fatalf("%s: Delete(absent) = %t, %v", ctx, ok, err)
+								}
+								if ok, err := plain.Delete(absent); ok || err != nil {
+									t.Fatalf("%s: Delete(absent) = %t, %v", ctx, ok, err)
+								}
+								continue
+							}
+							j := rng.Intn(len(ref))
+							p := ref[j]
+							for _, db := range []*core.DB{plain, cached} {
+								if ok, err := db.Delete(p); err != nil || !ok {
+									t.Fatalf("%s: Delete(%v) = %t, %v", ctx, p, ok, err)
+								}
+							}
+							ref = append(ref[:j], ref[j+1:]...)
+						case 4: // batch delete with dup + absentee
+							if len(ref) < 4 {
+								continue
+							}
+							k := 1 + rng.Intn(len(ref)/2)
+							perm := rng.Perm(len(ref))[:k]
+							sort.Ints(perm)
+							var batch []geom.Point
+							for _, j := range perm {
+								batch = append(batch, ref[j])
+							}
+							for i := len(perm) - 1; i >= 0; i-- {
+								j := perm[i]
+								ref = append(ref[:j], ref[j+1:]...)
+							}
+							want := len(batch)
+							batch = append(batch, batch[0],
+								geom.Point{X: span + geom.Coord(op) + 1, Y: span + geom.Coord(op) + 1})
+							for _, db := range []*core.DB{plain, cached} {
+								if got, err := db.BatchDelete(batch); err != nil || got != want {
+									t.Fatalf("%s: BatchDelete = %d, %v; want %d", ctx, got, err, want)
+								}
+							}
+						default: // query, mostly from the recurring pool
+							var q geom.Rect
+							if rng.Intn(4) == 0 {
+								q = randAnyShape(rng, span)
+								qpool[rng.Intn(len(qpool))] = q
+							} else {
+								q = qpool[rng.Intn(len(qpool))]
+							}
+							want := naiveRangeSkyline(ref, q)
+							diffPoints(t, plain.RangeSkyline(q), want, ctx+fmt.Sprintf(" %v uncached", q))
+							diffPoints(t, cached.RangeSkyline(q), want, ctx+fmt.Sprintf(" %v cached", q))
+						}
+					}
+					if cached.Len() != len(ref) || plain.Len() != len(ref) {
+						t.Fatalf("%s seed=%d: Len cached=%d plain=%d, want %d",
+							cfg.name, seed, cached.Len(), plain.Len(), len(ref))
+					}
+					ctr := cached.Cache().Counters()
+					if ctr.Hits == 0 {
+						t.Fatalf("%s seed=%d: cache served no hits (counters %+v)", cfg.name, seed, ctr)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCacheRaceStress is the -race mix the cache's fill guard exists
+// for: concurrent readers hammering a fixed rectangle pool (so entries
+// are repeatedly filled and hit) while writers invalidate with single
+// and batched updates and a poller reads counters. Mid-flight answers
+// are checked structurally; after quiescence the exact pool rectangles
+// — the entries most likely to have cached a stale fill — are verified
+// against the oracle.
+func TestCacheRaceStress(t *testing.T) {
+	const (
+		nBase      = 800
+		perUpdater = 200
+		nQueriers  = 4
+		queries    = 200
+	)
+	span := geom.Coord((nBase + 2*perUpdater) * 16)
+	all := geom.GenUniform(nBase+2*perUpdater, span, 4100)
+	base := append([]geom.Point(nil), all[:nBase]...)
+	geom.SortByX(base)
+	db, err := core.Open(core.Options{
+		Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 4, Mirrors: true, CacheEntries: 48,
+	}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng := rand.New(rand.NewSource(4101))
+	qpool := make([]geom.Rect, 32)
+	for i := range qpool {
+		qpool[i] = randAnyShape(prng, span)
+	}
+
+	var wg sync.WaitGroup
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		batched := u == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if batched {
+				const chunk = 40
+				for lo := 0; lo < len(pool); lo += chunk {
+					hi := lo + chunk
+					if hi > len(pool) {
+						hi = len(pool)
+					}
+					if err := db.BatchInsert(pool[lo:hi]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				var victims []geom.Point
+				for i := 1; i < len(pool); i += 2 {
+					victims = append(victims, pool[i])
+				}
+				if got, err := db.BatchDelete(victims); err != nil || got != len(victims) {
+					t.Errorf("BatchDelete = %d, %v; want %d", got, err, len(victims))
+				}
+			} else {
+				for _, p := range pool {
+					if err := db.Insert(p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := 1; i < len(pool); i += 2 {
+					if ok, err := db.Delete(pool[i]); err != nil || !ok {
+						t.Errorf("Delete(%v) = %t, %v", pool[i], ok, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < nQueriers; g++ {
+		seed := int64(g + 4200)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < queries; q++ {
+				r := qpool[rng.Intn(len(qpool))]
+				sky := db.RangeSkyline(r)
+				for i, p := range sky {
+					if !r.Contains(p) {
+						t.Errorf("query %d: %v outside %v", q, p, r)
+						return
+					}
+					if i > 0 && (sky[i-1].X >= p.X || sky[i-1].Y <= p.Y) {
+						t.Errorf("query %d: not a staircase at %d: %v, %v", q, i, sky[i-1], p)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			_ = db.Cache().Counters()
+			_ = db.Cache().Len()
+			_ = db.Stats()
+			_ = db.Len()
+		}
+	}()
+	wg.Wait()
+
+	ref := append([]geom.Point(nil), base...)
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		for i := 0; i < len(pool); i += 2 {
+			ref = append(ref, pool[i])
+		}
+	}
+	if db.Len() != len(ref) {
+		t.Fatalf("final Len = %d, want %d", db.Len(), len(ref))
+	}
+	// The pool rectangles are exactly the entries that could have
+	// cached a stale fill during the race; each must now answer
+	// byte-identically to the oracle (a hit on a poisoned entry would
+	// differ).
+	for i, r := range qpool {
+		diffPoints(t, db.RangeSkyline(r), naiveRangeSkyline(ref, r), fmt.Sprintf("pool q=%d %v", i, r))
+	}
+	if ctr := db.Cache().Counters(); ctr.Hits == 0 || ctr.Invalidations == 0 {
+		t.Fatalf("stress exercised no cache traffic: counters %+v", ctr)
+	}
+}

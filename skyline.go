@@ -43,6 +43,14 @@
 // that preserves dominance, and the paper's Theorem 5 lower bound
 // proves those shapes cannot beat (n/B)^ε at linear space.
 //
+// Opening with Options{CacheEntries: E} puts a read-through LRU cache
+// in front of the whole query planner: up to E hot rectangles are
+// re-answered from memory at zero simulated I/O, byte-identically to
+// the uncached answers, and updates invalidate only the entries whose
+// rectangles could contain the written point — shard-aware when the
+// index is sharded (only the written shard's x-slab is scanned out,
+// refined by the mirrored engine's y-cuts when Mirrors is on too).
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
