@@ -14,7 +14,10 @@
 // Regardless of mode, a gate that compares NOTHING is a broken gate: a
 // missing, malformed or empty baseline (for example a renamed
 // BENCH_*.json, or an -e filter that matches no experiment) exits
-// non-zero instead of silently passing.
+// non-zero instead of silently passing. And a run that passes is not
+// silent either: every performed comparison is printed as a delta table
+// (baseline, current, relative change), so a green build still shows
+// what moved.
 //
 // Two kinds of comparison, per experiment ID:
 //
@@ -42,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -141,6 +145,50 @@ func metricProblem(format string, args ...any) {
 	}
 }
 
+// regressed is the slack math of the metric gate: a regression needs
+// BOTH a relative excursion beyond threshold AND an absolute movement
+// of more than one printed-precision step (metrics print with >= 0.1
+// granularity), so a near-zero baseline cannot trip on its last rounded
+// digit — but nothing looser: these metrics are deterministic, and a
+// wider slack would quietly exempt small baselines from the documented
+// threshold contract.
+func regressed(base, cur, threshold float64) bool {
+	return cur > base*(1+threshold) && cur-base > 0.1
+}
+
+// deltaRow is one performed comparison, kept for the summary table.
+type deltaRow struct {
+	id, labels, name string
+	base, cur        float64
+	bad              bool
+}
+
+// printDelta renders every performed comparison — regressed or not — so
+// a green run still shows exactly what moved and by how much, instead
+// of passing silently.
+func printDelta(rows []deltaRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("%-4s %-44s %-10s %10s %10s %8s\n",
+		"exp", "labels", "metric", "baseline", "current", "delta")
+	for _, r := range rows {
+		delta := "0.0%"
+		switch {
+		case r.base != 0:
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.cur/r.base-1))
+		case r.cur != 0:
+			delta = "new"
+		}
+		mark := ""
+		if r.bad {
+			mark = "  <-- regressed"
+		}
+		fmt.Printf("%-4s %-44s %-10s %10.2f %10.2f %8s%s\n",
+			r.id, r.labels, r.name, r.base, r.cur, delta, mark)
+	}
+}
+
 func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -158,6 +206,7 @@ func main() {
 		os.Exit(1)
 	}
 	compared, regressions := 0, 0
+	var table []deltaRow
 	for id, base := range baseline {
 		cur, ok := current[id]
 		if !ok {
@@ -174,7 +223,12 @@ func main() {
 			// Fallback: wall clock, host-dependent and noisy — hence
 			// warn-only by design.
 			compared++
-			if cur.Seconds > base.Seconds*(1+*flagThreshold) {
+			bad := cur.Seconds > base.Seconds*(1+*flagThreshold)
+			table = append(table, deltaRow{
+				id: id, labels: "(wall clock)", name: "seconds",
+				base: base.Seconds, cur: cur.Seconds, bad: bad,
+			})
+			if bad {
 				regressions++
 				warn("%s wall clock %.2fs vs baseline %.2fs (+%.0f%%)",
 					id, cur.Seconds, base.Seconds, 100*(cur.Seconds/base.Seconds-1))
@@ -194,14 +248,9 @@ func main() {
 					continue
 				}
 				compared++
-				// Guard the ratio with a flat absolute floor of one
-				// printed-precision step (metrics print with >= 0.1
-				// granularity), so a near-zero baseline can't trip on
-				// its last rounded digit — but nothing looser: these
-				// metrics are deterministic, and a wider slack would
-				// quietly exempt small baselines from the documented
-				// 30% contract.
-				if cv > bv*(1+*flagThreshold) && cv-bv > 0.1 {
+				bad := regressed(bv, cv, *flagThreshold)
+				table = append(table, deltaRow{id: id, labels: key, name: name, base: bv, cur: cv, bad: bad})
+				if bad {
 					regressions++
 					metricProblem("%s [%s] %s=%.2f vs baseline %.2f (+%.0f%%)",
 						id, key, name, cv, bv, 100*(cv/bv-1))
@@ -209,6 +258,16 @@ func main() {
 			}
 		}
 	}
+	sort.Slice(table, func(i, j int) bool {
+		if table[i].id != table[j].id {
+			return table[i].id < table[j].id
+		}
+		if table[i].labels != table[j].labels {
+			return table[i].labels < table[j].labels
+		}
+		return table[i].name < table[j].name
+	})
+	printDelta(table)
 	if compared == 0 {
 		// A renamed baseline, an empty artifact or a filter matching
 		// nothing would otherwise disable the gate without a trace.

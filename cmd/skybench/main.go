@@ -127,6 +127,7 @@ func main() {
 	run("E12", e12)
 	run("E13", e13)
 	run("E14", e14)
+	run("E15", e15)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {
@@ -896,4 +897,196 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// e15op is one precomputed operation of an E15 stream: the same
+// sequence is applied in lockstep to the synchronous reference and
+// every queued index, so answers can be cross-checked byte for byte.
+type e15op struct {
+	write bool
+	del   bool
+	p     geom.Point
+	q     geom.Rect
+}
+
+// e15Stream precomputes a deterministic op stream: writeFrac of the ops
+// are writes (inserts of fresh points, deletes of recently-inserted
+// points — the coalescing candidates — deletes of old points, and a few
+// guaranteed misses), the rest are queries drawn from a recurring
+// rectangle pool spanning all nine shapes.
+func e15Stream(streamLen int, writeFrac float64, n int, span int64, base, pool []geom.Point, seed int64) []e15op {
+	rng := rand.New(rand.NewSource(seed))
+	qpool := make([]geom.Rect, 128)
+	for i := range qpool {
+		qpool[i] = e14Rect(rng, i%9, n, span)
+	}
+	liveOld := append([]geom.Point(nil), base...)
+	var recent []geom.Point
+	next := 0
+	ops := make([]e15op, 0, streamLen)
+	for len(ops) < streamLen {
+		if rng.Float64() < writeFrac {
+			r := rng.Float64()
+			switch {
+			case r < 0.10 && len(liveOld) > 0:
+				// Guaranteed miss: resolves to nothing at drain.
+				ops = append(ops, e15op{write: true, del: true,
+					p: geom.Point{X: span + int64(len(ops)) + 1, Y: span + int64(len(ops)) + 1}})
+			case r < 0.35 && len(recent) > 0:
+				// Delete the newest insert: very likely still buffered
+				// on the queued indexes, so the pair coalesces.
+				p := recent[len(recent)-1]
+				recent = recent[:len(recent)-1]
+				ops = append(ops, e15op{write: true, del: true, p: p})
+			case r < 0.55 && len(liveOld) > 0:
+				j := rng.Intn(len(liveOld))
+				p := liveOld[j]
+				liveOld = append(liveOld[:j], liveOld[j+1:]...)
+				ops = append(ops, e15op{write: true, del: true, p: p})
+			default:
+				if next >= len(pool) {
+					continue
+				}
+				p := pool[next]
+				next++
+				recent = append(recent, p)
+				if len(recent) > 16 {
+					liveOld = append(liveOld, recent[0])
+					recent = recent[1:]
+				}
+				ops = append(ops, e15op{write: true, p: p})
+			}
+		} else {
+			ops = append(ops, e15op{q: qpool[rng.Intn(len(qpool))]})
+		}
+	}
+	return ops
+}
+
+func e15() {
+	fmt.Println("E15 async update queue (Options.AsyncWrites): buffered per-shard writes")
+	fmt.Println("    Writes append to per-shard buffers and return without touching any structure;")
+	fmt.Println("    buffers drain through the batched paths at FlushPoints or when a read's")
+	fmt.Println("    rectangle intersects them (drain-on-read), so every answer below is")
+	fmt.Println("    cross-checked byte-identical to the synchronous reference. The background")
+	fmt.Println("    drainer is disabled and size-triggered drains run inline, so the drain,")
+	fmt.Println("    coalesce and simulated-I/O numbers are deterministic across hosts and the")
+	fmt.Println("    E15-METRIC lines gate regressions exactly (cmd/benchguard -strict-io).")
+	n := sizes([]int{1 << 12}, []int{1 << 14})[0]
+	span := int64(n) * 16
+	streamLen := sizes([]int{4000}, []int{12000})[0]
+
+	all := geom.GenUniform(n+streamLen, span, 71)
+	base := append([]geom.Point(nil), all[:n]...)
+	writePool := all[n:]
+	geom.SortByX(base)
+
+	streams := []struct {
+		name      string
+		writeFrac float64
+	}{
+		{"writeheavy", 0.70},
+		{"mixed", 0.20},
+	}
+	for _, stream := range streams {
+		ops := e15Stream(streamLen, stream.writeFrac, n, span, base, writePool, 73)
+		writes, reads := 0, 0
+		for _, op := range ops {
+			if op.write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		fmt.Printf("    stream %s: %d ops (%d writes, %d reads), n=%d, 8 shards\n",
+			stream.name, len(ops), writes, reads, n)
+
+		ref, err := core.Open(core.Options{Machine: cfg, Dynamic: true, Shards: 8, Workers: 4}, base)
+		if err != nil {
+			panic(err)
+		}
+		queued, err := core.Open(core.Options{
+			Machine: cfg, Dynamic: true, Shards: 8, Workers: 4,
+			AsyncWrites: true, FlushPoints: 64, FlushInterval: -1,
+		}, base)
+		if err != nil {
+			panic(err)
+		}
+		qcached, err := core.Open(core.Options{
+			Machine: cfg, Dynamic: true, Shards: 8, Workers: 4, CacheEntries: 128,
+			AsyncWrites: true, FlushPoints: 64, FlushInterval: -1,
+		}, base)
+		if err != nil {
+			panic(err)
+		}
+		dbs := []*core.DB{ref, queued, qcached}
+		for _, db := range dbs {
+			db.ResetStats()
+		}
+		for _, op := range ops {
+			switch {
+			case op.write && op.del:
+				for _, db := range dbs {
+					if _, err := db.Delete(op.p); err != nil {
+						panic(err)
+					}
+				}
+			case op.write:
+				for _, db := range dbs {
+					if err := db.Insert(op.p); err != nil {
+						panic(err)
+					}
+				}
+			default:
+				want := ref.RangeSkyline(op.q)
+				e14Check("E15 queued", op.q, queued.RangeSkyline(op.q), want)
+				e14Check("E15 queued+cache", op.q, qcached.RangeSkyline(op.q), want)
+			}
+		}
+		for _, db := range dbs[1:] {
+			if err := db.Flush(); err != nil {
+				panic(err)
+			}
+			if db.Len() != ref.Len() {
+				panic(fmt.Sprintf("E15 %s: Len %d, want %d", stream.name, db.Len(), ref.Len()))
+			}
+		}
+		fmt.Printf("%14s %12s %10s %10s %10s %12s\n",
+			"mode", "I/Os/op", "drainfrac", "coalesced", "forced", "cache hits")
+		for _, row := range []struct {
+			mode string
+			db   *core.DB
+		}{{"sync", ref}, {"queued", queued}, {"queued+cache", qcached}} {
+			ios := float64(row.db.Stats().IOs()) / float64(len(ops))
+			ctr := row.db.QueueCounters()
+			if row.db.Queue() == nil {
+				fmt.Printf("%14s %12.2f %10s %10s %10s %12s\n", row.mode, ios, "-", "-", "-", "-")
+				fmt.Printf("E15-METRIC mix=%s mode=sync n=%d ios=%.2f\n", stream.name, n, ios)
+				continue
+			}
+			if ctr.Enqueued != ctr.Drained+ctr.Coalesced {
+				panic(fmt.Sprintf("E15 %s %s: quiescent invariant violated: %+v", stream.name, row.mode, ctr))
+			}
+			if stream.name == "writeheavy" && ctr.Coalesced == 0 {
+				panic(fmt.Sprintf("E15 %s: write-heavy stream coalesced nothing: %+v", row.mode, ctr))
+			}
+			drainFrac := float64(ctr.Drained) / float64(ctr.Enqueued)
+			hits := "-"
+			if c := row.db.Cache(); c != nil {
+				hits = fmt.Sprintf("%d", c.Counters().Hits)
+			}
+			fmt.Printf("%14s %12.2f %10.4f %10d %10d %12s\n",
+				row.mode, ios, drainFrac, ctr.Coalesced, ctr.ForcedDrains, hits)
+			// drainfrac regresses UPWARD when coalescing degrades
+			// (fewer ops cancelled in-buffer), forced when reads stall
+			// on drains more often — both, like ios, are deterministic
+			// and bigger-is-worse, matching benchguard's comparison.
+			mode := "queued"
+			if row.db.Cache() != nil {
+				mode = "queuedcache"
+			}
+			fmt.Printf("E15-METRIC mix=%s mode=%s n=%d ios=%.2f drainfrac=%.4f forced=%.1f\n",
+				stream.name, mode, n, ios, drainFrac, float64(ctr.ForcedDrains))
+		}
+	}
 }

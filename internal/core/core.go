@@ -31,7 +31,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dyntop"
 	"repro/internal/emio"
@@ -97,6 +99,36 @@ type Options struct {
 	// cache on every applied write. A Delete that misses evicts
 	// nothing.
 	CacheEntries int
+	// AsyncWrites buffers Insert/Delete (and the batched forms) in an
+	// engine.AsyncQueue in front of everything else: writes append to
+	// per-x-slab buffers (the sharded engine's shards, or one buffer
+	// unsharded) and return without touching any structure, so writer
+	// latency is independent of structure rebuild costs. Buffers drain
+	// through the batched paths — one structure lock per shard per
+	// drain, and one cache invalidation sweep per drain when
+	// CacheEntries > 0 — when a buffer reaches FlushPoints, every
+	// FlushInterval, and on DB.Flush/DB.Close. Reads stay exact: a
+	// query first drains every buffer its rectangle's x-range
+	// intersects, so answers (buffered deletes included) are
+	// byte-identical to a synchronous index's. Requires Dynamic. In
+	// this mode Delete/BatchDelete report ACCEPTANCE, not presence
+	// (hit-or-miss resolves at drain), and Len flushes first so it
+	// stays exact. The concurrency contract is unchanged: concurrent
+	// callers require Shards > 1. The background drainer is safe even
+	// unsharded with a single caller — it only applies non-empty
+	// buffers, a buffer can only be non-empty through that caller's
+	// own writes (which every read of the single slab drains first),
+	// and drains serialize with drain-on-read through the per-slab
+	// drain lock.
+	AsyncWrites bool
+	// FlushPoints is the per-buffer drain threshold when AsyncWrites
+	// is set; zero means 128.
+	FlushPoints int
+	// FlushInterval is the background drainer's period when
+	// AsyncWrites is set; zero means 100ms, negative disables the
+	// background drainer (reads, FlushPoints and explicit Flush still
+	// drain — the fully deterministic configuration).
+	FlushInterval time.Duration
 }
 
 // DB is a planar range skyline index over a simulated EM machine. All
@@ -116,6 +148,19 @@ type DB struct {
 
 	// cache is the memoizing backend; non-nil iff CacheEntries > 0.
 	cache *engine.CacheBackend
+
+	// queue is the asynchronous write buffer; non-nil iff AsyncWrites.
+	// It is the OUTERMOST layer: reads must hit it first so the
+	// drain-on-read rule covers cache hits too, and its drains flow
+	// through the cache's batched paths so invalidation fires once per
+	// drain instead of once per point.
+	queue *engine.AsyncQueue
+
+	// closed flips on the first Close; writes are rejected after.
+	// closeMu serializes Close callers so none returns before the
+	// first finished draining and quiescing.
+	closed  atomic.Bool
+	closeMu sync.Mutex
 
 	// Sharded engine serving every query shape; non-nil iff
 	// Options.Shards > 1, replacing the single-disk backends.
@@ -187,6 +232,26 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 		db.cache = cache
 		db.front = cache
 	}
+	if opts.AsyncWrites {
+		if !opts.Dynamic {
+			return nil, fmt.Errorf("core: AsyncWrites requires Options.Dynamic (a static index rejects writes)")
+		}
+		// The queue is the OUTERMOST layer, in front of the cache:
+		// every read must pass its drain-on-read check before a cache
+		// hit can be served (a hit on an entry missing a buffered
+		// write would be stale), and its drains apply through the
+		// cache's batched paths, so a drain costs one shard-aware
+		// invalidation sweep instead of one eviction scan per point.
+		queue, err := engine.NewAsyncQueue(db.front, engine.QueueOptions{
+			FlushPoints:   opts.FlushPoints,
+			FlushInterval: opts.FlushInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.queue = queue
+		db.front = queue
+	}
 	return db, nil
 }
 
@@ -248,6 +313,63 @@ func (db *DB) Sharded() *shard.Engine { return db.eng }
 // report hits, misses, evictions and invalidations.
 func (db *DB) Cache() *engine.CacheBackend { return db.cache }
 
+// Queue returns the asynchronous write queue in front of everything
+// else, or nil when the index was opened without AsyncWrites.
+func (db *DB) Queue() *engine.AsyncQueue { return db.queue }
+
+// QueueCounters returns the async queue's operation totals (enqueued,
+// drained, coalesced, forced drains); the zero value when the index was
+// opened without AsyncWrites.
+func (db *DB) QueueCounters() engine.QueueCounters {
+	if db.queue == nil {
+		return engine.QueueCounters{}
+	}
+	return db.queue.Counters()
+}
+
+// Flush drains every buffered write to the underlying structures. It is
+// a no-op without AsyncWrites; with it, Flush is the explicit third
+// drain trigger next to FlushPoints and FlushInterval.
+func (db *DB) Flush() error {
+	if db.queue == nil {
+		return nil
+	}
+	return db.queue.Flush()
+}
+
+// Close quiesces the index: it stops the async queue's background
+// drainer and drains every remaining buffered write, then waits for the
+// sharded engines' in-flight per-shard tasks — the primary's and every
+// sharded mirror's — to complete, so no goroutine owned by the index
+// outlives Close and no structure is mid-mutation afterwards. Further
+// writes are rejected; reads keep working against the fully-applied
+// state. Close is idempotent, and concurrent callers all observe the
+// quiesced state.
+func (db *DB) Close() error {
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	alreadyClosed := db.closed.Swap(true)
+	var firstErr error
+	if db.queue != nil {
+		// Idempotent, and because Close callers serialize on closeMu a
+		// second caller cannot return before the first finished
+		// draining and quiescing.
+		firstErr = db.queue.Close()
+	}
+	if alreadyClosed {
+		return firstErr
+	}
+	for _, b := range db.plan.Backends() {
+		if m, ok := b.(*engine.MirrorBackend); ok {
+			b = m.Inner()
+		}
+		if qc, ok := b.(interface{ Quiesce() }); ok {
+			qc.Quiesce()
+		}
+	}
+	return firstErr
+}
+
 // Planner exposes the query planner for inspection (which backend a
 // rectangle routes to, the registered backends).
 func (db *DB) Planner() *engine.Planner { return db.plan }
@@ -257,8 +379,16 @@ func (db *DB) Planner() *engine.Planner { return db.plan }
 func (db *DB) Disk() *emio.Disk { return db.disk }
 
 // Len returns the number of indexed points. Safe to call while
-// operations are in flight.
-func (db *DB) Len() int { return int(db.n.Load()) }
+// operations are in flight. With AsyncWrites it first drains every
+// buffer — a buffered delete's hit-or-miss only resolves at drain — so
+// the count stays exact, at the cost of making Len a flushing read.
+func (db *DB) Len() int {
+	if db.queue != nil {
+		db.queue.Flush()
+		return int(db.n.Load() + db.queue.AppliedDelta())
+	}
+	return int(db.n.Load())
+}
 
 // RangeSkyline reports the maximal points of P ∩ q in increasing-x
 // order, routing the rectangle's shape through the planner (behind the
@@ -311,28 +441,48 @@ func (db *DB) Contour(x geom.Coord) []geom.Point {
 	return db.RangeSkyline(geom.Contour(x))
 }
 
-// Insert adds a point to a dynamic index, applying it to every backend.
-func (db *DB) Insert(p geom.Point) error {
+// writable reports why the index rejects writes: opened static, or
+// closed. Reads are always allowed — a closed index is quiesced, not
+// destroyed.
+func (db *DB) writable() error {
 	if !db.opts.Dynamic {
 		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	}
+	if db.closed.Load() {
+		return fmt.Errorf("core: index is closed")
+	}
+	return nil
+}
+
+// Insert adds a point to a dynamic index, applying it to every backend
+// (or buffering it, with AsyncWrites — the queue's drains keep Len
+// exact in that mode, so n is only counted here synchronously).
+func (db *DB) Insert(p geom.Point) error {
+	if err := db.writable(); err != nil {
+		return err
 	}
 	if err := db.front.Insert(p); err != nil {
 		return err
 	}
-	db.n.Add(1)
+	if db.queue == nil {
+		db.n.Add(1)
+	}
 	return nil
 }
 
 // Delete removes a point from a dynamic index, reporting presence. The
 // planner consults the primary (top-open) backend first and only mutates
 // the remaining backends after it confirms presence, so a miss never
-// leaves the backends inconsistent.
+// leaves the backends inconsistent. With AsyncWrites the delete is
+// buffered and the bool reports ACCEPTANCE; presence resolves at drain
+// through the same presence-check-first batched path, and a miss
+// applies nothing anywhere.
 func (db *DB) Delete(p geom.Point) (bool, error) {
-	if !db.opts.Dynamic {
-		return false, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	if err := db.writable(); err != nil {
+		return false, err
 	}
 	ok, err := db.front.Delete(p)
-	if ok {
+	if ok && db.queue == nil {
 		// Even when err reports backend disagreement, the primary
 		// backend did remove the point; keep n consistent with it.
 		db.n.Add(-1)
@@ -344,25 +494,30 @@ func (db *DB) Delete(p geom.Point) (bool, error) {
 // batched path; the sharded engine takes each shard lock once per batch
 // instead of once per point. The points must preserve general position.
 func (db *DB) BatchInsert(pts []geom.Point) error {
-	if !db.opts.Dynamic {
-		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	if err := db.writable(); err != nil {
+		return err
 	}
 	if err := db.front.BatchInsert(pts); err != nil {
 		return err
 	}
-	db.n.Add(int64(len(pts)))
+	if db.queue == nil {
+		db.n.Add(int64(len(pts)))
+	}
 	return nil
 }
 
 // BatchDelete removes many points from a dynamic index through each
 // backend's batched path, returning how many were present and removed
-// (misses are skipped, not errors).
+// (misses are skipped, not errors). With AsyncWrites the count is the
+// ACCEPTED batch size, like Delete's bool; resolution happens at drain.
 func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
-	if !db.opts.Dynamic {
-		return 0, fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+	if err := db.writable(); err != nil {
+		return 0, err
 	}
 	removed, err := db.front.BatchDelete(pts)
-	db.n.Add(-int64(removed))
+	if db.queue == nil {
+		db.n.Add(-int64(removed))
+	}
 	return removed, err
 }
 

@@ -3,8 +3,10 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/emio"
 	"repro/internal/engine"
@@ -530,5 +532,153 @@ func TestStatsAggregationWithMirrors(t *testing.T) {
 	}
 	if got := db.Disk().Stats().IOs(); got != 0 {
 		t.Fatalf("ResetStats left primary disk IOs = %d", got)
+	}
+}
+
+// TestAsyncWritesRequireDynamic pins the option validation: a static
+// index cannot buffer writes it would reject anyway.
+func TestAsyncWritesRequireDynamic(t *testing.T) {
+	pts := geom.GenUniform(64, 1024, 6001)
+	if _, err := Open(Options{AsyncWrites: true}, pts); err == nil {
+		t.Fatal("Open(AsyncWrites, static) succeeded; want error")
+	}
+}
+
+// TestAsyncQueueStacking pins the layer order Open builds: the queue is
+// the outermost front (reads must drain before a cache hit can be
+// served) and the cache sits between queue and planner, learning the
+// sharded engine's cuts through the stack in both directions.
+func TestAsyncQueueStacking(t *testing.T) {
+	pts := geom.GenUniform(256, 4096, 6101)
+	db, err := Open(Options{
+		Machine: emio.Config{B: 32, M: 32 * 32}, Dynamic: true,
+		Shards: 4, Workers: 2, AsyncWrites: true, CacheEntries: 8, FlushInterval: -1,
+	}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	q := db.Queue()
+	if q == nil {
+		t.Fatal("Open(AsyncWrites) built no queue")
+	}
+	if q.Inner() != engine.Backend(db.Cache()) {
+		t.Fatal("queue does not drain through the cache")
+	}
+	if db.Cache().Inner() != engine.Backend(db.Planner()) {
+		t.Fatal("cache does not wrap the planner")
+	}
+	if q.NumSlabs() != db.Sharded().NumShards() {
+		t.Fatalf("queue slabs %d, want %d shards", q.NumSlabs(), db.Sharded().NumShards())
+	}
+}
+
+// TestAsyncLenExact pins Len's flushing-read contract: buffered inserts,
+// coalesced pairs and delete misses must all resolve before counting,
+// so Len matches a synchronous index at every quiescent point.
+func TestAsyncLenExact(t *testing.T) {
+	pts := geom.GenUniform(200, 3200, 6201)
+	db, err := Open(Options{
+		Machine: emio.Config{B: 32, M: 32 * 32}, Dynamic: true,
+		Shards: 4, Workers: 2, AsyncWrites: true, FlushPoints: 1 << 20, FlushInterval: -1,
+	}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	span := geom.Coord(3200)
+	fresh := []geom.Point{{X: span + 1, Y: span + 1}, {X: span + 2, Y: span + 2}, {X: span + 3, Y: span + 3}}
+	if err := db.BatchInsert(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Len(); got != len(pts)+3 {
+		t.Fatalf("Len after buffered batch = %d, want %d", got, len(pts)+3)
+	}
+	// A delete miss buffered alongside a real delete: only the hit may
+	// count.
+	if _, err := db.Delete(geom.Point{X: span + 99, Y: span + 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete(fresh[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Len(); got != len(pts)+2 {
+		t.Fatalf("Len after miss+hit deletes = %d, want %d", got, len(pts)+2)
+	}
+	if ctr := db.QueueCounters(); ctr.Enqueued == 0 {
+		t.Fatalf("queue counters never moved: %+v", ctr)
+	}
+}
+
+// TestCloseDuringWritesNoGoroutineLeak is the Close regression test:
+// closing while writers are in flight must stop the queue's background
+// drainer, quiesce the sharded engines' worker pools, and leave no
+// goroutine owned by the index behind (checked against the pre-Open
+// baseline, with retries for scheduler lag).
+func TestCloseDuringWritesNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	all := geom.GenUniform(1200, 1200*16, 6301)
+	base := append([]geom.Point(nil), all[:800]...)
+	geom.SortByX(base)
+	db, err := Open(Options{
+		Machine: emio.Config{B: 32, M: 32 * 32}, Dynamic: true,
+		Shards: 4, Workers: 4, Mirrors: true, AsyncWrites: true,
+		FlushPoints: 16, FlushInterval: time.Millisecond,
+	}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		pool := all[800+w*200 : 800+(w+1)*200]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, p := range pool {
+				var err error
+				if i%3 == 0 {
+					err = db.BatchInsert(pool[i : i+1])
+				} else {
+					err = db.Insert(p)
+				}
+				// A writer racing Close may be rejected; that is the
+				// contract, not a failure.
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := db.Insert(geom.Point{X: 1 << 30, Y: 1 << 30}); err == nil {
+		t.Fatal("Insert after Close succeeded")
+	}
+	if _, err := db.BatchDelete([]geom.Point{base[0]}); err == nil {
+		t.Fatal("BatchDelete after Close succeeded")
+	}
+	// Reads keep working against the quiesced state.
+	if got := db.RangeSkyline(geom.Contour(geom.PosInf)); len(got) == 0 {
+		t.Fatal("read after Close returned nothing")
+	}
+	// The drainer and every worker goroutine must be gone; allow the
+	// runtime a moment to reap exited goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after Close: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -154,31 +154,44 @@ func NewCache(inner Backend, entries int) (*CacheBackend, error) {
 		entries: make(map[geom.Rect]*list.Element, entries),
 		lru:     list.New(),
 	}
-	c.learnPartitions(inner)
+	c.xcuts, c.ycuts = learnCuts(inner)
 	c.genX = make([]uint64, len(c.xcuts)+1)
 	return c, nil
 }
 
-// learnPartitions harvests partition cuts from b: x-cuts from any
-// Partitioned backend, y-cuts from a transpose mirror over one.
-func (c *CacheBackend) learnPartitions(b Backend) {
-	switch v := b.(type) {
-	case *Planner:
-		for _, bk := range v.Backends() {
-			c.learnPartitions(bk)
-		}
-	case *MirrorBackend:
-		if v.ref != geom.ReflectSwapXY {
-			return
-		}
-		if p, ok := v.inner.(Partitioned); ok && c.ycuts == nil {
-			c.ycuts = append([]geom.Coord(nil), p.Cuts()...)
-		}
-	default:
-		if p, ok := b.(Partitioned); ok && c.xcuts == nil {
-			c.xcuts = append([]geom.Coord(nil), p.Cuts()...)
+// learnCuts harvests partition cuts from b: x-cuts from the first
+// Partitioned backend, y-cuts from a transpose mirror over one (the
+// mirrored frame's x is the original frame's y). Wrapping layers — a
+// Planner, a CacheBackend, an AsyncQueue — are walked through to the
+// backends they wrap, so the cache and the write queue slab on the same
+// shard boundaries regardless of stacking order.
+func learnCuts(b Backend) (xcuts, ycuts []geom.Coord) {
+	var walk func(Backend)
+	walk = func(b Backend) {
+		switch v := b.(type) {
+		case *Planner:
+			for _, bk := range v.Backends() {
+				walk(bk)
+			}
+		case *CacheBackend:
+			walk(v.inner)
+		case *AsyncQueue:
+			walk(v.inner)
+		case *MirrorBackend:
+			if v.ref != geom.ReflectSwapXY {
+				return
+			}
+			if p, ok := v.inner.(Partitioned); ok && ycuts == nil {
+				ycuts = append([]geom.Coord(nil), p.Cuts()...)
+			}
+		default:
+			if p, ok := b.(Partitioned); ok && xcuts == nil {
+				xcuts = append([]geom.Coord(nil), p.Cuts()...)
+			}
 		}
 	}
+	walk(b)
+	return xcuts, ycuts
 }
 
 // Inner returns the wrapped backend.

@@ -3,6 +3,9 @@ package engine
 import (
 	"testing"
 
+	"repro/internal/dyntop"
+	"repro/internal/emio"
+	"repro/internal/foursided"
 	"repro/internal/geom"
 )
 
@@ -74,6 +77,179 @@ func FuzzCanonicalQuery(f *testing.F) {
 			if got[i] != want[i] {
 				t.Fatalf("%v vs canonical %v: skyline point %d = %v, want %v", q, c, i, got[i], want[i])
 			}
+		}
+	})
+}
+
+// fuzzQueueRect decodes three bytes into a query rectangle covering
+// every Figure-2 shape plus the general 4-sided one, so the fuzzer
+// sweeps the whole routing surface behind the queue.
+func fuzzQueueRect(a, b, c byte, span geom.Coord) geom.Rect {
+	x1 := geom.Coord(a) * span / 256
+	y1 := geom.Coord(b) * span / 256
+	w := (geom.Coord(c>>4) + 1) * span / 16
+	r := geom.Rect{X1: x1, X2: x1 + w, Y1: y1, Y2: y1 + w}
+	switch c % 9 {
+	case 0:
+		r.Y2 = geom.PosInf
+	case 1:
+		r.X2 = geom.PosInf
+	case 2:
+		r.Y1 = geom.NegInf
+	case 3:
+		r.X1 = geom.NegInf
+	case 4:
+		r.X2, r.Y2 = geom.PosInf, geom.PosInf
+	case 5:
+		r.X1, r.Y1 = geom.NegInf, geom.NegInf
+	case 6:
+		r.X1, r.Y1, r.Y2 = geom.NegInf, geom.NegInf, geom.PosInf
+	case 7:
+		r.X1, r.X2, r.Y1, r.Y2 = geom.NegInf, geom.PosInf, geom.NegInf, geom.PosInf
+	}
+	return r
+}
+
+// FuzzAsyncQueue interleaves enqueues, drains and queries decoded from
+// the fuzz input against a synchronous twin engine and the in-memory
+// oracle. The invariants:
+//
+//   - every query through the queue is byte-identical to the
+//     synchronous planner's answer and to geom.RangeSkyline over the
+//     reference set (drain-on-read exactness, buffered deletes never
+//     visible);
+//   - after a final Flush the quiescent counter invariant holds
+//     (enqueued == drained + coalesced, nothing buffered) and the
+//     whole-plane skylines agree.
+//
+// FlushPoints is tiny (4) so size-triggered drains interleave with
+// reads and coalescing pairs; the background drainer is disabled to
+// keep failures replayable.
+func FuzzAsyncQueue(f *testing.F) {
+	f.Add([]byte{0, 0, 3, 10, 20, 4, 1, 2, 7, 3, 99, 99, 8})
+	f.Add([]byte{5, 5, 5, 2, 9, 3, 0, 0, 0, 4, 3, 1, 2, 3})
+	f.Add([]byte{2, 4, 0, 1, 3, 200, 100, 50, 5, 2, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		const nBase, nPool = 48, 160
+		span := geom.Coord((nBase + nPool) * 16)
+		all := geom.GenUniform(nBase+nPool, int64(span), 4242)
+		base := append([]geom.Point(nil), all[:nBase]...)
+		geom.SortByX(base)
+		pool := all[nBase:]
+
+		build := func() *Planner {
+			pl := new(Planner)
+			d := emio.NewDisk(cacheCfg)
+			pl.RegisterTopOpen(NewDynTop(dyntop.BuildSABE(d, 0.5, base), d))
+			d4 := emio.NewDisk(cacheCfg)
+			pl.RegisterGeneral(NewFourSided(foursided.Build(d4, 0.5, base), d4))
+			return pl
+		}
+		syncPl := build()
+		q, err := NewAsyncQueue(build(), QueueOptions{FlushPoints: 4, FlushInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer q.Close()
+
+		ref := append([]geom.Point(nil), base...)
+		check := func(r geom.Rect) {
+			want := geom.RangeSkyline(ref, r)
+			for name, got := range map[string][]geom.Point{
+				"queued": q.RangeSkyline(r), "sync": syncPl.RangeSkyline(r),
+			} {
+				if len(got) != len(want) {
+					t.Fatalf("%s %v: %d points, want %d (%v vs %v)", name, r, len(got), len(want), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %v: point %d = %v, want %v", name, r, i, got[i], want[i])
+					}
+				}
+			}
+		}
+
+		next, i := 0, 0
+		readByte := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		for i < len(data) {
+			switch readByte() % 6 {
+			case 0, 1: // insert a fresh point
+				if next >= len(pool) {
+					continue
+				}
+				p := pool[next]
+				next++
+				if err := syncPl.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := q.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				ref = append(ref, p)
+			case 2: // delete: live, or a guaranteed absentee
+				sel := int(readByte())
+				if sel%4 == 0 || len(ref) == 0 {
+					absent := geom.Point{X: span + geom.Coord(sel) + 1, Y: span + geom.Coord(sel) + 1}
+					if ok, err := syncPl.Delete(absent); ok || err != nil {
+						t.Fatalf("sync Delete(absent) = %t, %v", ok, err)
+					}
+					if _, err := q.Delete(absent); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				j := sel % len(ref)
+				p := ref[j]
+				ref = append(ref[:j], ref[j+1:]...)
+				if ok, err := syncPl.Delete(p); !ok || err != nil {
+					t.Fatalf("sync Delete(%v) = %t, %v", p, ok, err)
+				}
+				if ok, err := q.Delete(p); !ok || err != nil {
+					t.Fatalf("queued Delete(%v) = %t, %v", p, ok, err)
+				}
+			case 3: // query
+				check(fuzzQueueRect(readByte(), readByte(), readByte(), span))
+			case 4: // explicit flush
+				if err := q.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			case 5: // coalescing pair: insert fresh, delete immediately
+				if next >= len(pool) {
+					continue
+				}
+				p := pool[next]
+				next++
+				if err := q.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := syncPl.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				if ok, err := q.Delete(p); !ok || err != nil {
+					t.Fatalf("queued Delete(%v) = %t, %v", p, ok, err)
+				}
+				if ok, err := syncPl.Delete(p); !ok || err != nil {
+					t.Fatalf("sync Delete(%v) = %t, %v", p, ok, err)
+				}
+			}
+		}
+		if err := q.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		check(geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf})
+		ctr := q.Counters()
+		if ctr.Enqueued != ctr.Drained+ctr.Coalesced || q.Buffered() != 0 {
+			t.Fatalf("quiescent invariant violated: %+v, %d buffered", ctr, q.Buffered())
 		}
 	})
 }

@@ -1,0 +1,515 @@
+// AsyncQueue: the buffered write path of the engine. It wraps any
+// Backend — in core.DB the read-through cache over the planner, or the
+// planner itself — and turns Insert/Delete into appends to per-x-slab
+// buffers that return without touching the underlying structures, so
+// writer latency is independent of structure rebuild costs (the dyntop
+// global rebuilds, the Theorem 6 reconstruction cascades). Buffers are
+// drained through the existing batched paths — BatchInsert and
+// BatchDeleteRemoved — which take each shard lock once per batch and,
+// when the drain sink is a CacheBackend, fire ONE shard-aware
+// invalidation sweep per drained batch instead of one per point.
+//
+// Slabbing mirrors the cache's: when the wrapped backend exposes x-cuts
+// through the Partitioned interface (shard.Engine does, and CacheBackend
+// forwards what it learned), each buffer covers one x-slab, so a drain
+// is a batch localized to one shard. Without partition information the
+// whole axis is one slab and one buffer.
+//
+// Consistency contract — drain-on-read: RangeSkyline first drains every
+// buffer whose x-slab intersects the query rectangle, then queries the
+// wrapped backend, so queued answers are byte-identical to a synchronous
+// engine that applied every accepted write immediately. The rectangle
+// can only contain points whose x lies inside it, and every such point's
+// buffered writes live in an intersecting slab, so draining those slabs
+// is sufficient — buffered writes in other slabs cannot change the
+// answer. Deletes are first-class: a buffered delete drains before the
+// read, so a deleted point is never visible as live, even though the
+// delete itself returned before touching any structure.
+//
+// Per-point coalescing: opposite buffered writes against the same point
+// cancel without ever reaching the structures. The state machine is
+// exact about the one asymmetry: insert-then-delete of a buffered point
+// is a pure no-op (the point never existed), but delete-then-insert must
+// keep BOTH ops — the delete may hit a point the structures already
+// hold, and replaying delete-before-insert is what makes the re-insert
+// legal either way. Drains therefore apply each batch's deletes before
+// its inserts; across distinct points the order is irrelevant (general
+// position makes batches sets).
+//
+// Draining is triggered three ways: a buffer reaching FlushPoints is
+// drained inline by the writer that filled it (amortized: one batch
+// apply per FlushPoints accepted writes — and deliberately synchronous,
+// so a single-threaded workload drains at deterministic points and the
+// E15 benchguard gate can compare drain counters and simulated I/Os
+// exactly across hosts); a background drainer flushes idle buffers every
+// FlushInterval; and Flush/Close drain everything on demand.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// QueueOptions configures an AsyncQueue.
+type QueueOptions struct {
+	// FlushPoints is the per-buffer threshold: a buffer holding this
+	// many pending points is drained inline by the writer that filled
+	// it. Zero means 128; negative is an error.
+	FlushPoints int
+	// FlushInterval is the background drainer's period: every interval
+	// it flushes whatever the size and read triggers left buffered.
+	// Zero means 100ms; negative disables the background drainer
+	// entirely (reads, FlushPoints and explicit Flush still drain —
+	// the deterministic configuration the E15 gate runs).
+	FlushInterval time.Duration
+}
+
+// QueueCounters are an AsyncQueue's operation totals. At quiescence
+// (after Flush, with no writers in flight) they satisfy
+// Enqueued == Drained + Coalesced.
+type QueueCounters struct {
+	// Enqueued counts accepted writes: every Insert and Delete call
+	// (batched ops count one per point).
+	Enqueued uint64
+	// Drained counts buffered writes applied to the wrapped backend
+	// (a drained delete that misses still counts: it was applied).
+	Drained uint64
+	// Coalesced counts buffered writes cancelled in-buffer and never
+	// applied: an insert/delete pair against the same point counts
+	// two, a duplicate buffered delete (a guaranteed miss) counts one.
+	Coalesced uint64
+	// ForcedDrains counts non-empty drains forced by reads — the
+	// drain-on-read consistency rule paying its cost. Size-, timer-
+	// and Flush-triggered drains are not forced.
+	ForcedDrains uint64
+}
+
+// pendingState is a point's buffered-write state inside one slab.
+type pendingState int8
+
+const (
+	// pendingIns: one buffered insert.
+	pendingIns pendingState = iota + 1
+	// pendingDel: one buffered delete.
+	pendingDel
+	// pendingDelIns: a buffered delete followed by a buffered
+	// re-insert. Both must drain, delete first: the delete may hit a
+	// point the structures hold, and removing it first is what makes
+	// the re-insert legal.
+	pendingDelIns
+)
+
+// slabBuf is one x-slab's write buffer. mu guards the pending map and
+// the arrival order; drainMu serializes whole drains (swap + apply), so
+// a reader that acquires it observes every previously swapped batch
+// fully applied — the lock the drain-on-read exactness rests on.
+// Writers only ever take mu, so enqueues never wait for an apply.
+type slabBuf struct {
+	drainMu sync.Mutex
+	mu      sync.Mutex
+	pending map[geom.Point]pendingState
+	// order records first-arrival order so drains replay
+	// deterministically (map iteration would not); cancelled points
+	// stay in the slice and are skipped at drain.
+	order []geom.Point
+}
+
+// AsyncQueue is a buffering write-behind layer over any Backend. It
+// implements Backend: writes are buffered per x-slab and applied in
+// batches; reads drain the slabs they intersect first, so answers are
+// byte-identical to a synchronous engine's.
+type AsyncQueue struct {
+	inner Backend
+	opts  QueueOptions
+	cuts  []geom.Coord
+	slabs []*slabBuf
+
+	// applied is the net point-count delta the drains have applied:
+	// +1 per drained insert, -1 per drained delete that hit. With all
+	// buffers drained, initial size + applied is the exact live count.
+	applied atomic.Int64
+
+	enqueued  atomic.Uint64
+	drained   atomic.Uint64
+	coalesced atomic.Uint64
+	forced    atomic.Uint64
+
+	closed atomic.Bool
+	// closeMu serializes Close callers, so a second Close cannot
+	// return before the first finished draining.
+	closeMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewAsyncQueue wraps inner with an asynchronous write queue. Partition
+// cuts are discovered from the wrapped backend exactly like the cache's
+// (a CacheBackend in the stack forwards the cuts it learned), so the
+// queue's slabs coincide with the engine's shards. The background
+// drainer starts immediately unless opts.FlushInterval is negative;
+// callers owning a queue must Close it to stop that goroutine.
+func NewAsyncQueue(inner Backend, opts QueueOptions) (*AsyncQueue, error) {
+	if opts.FlushPoints < 0 {
+		return nil, fmt.Errorf("engine: queue FlushPoints %d < 0", opts.FlushPoints)
+	}
+	if opts.FlushPoints == 0 {
+		opts.FlushPoints = 128
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = 100 * time.Millisecond
+	}
+	xcuts, _ := learnCuts(inner)
+	q := &AsyncQueue{
+		inner: inner,
+		opts:  opts,
+		cuts:  xcuts,
+		slabs: make([]*slabBuf, len(xcuts)+1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for i := range q.slabs {
+		q.slabs[i] = &slabBuf{pending: make(map[geom.Point]pendingState)}
+	}
+	if opts.FlushInterval > 0 {
+		go q.drainLoop()
+	} else {
+		close(q.done)
+	}
+	return q, nil
+}
+
+// drainLoop is the background drainer: every FlushInterval it flushes
+// whatever the size and read triggers left buffered, so an idle index
+// converges to fully-applied state without waiting for the next read.
+func (q *AsyncQueue) drainLoop() {
+	defer close(q.done)
+	t := time.NewTicker(q.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case <-t.C:
+			q.Flush()
+		}
+	}
+}
+
+// Inner returns the wrapped backend drains apply to.
+func (q *AsyncQueue) Inner() Backend { return q.inner }
+
+// NumSlabs returns the number of per-x-slab buffers (the wrapped
+// engine's shard count, or 1 without partition information).
+func (q *AsyncQueue) NumSlabs() int { return len(q.slabs) }
+
+// FlushPoints returns the per-buffer drain threshold in effect.
+func (q *AsyncQueue) FlushPoints() int { return q.opts.FlushPoints }
+
+// Counters returns the queue's operation totals. Safe to call while
+// operations are in flight.
+func (q *AsyncQueue) Counters() QueueCounters {
+	return QueueCounters{
+		Enqueued:     q.enqueued.Load(),
+		Drained:      q.drained.Load(),
+		Coalesced:    q.coalesced.Load(),
+		ForcedDrains: q.forced.Load(),
+	}
+}
+
+// Buffered returns the number of points with pending buffered writes
+// across all slabs (a delete-then-reinsert pair counts one point).
+func (q *AsyncQueue) Buffered() int {
+	n := 0
+	for _, s := range q.slabs {
+		s.mu.Lock()
+		n += len(s.pending)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// AppliedDelta returns the net point-count change the drains have
+// applied so far: +1 per drained insert, -1 per drained delete that
+// hit a live point. After a Flush with no writers in flight,
+// initial size + AppliedDelta is the exact number of live points —
+// this is how core.DB keeps Len exact over buffered deletes whose
+// hit-or-miss resolution only happens at drain time.
+func (q *AsyncQueue) AppliedDelta() int64 { return q.applied.Load() }
+
+// errQueueClosed is returned by writes arriving after Close.
+func errQueueClosed() error { return fmt.Errorf("engine: async queue is closed") }
+
+// enqueue buffers one write (del=false for insert) and reports the
+// buffer's pending size so the caller can apply the FlushPoints
+// trigger. The per-point state machine coalesces opposite writes: see
+// the package comment for why delete-then-insert keeps both ops while
+// insert-then-delete cancels outright. The closed check runs UNDER the
+// slab lock: Close sets the flag before its final flush, and that
+// flush must take this same lock to swap the buffer — so a write
+// racing Close is either rejected here or included in the final flush,
+// never accepted into a buffer nothing will ever drain.
+func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error) {
+	slab = bucketFor(q.cuts, p.X)
+	s := q.slabs[slab]
+	s.mu.Lock()
+	if q.closed.Load() {
+		s.mu.Unlock()
+		return slab, 0, errQueueClosed()
+	}
+	st, buffered := s.pending[p]
+	if !del {
+		switch {
+		case !buffered:
+			s.pending[p] = pendingIns
+			s.order = append(s.order, p)
+		case st == pendingDel:
+			s.pending[p] = pendingDelIns
+		default:
+			// A buffered insert already exists: a duplicate insert of
+			// a live point violates general position (the caller's
+			// contract, as everywhere in the repository); dropping it
+			// keeps the buffer a set.
+		}
+	} else {
+		switch {
+		case !buffered:
+			s.pending[p] = pendingDel
+			s.order = append(s.order, p)
+		case st == pendingIns:
+			// Insert-then-delete of a point the structures never saw:
+			// a pure no-op, both writes cancel.
+			delete(s.pending, p)
+			q.coalesced.Add(2)
+		case st == pendingDelIns:
+			// The trailing re-insert cancels against this delete; the
+			// original delete stays pending.
+			s.pending[p] = pendingDel
+			q.coalesced.Add(2)
+		default:
+			// Duplicate buffered delete: the second is a guaranteed
+			// miss (the first already claims the point), drop it.
+			q.coalesced.Add(1)
+		}
+	}
+	size = len(s.pending)
+	s.mu.Unlock()
+	q.enqueued.Add(1)
+	return slab, size, nil
+}
+
+// drainSlab flushes slab i's buffer through the wrapped backend's
+// batched paths. It holds the slab's drain lock across swap AND apply,
+// so when it returns every write buffered in that slab before the call
+// is fully applied — including batches swapped out by concurrent
+// drains, which must finish before this one can acquire the lock.
+// forced marks a drain triggered by a read (counted only when the
+// buffer was non-empty).
+func (q *AsyncQueue) drainSlab(i int, forced bool) error {
+	s := q.slabs[i]
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		// Nothing pending; cancelled stragglers in order are dead.
+		s.order = s.order[:0]
+		s.mu.Unlock()
+		return nil
+	}
+	order, pending := s.order, s.pending
+	s.order = nil
+	s.pending = make(map[geom.Point]pendingState)
+	s.mu.Unlock()
+
+	var dels, inss []geom.Point
+	for _, p := range order {
+		st, ok := pending[p]
+		if !ok {
+			continue // cancelled, or already emitted (re-added point)
+		}
+		delete(pending, p)
+		if st == pendingDel || st == pendingDelIns {
+			dels = append(dels, p)
+		}
+		if st == pendingIns || st == pendingDelIns {
+			inss = append(inss, p)
+		}
+	}
+	if forced {
+		q.forced.Add(1)
+	}
+	// Deletes before inserts: a pendingDelIns point must leave the
+	// structures before its re-insert. Across distinct points the
+	// order is irrelevant (batches are sets in general position).
+	var firstErr error
+	if len(dels) > 0 {
+		if rep, ok := q.inner.(batchDeleteReporter); ok {
+			removed, err := rep.BatchDeleteRemoved(dels)
+			q.applied.Add(-int64(len(removed)))
+			firstErr = err
+		} else {
+			n, err := q.inner.BatchDelete(dels)
+			q.applied.Add(-int64(n))
+			firstErr = err
+		}
+		q.drained.Add(uint64(len(dels)))
+	}
+	if len(inss) > 0 {
+		err := q.inner.BatchInsert(inss)
+		q.applied.Add(int64(len(inss)))
+		q.drained.Add(uint64(len(inss)))
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// drainFor drains every slab whose x-range intersects r — the
+// drain-on-read rule. An empty rectangle contains no points, so no
+// buffered write can change its (empty) answer and nothing drains.
+func (q *AsyncQueue) drainFor(r geom.Rect) error {
+	key := CanonicalQuery(r)
+	if key.X1 > key.X2 {
+		return nil
+	}
+	lo, hi := buckets(q.cuts, key.X1, key.X2)
+	var firstErr error
+	for i := lo; i <= hi; i++ {
+		if err := q.drainSlab(i, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Flush drains every buffer, returning the first apply error. It is
+// safe to call concurrently with reads, writes and other flushes, and
+// is a no-op on an already-empty queue.
+func (q *AsyncQueue) Flush() error {
+	var firstErr error
+	for i := range q.slabs {
+		if err := q.drainSlab(i, false); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close stops the background drainer, waits for it to exit, and drains
+// every remaining buffer. Further writes are rejected, and the
+// rejection is airtight: the closed flag is checked under the slab
+// lock the final flush must take, so a write racing Close is either
+// included in that flush or rejected — never accepted into a buffer
+// nothing will drain. Reads keep working against the fully-applied
+// state. Close is idempotent, and concurrent callers serialize: none
+// returns before the draining finishes.
+func (q *AsyncQueue) Close() error {
+	q.closeMu.Lock()
+	defer q.closeMu.Unlock()
+	if !q.closed.Swap(true) {
+		close(q.stop)
+	}
+	<-q.done
+	return q.Flush()
+}
+
+// RangeSkyline drains every buffer whose slab intersects q, then
+// answers from the wrapped backend — byte-identical to a synchronous
+// engine, buffered deletes included.
+func (q *AsyncQueue) RangeSkyline(r geom.Rect) []geom.Point {
+	// A drain error cannot be surfaced from a query; the planner
+	// convention applies (corruption errors panic in tests via the
+	// differential harness, and the read still reflects every write
+	// the drain managed to apply).
+	q.drainFor(r)
+	return q.inner.RangeSkyline(r)
+}
+
+// Insert buffers p and returns. When the buffer reaches FlushPoints the
+// writer drains it inline — one batch apply per FlushPoints accepted
+// writes, at deterministic points in the op stream.
+func (q *AsyncQueue) Insert(p geom.Point) error {
+	slab, size, err := q.enqueue(p, false)
+	if err != nil {
+		return err
+	}
+	if size >= q.opts.FlushPoints {
+		return q.drainSlab(slab, false)
+	}
+	return nil
+}
+
+// Delete buffers the delete and returns. The reported bool means
+// ACCEPTED, not present: hit-or-miss resolution happens at drain time
+// through the batched presence-check-first path, and a miss applies
+// nothing anywhere. Callers needing synchronous presence must use an
+// unqueued engine.
+func (q *AsyncQueue) Delete(p geom.Point) (bool, error) {
+	slab, size, err := q.enqueue(p, true)
+	if err != nil {
+		return false, err
+	}
+	if size >= q.opts.FlushPoints {
+		return true, q.drainSlab(slab, false)
+	}
+	return true, nil
+}
+
+// BatchInsert buffers the batch — one buffer lock per touched slab, not
+// per point — then applies the FlushPoints trigger to each touched slab.
+func (q *AsyncQueue) BatchInsert(pts []geom.Point) error {
+	return q.enqueueBatch(pts, false)
+}
+
+// BatchDelete buffers the batch of deletes, returning len(pts): the
+// accepted count, as for Delete. Misses resolve (to nothing) at drain.
+func (q *AsyncQueue) BatchDelete(pts []geom.Point) (int, error) {
+	return len(pts), q.enqueueBatch(pts, true)
+}
+
+// enqueueBatch buffers pts, then drains the slabs the batch pushed
+// past FlushPoints. A batch racing Close stops at the first rejected
+// point; the points enqueued before it are in the final flush's scope,
+// exactly like single writes.
+func (q *AsyncQueue) enqueueBatch(pts []geom.Point, del bool) error {
+	full := make(map[int]bool)
+	var firstErr error
+	for _, p := range pts {
+		// Per-point enqueue keeps the state machine in one place; the
+		// slab mutex is uncontended in the common single-writer case
+		// and the batch's win — one structure lock per shard per
+		// drain — is preserved regardless.
+		slab, size, err := q.enqueue(p, del)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if size >= q.opts.FlushPoints {
+			full[slab] = true
+		}
+	}
+	for slab := range full {
+		if err := q.drainSlab(slab, false); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns the wrapped backend's I/O counters: buffering performs
+// no simulated I/O until a drain applies the batch.
+func (q *AsyncQueue) Stats() emio.Stats { return q.inner.Stats() }
+
+// ResetStats zeroes the wrapped backend's I/O counters. Queue counters
+// are cumulative and unaffected (they are operation totals, not
+// measurement state).
+func (q *AsyncQueue) ResetStats() { q.inner.ResetStats() }
+
+// StatsKey dedups stats through to the wrapped backend, like the cache
+// and the mirrors.
+func (q *AsyncQueue) StatsKey() any { return statsKey(q.inner) }

@@ -212,6 +212,26 @@ func (e *Engine) ResetStats() {
 // ShardDisk exposes shard i's disk for per-shard measurements.
 func (e *Engine) ShardDisk(i int) *emio.Disk { return e.shards[i].disk }
 
+// Quiesce blocks until every in-flight per-shard task has completed: it
+// fills the worker semaphore (once all slots are held, no pooled
+// goroutine can still be running) and takes each shard's mutex once (no
+// caller-inlined task can be mid-operation), then releases everything.
+// It does not stop NEW operations — callers wanting a true shutdown
+// (core.DB.Close) stop issuing work first, then Quiesce guarantees the
+// engine's goroutines and shard structures are at rest.
+func (e *Engine) Quiesce() {
+	for i := 0; i < cap(e.sem); i++ {
+		e.sem <- struct{}{}
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.mu.Unlock() //nolint:staticcheck // empty critical section is the point: a barrier
+	}
+	for i := 0; i < cap(e.sem); i++ {
+		<-e.sem
+	}
+}
+
 // Cuts returns the x-coordinates partitioning the shards: cut i is the
 // largest x owned by shard i, so shard i covers (cuts[i-1], cuts[i]]
 // and the last shard covers (cuts[K-2], +∞). The cuts are fixed at

@@ -3,6 +3,7 @@ package shard
 import (
 	"math/rand"
 	"strconv"
+	"sync"
 	"testing"
 
 	"repro/internal/dyntop"
@@ -459,4 +460,35 @@ func TestTopOnlyEngine(t *testing.T) {
 		}
 	}()
 	topOnly.FourSided(geom.Rect{X1: 1, X2: 100, Y1: 1, Y2: 100})
+}
+
+// TestQuiesce pins the shutdown barrier core.DB.Close relies on: after
+// Quiesce returns, every worker-pool task submitted before it has fully
+// applied (no goroutine still holds a semaphore slot or a shard mutex),
+// so the engine's state is at rest and countable. It must also be a
+// cheap no-op on an idle engine and safe to call repeatedly.
+func TestQuiesce(t *testing.T) {
+	pts := geom.GenUniform(600, 600*16, 8101)
+	geom.SortByX(pts)
+	base := pts[:400]
+	extra := pts[400:]
+	eng, err := New(Options{Machine: emio.Config{B: 32, M: 32 * 32}, Shards: 4, Workers: 4, Dynamic: true}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Quiesce() // idle: returns immediately
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := eng.BatchInsert(extra); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait() // the batch call has returned; its tasks may have run pooled
+	eng.Quiesce()
+	eng.Quiesce() // idempotent
+	if eng.Len() != len(pts) {
+		t.Fatalf("Len after quiesce = %d, want %d", eng.Len(), len(pts))
+	}
 }

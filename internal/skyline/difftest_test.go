@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dyntop"
@@ -967,5 +968,374 @@ func TestCacheRaceStress(t *testing.T) {
 	}
 	if ctr := db.Cache().Counters(); ctr.Hits == 0 || ctr.Invalidations == 0 {
 		t.Fatalf("stress exercised no cache traffic: counters %+v", ctr)
+	}
+}
+
+// TestDifferentialQueue drives the asynchronous write queue
+// (core.Options.AsyncWrites) against a synchronous twin DB and the
+// O(n²) oracle across every configuration axis — unsharded, sharded,
+// sharded+mirrored, sharded+mirrored+cached — and all seven Figure-2
+// shapes. Writes mix singles, batches, misses and coalescing
+// insert/delete pairs; every query must be byte-identical to both
+// references, and — the delete-aware visibility rule — a point whose
+// delete is still buffered must already be invisible to the very next
+// read. FlushPoints is small enough that size-triggered drains
+// interleave with drain-on-read; the background drainer is disabled so
+// failures replay deterministically by seed.
+func TestDifferentialQueue(t *testing.T) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"unsharded", core.Options{Machine: diffCfg, Dynamic: true}},
+		{"sharded", core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 3}},
+		{"sharded-mirrored", core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 3, Mirrors: true}},
+		{"sharded-mirrored-cached", core.Options{Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 3, Mirrors: true, CacheEntries: 32}},
+	}
+	const n, extra = 180, 200
+	span := geom.Coord((n + extra) * 16)
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					all := geom.GenUniform(n+extra, span, seed+5100)
+					base := append([]geom.Point(nil), all[:n]...)
+					pool := append([]geom.Point(nil), all[n:]...)
+					geom.SortByX(base)
+					syncDB, err := core.Open(cfg.opts, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					asyncOpts := cfg.opts
+					asyncOpts.AsyncWrites = true
+					asyncOpts.FlushPoints = 16
+					asyncOpts.FlushInterval = -1
+					queued, err := core.Open(asyncOpts, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if queued.Queue() == nil {
+						t.Fatal("core.Open(AsyncWrites) built no queue")
+					}
+					ref := append([]geom.Point(nil), base...)
+
+					// checkGone asserts the delete-before-drain rule: a
+					// just-deleted point must not be visible as live,
+					// buffered or not.
+					checkGone := func(ctx string, p geom.Point) {
+						t.Helper()
+						probe := geom.Rect{X1: p.X, X2: p.X, Y1: p.Y, Y2: p.Y}
+						if got := queued.RangeSkyline(probe); len(got) != 0 {
+							t.Fatalf("%s: buffered-deleted %v still visible: %v", ctx, p, got)
+						}
+					}
+
+					rng := rand.New(rand.NewSource(seed + 41))
+					qpool := make([]geom.Rect, 12)
+					for i := range qpool {
+						qpool[i] = randAnyShape(rng, span)
+					}
+					for op := 0; op < 170; op++ {
+						ctx := fmt.Sprintf("%s seed=%d op=%d", cfg.name, seed, op)
+						switch rng.Intn(14) {
+						case 0, 1: // single insert
+							if len(pool) == 0 {
+								continue
+							}
+							p := pool[len(pool)-1]
+							pool = pool[:len(pool)-1]
+							for _, db := range []*core.DB{syncDB, queued} {
+								if err := db.Insert(p); err != nil {
+									t.Fatalf("%s: %v", ctx, err)
+								}
+							}
+							ref = append(ref, p)
+						case 2: // batch insert
+							if len(pool) < 2 {
+								continue
+							}
+							k := 1 + rng.Intn(len(pool)/2)
+							batch := append([]geom.Point(nil), pool[:k]...)
+							pool = pool[k:]
+							for _, db := range []*core.DB{syncDB, queued} {
+								if err := db.BatchInsert(batch); err != nil {
+									t.Fatalf("%s: %v", ctx, err)
+								}
+							}
+							ref = append(ref, batch...)
+						case 3, 4: // single delete: hit, or a guaranteed miss
+							if rng.Intn(4) == 0 || len(ref) == 0 {
+								absent := geom.Point{X: span + geom.Coord(op) + 1, Y: span + geom.Coord(op) + 1}
+								if ok, err := syncDB.Delete(absent); ok || err != nil {
+									t.Fatalf("%s: sync Delete(absent) = %t, %v", ctx, ok, err)
+								}
+								// The queue ACCEPTS the miss; it must
+								// resolve to nothing at drain.
+								if ok, err := queued.Delete(absent); !ok || err != nil {
+									t.Fatalf("%s: queued Delete(absent) = %t, %v", ctx, ok, err)
+								}
+								continue
+							}
+							j := rng.Intn(len(ref))
+							p := ref[j]
+							ref = append(ref[:j], ref[j+1:]...)
+							for i, db := range []*core.DB{syncDB, queued} {
+								if ok, err := db.Delete(p); !ok || err != nil {
+									t.Fatalf("%s: db%d.Delete(%v) = %t, %v", ctx, i, p, ok, err)
+								}
+							}
+							checkGone(ctx, p)
+						case 5: // batch delete with dup + absentee
+							if len(ref) < 4 {
+								continue
+							}
+							k := 1 + rng.Intn(len(ref)/2)
+							perm := rng.Perm(len(ref))[:k]
+							sort.Ints(perm)
+							var batch []geom.Point
+							for _, j := range perm {
+								batch = append(batch, ref[j])
+							}
+							for i := len(perm) - 1; i >= 0; i-- {
+								j := perm[i]
+								ref = append(ref[:j], ref[j+1:]...)
+							}
+							want := len(batch)
+							batch = append(batch, batch[0],
+								geom.Point{X: span + geom.Coord(op) + 1, Y: span + geom.Coord(op) + 1})
+							if got, err := syncDB.BatchDelete(batch); err != nil || got != want {
+								t.Fatalf("%s: sync BatchDelete = %d, %v; want %d", ctx, got, err, want)
+							}
+							// The queue reports the ACCEPTED batch size;
+							// the dup and the absentee resolve to nothing.
+							if got, err := queued.BatchDelete(batch); err != nil || got != len(batch) {
+								t.Fatalf("%s: queued BatchDelete = %d, %v; want accepted %d", ctx, got, err, len(batch))
+							}
+							checkGone(ctx, batch[0])
+						case 6: // coalescing pair: insert fresh, delete at once
+							if len(pool) == 0 {
+								continue
+							}
+							p := pool[len(pool)-1]
+							pool = pool[:len(pool)-1]
+							for i, db := range []*core.DB{syncDB, queued} {
+								if err := db.Insert(p); err != nil {
+									t.Fatalf("%s: db%d insert: %v", ctx, i, err)
+								}
+								if ok, err := db.Delete(p); !ok || err != nil {
+									t.Fatalf("%s: db%d.Delete(%v) = %t, %v", ctx, i, p, ok, err)
+								}
+							}
+							checkGone(ctx, p)
+						case 7: // explicit flush + exact length
+							if err := queued.Flush(); err != nil {
+								t.Fatalf("%s: %v", ctx, err)
+							}
+							if got := queued.Len(); got != len(ref) {
+								t.Fatalf("%s: Len = %d, want %d", ctx, got, len(ref))
+							}
+						default: // query, mostly from the recurring pool
+							var q geom.Rect
+							if rng.Intn(4) == 0 {
+								q = randAnyShape(rng, span)
+								qpool[rng.Intn(len(qpool))] = q
+							} else {
+								q = qpool[rng.Intn(len(qpool))]
+							}
+							want := naiveRangeSkyline(ref, q)
+							fromSync := syncDB.RangeSkyline(q)
+							diffPoints(t, fromSync, want, ctx+fmt.Sprintf(" %v sync", q))
+							diffPoints(t, queued.RangeSkyline(q), fromSync, ctx+fmt.Sprintf(" %v queued vs sync", q))
+						}
+					}
+					if err := queued.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if queued.Len() != len(ref) || syncDB.Len() != len(ref) {
+						t.Fatalf("%s seed=%d: Len queued=%d sync=%d, want %d",
+							cfg.name, seed, queued.Len(), syncDB.Len(), len(ref))
+					}
+					ctr := queued.QueueCounters()
+					if ctr.Enqueued == 0 || ctr.Drained == 0 {
+						t.Fatalf("%s seed=%d: queue never exercised: %+v", cfg.name, seed, ctr)
+					}
+					if ctr.Enqueued != ctr.Drained+ctr.Coalesced {
+						t.Fatalf("%s seed=%d: quiescent invariant violated: %+v", cfg.name, seed, ctr)
+					}
+					if err := queued.Close(); err != nil {
+						t.Fatal(err)
+					}
+					// A closed index still answers, from fully-applied
+					// state.
+					for i := 0; i < 5; i++ {
+						q := qpool[i]
+						diffPoints(t, queued.RangeSkyline(q), naiveRangeSkyline(ref, q),
+							fmt.Sprintf("%s seed=%d post-close %v", cfg.name, seed, q))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestQueueRaceStress is the -race mix the queue's drain locking exists
+// for: concurrent readers racing the background drainer (FlushInterval
+// 1ms) and two writers on a sharded+mirrored+cached async DB. Phase 1
+// races structural-only readers against in-flight writes; once the
+// writers have issued every delete (a happens-before edge via channel
+// close), phase 2 readers assert the victims NEVER resurface — a
+// drained delete must stay drained, and a buffered one must hide behind
+// drain-on-read — while timer drains, flushing Len reads and cache
+// fills keep running. After quiescence the full point set is verified
+// against the oracle.
+func TestQueueRaceStress(t *testing.T) {
+	const (
+		nBase      = 700
+		perUpdater = 200
+		nQueriers  = 4
+		queries    = 120
+	)
+	span := geom.Coord((nBase + 2*perUpdater) * 16)
+	all := geom.GenUniform(nBase+2*perUpdater, span, 7100)
+	base := append([]geom.Point(nil), all[:nBase]...)
+	geom.SortByX(base)
+	db, err := core.Open(core.Options{
+		Machine: diffCfg, Dynamic: true, Shards: 4, Workers: 4, Mirrors: true,
+		CacheEntries: 32, AsyncWrites: true, FlushPoints: 16,
+		FlushInterval: time.Millisecond,
+	}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := make(map[geom.Point]bool)
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		for i := 1; i < len(pool); i += 2 {
+			victims[pool[i]] = true
+		}
+	}
+	deleted := make(chan struct{}) // closed when every victim's delete was accepted
+	prng := rand.New(rand.NewSource(7101))
+	qpool := make([]geom.Rect, 24)
+	for i := range qpool {
+		qpool[i] = randAnyShape(prng, span)
+	}
+
+	var wg sync.WaitGroup
+	var deletersDone sync.WaitGroup
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		batched := u == 0
+		wg.Add(1)
+		deletersDone.Add(1)
+		go func() {
+			defer wg.Done()
+			defer deletersDone.Done()
+			if batched {
+				const chunk = 40
+				for lo := 0; lo < len(pool); lo += chunk {
+					hi := lo + chunk
+					if hi > len(pool) {
+						hi = len(pool)
+					}
+					if err := db.BatchInsert(pool[lo:hi]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				var vs []geom.Point
+				for i := 1; i < len(pool); i += 2 {
+					vs = append(vs, pool[i])
+				}
+				if got, err := db.BatchDelete(vs); err != nil || got != len(vs) {
+					t.Errorf("BatchDelete = %d, %v; want accepted %d", got, err, len(vs))
+				}
+			} else {
+				for _, p := range pool {
+					if err := db.Insert(p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := 1; i < len(pool); i += 2 {
+					if ok, err := db.Delete(pool[i]); err != nil || !ok {
+						t.Errorf("Delete(%v) = %t, %v", pool[i], ok, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		deletersDone.Wait()
+		close(deleted)
+	}()
+	for g := 0; g < nQueriers; g++ {
+		seed := int64(g + 7200)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			checkVictims := false
+			for q := 0; q < queries; q++ {
+				select {
+				case <-deleted:
+					checkVictims = true
+				default:
+				}
+				r := qpool[rng.Intn(len(qpool))]
+				sky := db.RangeSkyline(r)
+				for i, p := range sky {
+					if !r.Contains(p) {
+						t.Errorf("query %d: %v outside %v", q, p, r)
+						return
+					}
+					if i > 0 && (sky[i-1].X >= p.X || sky[i-1].Y <= p.Y) {
+						t.Errorf("query %d: not a staircase at %d: %v, %v", q, i, sky[i-1], p)
+						return
+					}
+					if checkVictims && victims[p] {
+						t.Errorf("query %d: deleted point %v resurfaced in %v", q, p, r)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = db.Len() // a flushing read racing the timer drains
+			_ = db.QueueCounters()
+			_ = db.Stats()
+		}
+	}()
+	wg.Wait()
+
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]geom.Point(nil), base...)
+	for u := 0; u < 2; u++ {
+		pool := all[nBase+u*perUpdater : nBase+(u+1)*perUpdater]
+		for i := 0; i < len(pool); i += 2 {
+			ref = append(ref, pool[i])
+		}
+	}
+	if db.Len() != len(ref) {
+		t.Fatalf("final Len = %d, want %d", db.Len(), len(ref))
+	}
+	rng := rand.New(rand.NewSource(7102))
+	for q := 0; q < 40; q++ {
+		r := randAnyShape(rng, span)
+		diffPoints(t, db.RangeSkyline(r), naiveRangeSkyline(ref, r), fmt.Sprintf("final q=%d %v", q, r))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ctr := db.QueueCounters(); ctr.Enqueued != ctr.Drained+ctr.Coalesced {
+		t.Fatalf("quiescent invariant violated after Close: %+v", ctr)
 	}
 }

@@ -51,6 +51,19 @@
 // index is sharded (only the written shard's x-slab is scanned out,
 // refined by the mirrored engine's y-cuts when Mirrors is on too).
 //
+// Opening with Options{AsyncWrites: true} buffers every write in
+// per-shard queues that return without touching any structure, so
+// writer latency is independent of structure rebuild costs; buffers
+// drain through the batched paths when they reach FlushPoints, every
+// FlushInterval, and on DB.Flush/DB.Close. Reads stay exact — a query
+// drains every buffer its rectangle intersects first, so answers
+// (buffered deletes included) are byte-identical to a synchronous
+// index's — and a cache composes underneath the queue: one drain costs
+// one shard-aware invalidation sweep instead of one per point.
+// DB.QueueCounters reports enqueued/drained/coalesced/forced-drain
+// totals, and DB.Close quiesces the index (drains the queue, stops its
+// background drainer, waits out in-flight shard workers).
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
@@ -62,6 +75,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpqa"
 	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/pqa"
 )
@@ -83,6 +97,10 @@ type (
 	MachineConfig = emio.Config
 	// IOStats counts block transfers.
 	IOStats = emio.Stats
+	// QueueCounters are the async write queue's operation totals
+	// (enqueued, drained, coalesced, forced drains); see
+	// Options.AsyncWrites and DB.QueueCounters.
+	QueueCounters = engine.QueueCounters
 	// PQAElem is an element of a priority queue with attrition.
 	PQAElem = pqa.Elem
 )
