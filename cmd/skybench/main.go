@@ -128,6 +128,7 @@ func main() {
 	run("E13", e13)
 	run("E14", e14)
 	run("E15", e15)
+	run("E16", e16)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {
@@ -897,6 +898,137 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// e16 exercises the real-storage layer (Options.Dir): unlike E1–E15,
+// whose simulated I/O counts are deterministic, its numbers are WALL
+// CLOCK on real files and vary by host — BENCH_e16.json is compared
+// warn-only (no -strict-io) in CI.
+func e16() {
+	fmt.Println("E16 durable storage (Options.Dir): file-backed pager + WAL, wall clock")
+	fmt.Println("    Every acknowledged write is WAL-appended before it is applied; Flush/Close")
+	fmt.Println("    checkpoint the live set into 4 KB pages and truncate the WAL; reopening")
+	fmt.Println("    replays the tail. Durability modes: sync logs per op, async logs one record")
+	fmt.Println("    per drain batch (acknowledged = drained). Wall-clock numbers are host-")
+	fmt.Println("    dependent; the replayed-record and WAL-size columns are deterministic.")
+	n := sizes([]int{1 << 12}, []int{1 << 14})[0]
+	ops := sizes([]int{2000}, []int{10000})[0]
+	span := int64(n) * 16
+
+	all := geom.GenUniform(n+ops, span, 83)
+	base := append([]geom.Point(nil), all[:n]...)
+	ingest := all[n:]
+	geom.SortByX(base)
+
+	tmp, err := os.MkdirTemp("", "skybench-e16-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	open := func(dir string, async bool) *core.DB {
+		o := core.Options{Machine: cfg, Dynamic: true, Dir: dir}
+		if async {
+			o.AsyncWrites = true
+			o.FlushPoints = 256
+			o.FlushInterval = -1
+		}
+		db, err := core.Open(o, base)
+		if err != nil {
+			panic(err)
+		}
+		return db
+	}
+	walSize := func(dir string) int64 {
+		st, err := os.Stat(dir + "/skyline.wal")
+		if err != nil {
+			return 0
+		}
+		return st.Size()
+	}
+
+	fmt.Printf("    ingest %d points over a %d-point seed, then checkpoint and recover\n", ops, n)
+	fmt.Printf("%8s %12s %12s %14s %14s %10s\n",
+		"mode", "ingest/s", "WAL KiB", "checkpoint ms", "recover ms", "replayed")
+	for _, mode := range []string{"sync", "async"} {
+		dir := tmp + "/" + mode
+		db := open(dir, mode == "async")
+		start := time.Now()
+		for _, p := range ingest {
+			if err := db.Insert(p); err != nil {
+				panic(err)
+			}
+		}
+		if mode == "async" {
+			// Drain (making the writes durable WAL records) without
+			// checkpointing, as the background drainer would.
+			if err := db.Queue().Flush(); err != nil {
+				panic(err)
+			}
+		}
+		ingestSec := time.Since(start).Seconds()
+		walKiB := float64(walSize(dir)) / 1024
+
+		start = time.Now()
+		if err := db.Flush(); err != nil { // checkpoint: snapshot + WAL truncate
+			panic(err)
+		}
+		checkpointMS := time.Since(start).Seconds() * 1000
+		if err := db.Close(); err != nil {
+			panic(err)
+		}
+
+		start = time.Now()
+		re, err := core.Open(core.Options{Machine: cfg, Dynamic: true, Dir: dir}, nil)
+		if err != nil {
+			panic(err)
+		}
+		recoverMS := time.Since(start).Seconds() * 1000
+		rec := re.Recover()
+		if got, want := re.Len(), n+len(ingest); got != want {
+			panic(fmt.Sprintf("E16 %s: recovered Len %d, want %d", mode, got, want))
+		}
+		if err := re.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8s %12.0f %12.1f %14.2f %14.2f %10d\n",
+			mode, float64(ops)/ingestSec, walKiB, checkpointMS, recoverMS, rec.RecordsReplayed)
+		// All four values carry decimals on purpose: benchguard reads
+		// integer-valued fields as labels, decimal ones as metrics.
+		fmt.Printf("E16-METRIC mode=%s n=%d ingestpersec=%.1f walkib=%.1f checkpointms=%.2f recoverms=%.2f\n",
+			mode, n, float64(ops)/ingestSec, walKiB, checkpointMS, recoverMS)
+	}
+
+	// Crash-shaped recovery: ingest without any checkpoint, abandon the
+	// handle (no Close — the crash), and time the replay-heavy reopen.
+	dir := tmp + "/crash"
+	db := open(dir, false)
+	for _, p := range ingest {
+		if err := db.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+	// Deliberately NOT closed: the files hold every op as WAL records.
+	start := time.Now()
+	re, err := core.Open(core.Options{Machine: cfg, Dynamic: true, Dir: dir}, nil)
+	if err != nil {
+		panic(err)
+	}
+	replayMS := time.Since(start).Seconds() * 1000
+	rec := re.Recover()
+	if rec.RecordsReplayed != len(ingest) {
+		panic(fmt.Sprintf("E16 crash: replayed %d records, want %d", rec.RecordsReplayed, len(ingest)))
+	}
+	if got, want := re.Len(), n+len(ingest); got != want {
+		panic(fmt.Sprintf("E16 crash: recovered Len %d, want %d", got, want))
+	}
+	if err := re.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("    crash recovery (no checkpoint): %d records replayed in %.2f ms\n",
+		rec.RecordsReplayed, replayMS)
+	fmt.Printf("E16-METRIC mode=crash n=%d replayed=%d recoverms=%.2f\n",
+		n, rec.RecordsReplayed, replayMS)
 }
 
 // e15op is one precomputed operation of an E15 stream: the same

@@ -41,8 +41,10 @@ import (
 	"repro/internal/extsort"
 	"repro/internal/foursided"
 	"repro/internal/geom"
+	"repro/internal/pager"
 	"repro/internal/shard"
 	"repro/internal/topopen"
+	"repro/internal/wal"
 )
 
 // Options configures an index.
@@ -129,6 +131,31 @@ type Options struct {
 	// background drainer (reads, FlushPoints and explicit Flush still
 	// drain — the fully deterministic configuration).
 	FlushInterval time.Duration
+	// Dir, when non-empty, makes the index durable: real files under
+	// Dir — a 4 KB-page snapshot store (skyline.pages, internal/pager)
+	// and a write-ahead log (skyline.wal, internal/wal). Every
+	// acknowledged update batch is WAL-appended before it is applied
+	// (engine.LogBackend); DB.Flush and DB.Close checkpoint — snapshot
+	// the live set and truncate the WAL — and reopening the same Dir
+	// recovers: structures rebuild from the snapshot, then the WAL
+	// tail replays through the batched update paths (DB.Recover
+	// reports the counts). A fresh Dir is seeded from pts and
+	// checkpointed at Open; an existing Dir requires len(pts) == 0.
+	// Empty Dir (the default) keeps the index purely simulated — the
+	// CI oracle configuration. With AsyncWrites, "acknowledged" means
+	// drained: buffered writes not yet drained are lost by a crash,
+	// the documented async-commit trade.
+	Dir string
+	// SyncWAL fsyncs the WAL after every logged batch. Without it a
+	// record survives process death (the append is a plain write(2) —
+	// no user-space buffering) but not power loss. Ignored without
+	// Dir.
+	SyncWAL bool
+	// PageCacheFrames bounds the pager's in-memory page cache when Dir
+	// is set; zero means pager.DefaultCacheFrames. The cache reuses
+	// the simulated machine's frame/pin/eviction discipline
+	// (emio.FrameTable) over real 4 KB pages.
+	PageCacheFrames int
 }
 
 // DB is a planar range skyline index over a simulated EM machine. All
@@ -155,6 +182,15 @@ type DB struct {
 	// through the cache's batched paths so invalidation fires once per
 	// drain instead of once per point.
 	queue *engine.AsyncQueue
+
+	// Durable storage; all non-nil iff Options.Dir != "". The logb
+	// layer sits between the queue and the cache, so the queue's drain
+	// batches are the WAL records and each drain costs one append plus
+	// one cache invalidation sweep.
+	pager *pager.Pager
+	wal   *wal.Log
+	logb  *engine.LogBackend
+	recov RecoveryStats
 
 	// closed flips on the first Close; writes are rejected after.
 	// closeMu serializes Close callers so none returns before the
@@ -188,10 +224,36 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	if !geom.IsGeneralPosition(pts) {
 		return nil, fmt.Errorf("core: input not in general position (duplicate x or y)")
 	}
-	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), plan: new(engine.Planner)}
-	db.n.Store(int64(len(pts)))
 	sorted := append([]geom.Point(nil), pts...)
 	geom.SortByX(sorted)
+
+	// Durable storage opens first: recovery replaces the seed with the
+	// checkpoint snapshot, and the structures build from that.
+	var dur *durable
+	if opts.Dir != "" {
+		var err error
+		dur, err = openDurable(opts.Dir, opts.PageCacheFrames, opts.SyncWAL, sorted)
+		if err != nil {
+			return nil, err
+		}
+		sorted = dur.base
+	}
+
+	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), plan: new(engine.Planner)}
+	if dur != nil {
+		db.pager, db.wal, db.recov = dur.pager, dur.wal, dur.recov
+	}
+	// Construction past this point can fail after engines, goroutines
+	// or file descriptors exist; every error return must release them
+	// all, or each failed Open leaks (the queue's drainer goroutine,
+	// the shard engines' worker pools, the two durable files).
+	ok := false
+	defer func() {
+		if !ok {
+			db.cleanup()
+		}
+	}()
+	db.n.Store(int64(len(sorted)))
 	if opts.Shards > 1 {
 		eng, err := shard.New(shard.Options{
 			Machine: opts.Machine,
@@ -232,6 +294,25 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 		db.cache = cache
 		db.front = cache
 	}
+	if dur != nil {
+		// The WAL layer wraps the cache (one invalidation sweep per
+		// logged batch) and sits under the queue (drain batches are
+		// the log records). Replay happens here — the stack below is
+		// complete, and the layers above (the queue) only buffer.
+		db.logb = engine.NewLogBackend(db.front, dur.sink, sorted)
+		db.front = db.logb
+		for _, rec := range dur.replay {
+			hits, err := db.logb.Replay(rec.Dels, rec.Inss)
+			if err != nil {
+				return nil, fmt.Errorf("core: replay WAL record seq %d: %w", rec.Seq, err)
+			}
+			db.recov.RecordsReplayed++
+			db.recov.ReplayedInserts += len(rec.Inss)
+			db.recov.ReplayedDeletes += hits
+		}
+		db.recov.WALSeq = db.wal.Seq()
+		db.n.Store(int64(db.logb.Live()))
+	}
 	if opts.AsyncWrites {
 		if !opts.Dynamic {
 			return nil, fmt.Errorf("core: AsyncWrites requires Options.Dynamic (a static index rejects writes)")
@@ -252,6 +333,7 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 		db.queue = queue
 		db.front = queue
 	}
+	ok = true
 	return db, nil
 }
 
@@ -327,24 +409,35 @@ func (db *DB) QueueCounters() engine.QueueCounters {
 	return db.queue.Counters()
 }
 
-// Flush drains every buffered write to the underlying structures. It is
-// a no-op without AsyncWrites; with it, Flush is the explicit third
-// drain trigger next to FlushPoints and FlushInterval.
+// Flush drains every buffered write to the underlying structures and,
+// with Options.Dir, checkpoints: the live point set is snapshotted to
+// the page file and the WAL truncated, so the next Open rebuilds
+// without replay. Without AsyncWrites or Dir it is a no-op; with the
+// queue, Flush is the explicit third drain trigger next to FlushPoints
+// and FlushInterval (and surfaces any drain error an earlier
+// background or drain-on-read pass latched).
 func (db *DB) Flush() error {
-	if db.queue == nil {
-		return nil
+	var firstErr error
+	if db.queue != nil {
+		firstErr = db.queue.Flush()
 	}
-	return db.queue.Flush()
+	if db.logb != nil {
+		if err := db.checkpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Close quiesces the index: it stops the async queue's background
 // drainer and drains every remaining buffered write, then waits for the
 // sharded engines' in-flight per-shard tasks — the primary's and every
 // sharded mirror's — to complete, so no goroutine owned by the index
-// outlives Close and no structure is mid-mutation afterwards. Further
-// writes are rejected; reads keep working against the fully-applied
-// state. Close is idempotent, and concurrent callers all observe the
-// quiesced state.
+// outlives Close and no structure is mid-mutation afterwards. With
+// Options.Dir it then checkpoints (snapshot + WAL truncate) and closes
+// the durable files. Further writes are rejected; reads keep working
+// against the fully-applied state. Close is idempotent, and concurrent
+// callers all observe the quiesced state.
 func (db *DB) Close() error {
 	db.closeMu.Lock()
 	defer db.closeMu.Unlock()
@@ -365,6 +458,21 @@ func (db *DB) Close() error {
 		}
 		if qc, ok := b.(interface{ Quiesce() }); ok {
 			qc.Quiesce()
+		}
+	}
+	if db.logb != nil {
+		// Everything acknowledged is applied (queue closed above) and
+		// nothing new can arrive (closed flag): checkpoint, then
+		// release the files. Only the FIRST Close runs this — a second
+		// would checkpoint through closed file descriptors.
+		if err := db.checkpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := db.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := db.pager.Close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Crash-injection tests: a child process (this test binary re-executed
+// with SKYLINE_CRASH_MODE set) applies a deterministic op sequence to a
+// durable index and dies with os.Exit(137) — the file-state equivalent
+// of kill -9 — at a scenario-specific point. The parent then recovers
+// the directory and differential-checks it against a never-crashed
+// twin holding exactly the acknowledged prefix: same Len, same answer
+// on every query shape, and per-point presence for the whole set.
+//
+// The op sequence is shared by parent and child: op i inserts
+// opPoint(i), except every fifth op (i%5 == 4), which deletes the
+// point op i-4 inserted. All coordinates are distinct, so general
+// position holds throughout.
+
+func opPoint(i int) geom.Point {
+	return geom.Point{X: geom.Coord(13*i + 5), Y: geom.Coord(1_000_000 - 17*i)}
+}
+
+func applyOp(db *DB, i int) error {
+	if i%5 == 4 {
+		_, err := db.Delete(opPoint(i - 4))
+		return err
+	}
+	return db.Insert(opPoint(i))
+}
+
+func applyOps(t *testing.T, db *DB, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := applyOp(db, i); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+}
+
+// expectedSet is the point set after ops [0, n) — what recovery must
+// reproduce when exactly n ops were acknowledged.
+func expectedSet(n int) []geom.Point {
+	live := map[geom.Point]struct{}{}
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			delete(live, opPoint(i-4))
+		} else {
+			live[opPoint(i)] = struct{}{}
+		}
+	}
+	out := make([]geom.Point, 0, len(live))
+	for p := range live {
+		out = append(out, p)
+	}
+	geom.SortByX(out)
+	return out
+}
+
+const (
+	crashModeEnv = "SKYLINE_CRASH_MODE"
+	crashDirEnv  = "SKYLINE_CRASH_DIR"
+)
+
+// TestCrashChild is the child half of the harness; without the env it
+// is a no-op in a normal test run.
+func TestCrashChild(t *testing.T) {
+	mode := os.Getenv(crashModeEnv)
+	if mode == "" {
+		t.Skip("crash-injection child; driven by TestCrashRecovery")
+	}
+	dir := os.Getenv(crashDirEnv)
+	switch mode {
+	case "sync":
+		// Synchronous durable writes: every op is a WAL record the
+		// moment it returns. Dying without Close loses nothing.
+		db := mustOpenCrashDB(t, dir, false)
+		applyOps(t, db, 0, 200)
+	case "asyncdrain":
+		// Async: acknowledged means DRAINED. 200 ops drain into the
+		// WAL (one record, no checkpoint); 50 more stay buffered and
+		// die with the process — the documented async-commit trade.
+		db := mustOpenCrashDB(t, dir, true)
+		applyOps(t, db, 0, 200)
+		if err := db.Queue().Flush(); err != nil {
+			t.Fatalf("queue flush: %v", err)
+		}
+		applyOps(t, db, 200, 250)
+	case "midappend":
+		// Die between a record becoming durable and its apply — the
+		// tightest window: op 37's record is acknowledged-by-log but
+		// the structures never saw it. Recovery must replay it.
+		appends := 0
+		testAfterWALAppend = func() {
+			appends++
+			if appends == 37 {
+				os.Exit(137)
+			}
+		}
+		db := mustOpenCrashDB(t, dir, false)
+		applyOps(t, db, 0, 200)
+		t.Fatalf("survived all 200 ops; hook never fired")
+	case "checkpoint":
+		// Checkpoint mid-history: the snapshot absorbs ops [0,100),
+		// the WAL holds [100,160), and the crash leaves both.
+		db := mustOpenCrashDB(t, dir, false)
+		applyOps(t, db, 0, 100)
+		if err := db.Flush(); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		applyOps(t, db, 100, 160)
+	default:
+		t.Fatalf("unknown crash mode %q", mode)
+	}
+	os.Exit(137)
+}
+
+func mustOpenCrashDB(t *testing.T, dir string, async bool) *DB {
+	t.Helper()
+	o := Options{Machine: smallMachine, Dynamic: true, Dir: dir}
+	if async {
+		o.AsyncWrites = true
+		o.FlushPoints = 1 << 20
+		o.FlushInterval = -time.Millisecond
+	}
+	db, err := Open(o, nil)
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	return db
+}
+
+// runCrashChild re-executes the test binary in child mode and requires
+// it to die with exit code 137.
+func runCrashChild(t *testing.T, mode, dir string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChild$")
+	cmd.Env = append(os.Environ(), crashModeEnv+"="+mode, crashDirEnv+"="+dir)
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 137 {
+		t.Fatalf("child (%s) did not die with 137: err=%v\n%s", mode, err, out)
+	}
+}
+
+// assertRecovered opens dir, checks the recovered index holds EXACTLY
+// the acknowledged set — no lost write, no resurrected delete — and
+// answers every query shape byte-identically to a never-crashed twin.
+func assertRecovered(t *testing.T, label, dir string, acked int) RecoveryStats {
+	t.Helper()
+	re, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("%s: recover: %v", label, err)
+	}
+	defer re.Close()
+	want := expectedSet(acked)
+	rec := re.Recover()
+	if !rec.Recovered {
+		t.Fatalf("%s: reopen did not recover: %+v", label, rec)
+	}
+	if got := re.Len(); got != len(want) {
+		t.Fatalf("%s: recovered Len = %d, acknowledged set has %d", label, got, len(want))
+	}
+	// Per-point presence: a degenerate one-point rectangle answers [p]
+	// iff p is indexed, so this checks the full set membership-exactly
+	// (Len above rules out extras).
+	for _, p := range want {
+		q := geom.Rect{X1: p.X, X2: p.X, Y1: p.Y, Y2: p.Y}
+		if got := re.RangeSkyline(q); len(got) != 1 || got[0] != p {
+			t.Fatalf("%s: acknowledged point %v lost by crash (query got %v)", label, p, got)
+		}
+	}
+	twin, err := Open(Options{Machine: smallMachine, Dynamic: true}, want)
+	if err != nil {
+		t.Fatalf("%s: twin: %v", label, err)
+	}
+	defer twin.Close()
+	assertSameAnswers(t, label, re, twin, 1_100_000)
+	return rec
+}
+
+// TestCrashRecovery is the parent half: every scenario kills a child
+// at a different point in the write path and proves zero acknowledged
+// writes are lost.
+func TestCrashRecovery(t *testing.T) {
+	if os.Getenv(crashModeEnv) != "" {
+		t.Skip("child process")
+	}
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+
+	t.Run("sync", func(t *testing.T) {
+		dir := t.TempDir()
+		runCrashChild(t, "sync", dir)
+		rec := assertRecovered(t, "sync", dir, 200)
+		if rec.RecordsReplayed != 200 || rec.SnapshotPoints != 0 {
+			t.Fatalf("sync: %+v, want 200 replayed records over the empty snapshot", rec)
+		}
+	})
+
+	t.Run("asyncdrain", func(t *testing.T) {
+		dir := t.TempDir()
+		runCrashChild(t, "asyncdrain", dir)
+		// Acknowledged = drained: the 200 flushed ops, not the 50
+		// buffered ones the crash vaporized.
+		rec := assertRecovered(t, "asyncdrain", dir, 200)
+		if rec.RecordsReplayed == 0 || rec.RecordsReplayed > 2 {
+			t.Fatalf("asyncdrain: %d replayed records, want the drain batches (1 or 2)", rec.RecordsReplayed)
+		}
+	})
+
+	t.Run("midappend", func(t *testing.T) {
+		dir := t.TempDir()
+		runCrashChild(t, "midappend", dir)
+		// Record 37 is durable but was never applied in the child;
+		// replay must include it.
+		rec := assertRecovered(t, "midappend", dir, 37)
+		if rec.RecordsReplayed != 37 {
+			t.Fatalf("midappend: replayed %d records, want 37", rec.RecordsReplayed)
+		}
+	})
+
+	t.Run("checkpoint", func(t *testing.T) {
+		dir := t.TempDir()
+		runCrashChild(t, "checkpoint", dir)
+		rec := assertRecovered(t, "checkpoint", dir, 160)
+		if rec.SnapshotPoints != len(expectedSet(100)) {
+			t.Fatalf("checkpoint: snapshot holds %d points, want %d", rec.SnapshotPoints, len(expectedSet(100)))
+		}
+		if rec.RecordsReplayed != 60 {
+			t.Fatalf("checkpoint: replayed %d records, want the 60 post-checkpoint ops", rec.RecordsReplayed)
+		}
+	})
+
+	t.Run("torntail", func(t *testing.T) {
+		// Power-loss flavor: after a sync crash, hand-tear the WAL's
+		// final record (as an un-fsynced tail would be). The torn
+		// record's op is the ONLY loss; everything before it survives.
+		dir := t.TempDir()
+		runCrashChild(t, "sync", dir)
+		walPath := filepath.Join(dir, walFile)
+		st, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(walPath, st.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		rec := assertRecovered(t, "torntail", dir, 199)
+		if !rec.TornTail || rec.DroppedBytes == 0 {
+			t.Fatalf("torntail: tear not reported: %+v", rec)
+		}
+		if rec.RecordsReplayed != 199 {
+			t.Fatalf("torntail: replayed %d records, want 199", rec.RecordsReplayed)
+		}
+	})
+
+	t.Run("doublerecovery", func(t *testing.T) {
+		// Recovering, closing WITHOUT writes, and recovering again is
+		// idempotent: the first Close's checkpoint absorbs the replayed
+		// records, and the second open replays nothing yet answers
+		// identically.
+		dir := t.TempDir()
+		runCrashChild(t, "sync", dir)
+		first := assertRecovered(t, "doublerecovery-1", dir, 200)
+		if first.RecordsReplayed == 0 {
+			t.Fatalf("first recovery replayed nothing")
+		}
+		second := assertRecovered(t, "doublerecovery-2", dir, 200)
+		if second.RecordsReplayed != 0 {
+			t.Fatalf("second recovery replayed %d records; the checkpoint should cover them", second.RecordsReplayed)
+		}
+		if second.SnapshotPoints != len(expectedSet(200)) {
+			t.Fatalf("second recovery snapshot = %d points, want %d", second.SnapshotPoints, len(expectedSet(200)))
+		}
+	})
+}
+
+// TestCrashWindowEveryOp sweeps the in-process crash window: for a
+// range of cutoffs, simulate "crash after op k was logged" by building
+// the files a crash would leave (checkpoint at op c, WAL records for
+// (c, k]) and recovering. Complements the subprocess tests with dense
+// coverage of drain/checkpoint interleavings, without process spawns.
+func TestCrashWindowEveryOp(t *testing.T) {
+	for _, tc := range []struct{ checkpointAt, crashAt int }{
+		{0, 1}, {0, 4}, {0, 5}, {0, 23},
+		{10, 11}, {10, 25}, {25, 60}, {50, 50}, {60, 61},
+	} {
+		label := fmt.Sprintf("c%d-k%d", tc.checkpointAt, tc.crashAt)
+		dir := t.TempDir()
+		db, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyOps(t, db, 0, tc.checkpointAt)
+		if err := db.Flush(); err != nil {
+			t.Fatalf("%s: checkpoint: %v", label, err)
+		}
+		applyOps(t, db, tc.checkpointAt, tc.crashAt)
+		// A real crash closes nothing; cleanup only releases the fds
+		// (the kernel would anyway) without checkpointing, so the
+		// on-disk state is exactly the crash state.
+		db.cleanup()
+		rec := assertRecovered(t, label, dir, tc.crashAt)
+		if rec.RecordsReplayed != tc.crashAt-tc.checkpointAt {
+			t.Fatalf("%s: replayed %d, want %d", label, rec.RecordsReplayed, tc.crashAt-tc.checkpointAt)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+	"repro/internal/pager"
+	"repro/internal/wal"
+)
+
+// smallMachine keeps the simulated structures tiny in durable tests.
+var smallMachine = emio.Config{B: 16, M: 16 * 64}
+
+// sevenShapes builds one query of every Figure-2 shape (plus the whole
+// plane) around the given coordinate scale.
+func sevenShapes(scale geom.Coord) []geom.Rect {
+	lo, mid, hi := scale/4, scale/2, 3*scale/4
+	return []geom.Rect{
+		geom.TopOpen(lo, hi, mid),
+		geom.RightOpen(mid, lo, hi),
+		geom.BottomOpen(lo, hi, mid),
+		geom.LeftOpen(mid, lo, hi),
+		geom.Dominance(mid, mid),
+		geom.AntiDominance(mid, mid),
+		geom.Contour(mid),
+		{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf},
+	}
+}
+
+// assertSameAnswers compares got against a never-crashed twin on every
+// query shape, byte-for-byte.
+func assertSameAnswers(t *testing.T, label string, got, twin *DB, scale geom.Coord) {
+	t.Helper()
+	for _, r := range sevenShapes(scale) {
+		g, w := got.RangeSkyline(r), twin.RangeSkyline(r)
+		if !sameAnswer(g, w) {
+			t.Fatalf("%s: RangeSkyline(%v) = %v, twin says %v", label, r, g, w)
+		}
+	}
+}
+
+// TestDurableLifecycle: a durable index seeds, mutates, closes, and a
+// reopen of the directory restores the exact point set — answers on
+// every query shape byte-identical to a purely simulated twin.
+func TestDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	seed := geom.GenUniform(300, 4000, 97)
+	db, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, seed)
+	if err != nil {
+		t.Fatalf("Open durable: %v", err)
+	}
+	if r := db.Recover(); r.Recovered {
+		t.Fatalf("fresh directory reported recovered: %+v", r)
+	}
+	live := append([]geom.Point(nil), seed...)
+	for i := 0; i < 50; i++ {
+		p := geom.Point{X: 5000 + geom.Coord(i), Y: 5000 - geom.Coord(i)}
+		if err := db.Insert(p); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		live = append(live, p)
+	}
+	for i := 0; i < 20; i++ {
+		if ok, err := db.Delete(seed[i]); !ok || err != nil {
+			t.Fatalf("Delete(%v) = %v, %v", seed[i], ok, err)
+		}
+	}
+	live = live[20:]
+	wantLen := db.Len()
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	re, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	rec := re.Recover()
+	if !rec.Recovered || rec.SnapshotPoints != wantLen || rec.RecordsReplayed != 0 {
+		t.Fatalf("reopen after clean Close: %+v (want snapshot of %d, no replay)", rec, wantLen)
+	}
+	if re.Len() != wantLen {
+		t.Fatalf("recovered Len = %d, want %d", re.Len(), wantLen)
+	}
+	twin, err := Open(Options{Machine: smallMachine, Dynamic: true}, live)
+	if err != nil {
+		t.Fatalf("twin: %v", err)
+	}
+	defer twin.Close()
+	assertSameAnswers(t, "reopen", re, twin, 6000)
+}
+
+// TestDurableExistingDirRejectsSeed: reopening an existing durable
+// directory with seed points is an error, not a silent merge.
+func TestDurableExistingDirRejectsSeed(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Machine: smallMachine, Dir: dir, Dynamic: true}, geom.GenUniform(10, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := Open(Options{Machine: smallMachine, Dir: dir, Dynamic: true}, geom.GenUniform(5, 100, 2)); err == nil {
+		t.Fatalf("existing directory accepted a non-empty seed")
+	}
+}
+
+// TestDurableReplaySeqFilter: a WAL holding records the snapshot
+// already covers — the on-disk state of a crash between a checkpoint's
+// snapshot write and its WAL truncate — must replay only the tail
+// beyond meta.WALSeq. The files are crafted directly through the pager
+// and wal packages.
+func TestDurableReplaySeqFilter(t *testing.T) {
+	dir := t.TempDir()
+	base := []geom.Point{{X: 10, Y: 90}, {X: 20, Y: 80}, {X: 30, Y: 70}}
+
+	l, _, err := wal.Open(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 1..3 are absorbed by the snapshot below; 4..5 are not.
+	l.Append(nil, []geom.Point{{X: 1, Y: 1}})   // seq 1 (covered)
+	l.Append([]geom.Point{{X: 1, Y: 1}}, nil)   // seq 2 (covered)
+	l.Append(nil, []geom.Point{{X: 2, Y: 2}})   // seq 3 (covered)
+	l.Append(nil, []geom.Point{{X: 40, Y: 60}}) // seq 4: insert
+	l.Append([]geom.Point{{X: 10, Y: 90}}, nil) // seq 5: delete hit
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pager.Open(filepath.Join(dir, pagesFile), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshot(base, 3); err != nil { // snapshot covers seq <= 3
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer db.Close()
+	rec := db.Recover()
+	if rec.RecordsReplayed != 2 || rec.ReplayedInserts != 1 || rec.ReplayedDeletes != 1 {
+		t.Fatalf("replayed %+v, want exactly records 4 and 5", rec)
+	}
+	if rec.WALSeq != 5 {
+		t.Fatalf("WALSeq after recovery = %d, want 5", rec.WALSeq)
+	}
+	want := []geom.Point{{X: 20, Y: 80}, {X: 30, Y: 70}, {X: 40, Y: 60}}
+	twin, err := Open(Options{Machine: smallMachine, Dynamic: true}, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	if db.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", db.Len(), len(want))
+	}
+	assertSameAnswers(t, "seq-filter", db, twin, 100)
+}
+
+// TestDurableAsyncDrainsAreRecords: with AsyncWrites, WAL records are
+// the queue's drain batches — buffered writes log nothing until a
+// drain, and a queue flush (without checkpoint) makes them durable.
+func TestDurableAsyncDrainsAreRecords(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{
+		Machine: smallMachine, Dynamic: true, Dir: dir,
+		AsyncWrites: true, FlushPoints: 1 << 20, FlushInterval: -time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Insert(geom.Point{X: geom.Coord(i), Y: geom.Coord(100 - i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sz := db.WAL().Size(); sz != 0 {
+		t.Fatalf("buffered writes reached the WAL: %d bytes", sz)
+	}
+	if err := db.Queue().Flush(); err != nil { // drain, no checkpoint
+		t.Fatal(err)
+	}
+	if db.WAL().Size() == 0 {
+		t.Fatalf("drained batch produced no WAL record")
+	}
+	if got := db.WAL().Seq(); got != 1 {
+		t.Fatalf("one drain produced %d records, want 1", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenErrorPathsReleaseEverything: every construction failure in
+// Open must quiesce what was already built — no goroutine may outlive
+// the error, and the durable files must be closed and reopenable. The
+// goroutine check is the regression test for the resource leak the
+// deferred cleanup fixes.
+func TestOpenErrorPathsReleaseEverything(t *testing.T) {
+	dir := t.TempDir()
+	// A durable dir whose WAL tail cannot replay into a static index:
+	// Open gets past the files and the engines, then fails in replay —
+	// the deepest error return in the constructor.
+	db, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Insert(geom.Point{X: 1, Y: 1}) // sync durable: one WAL record
+	// Leave the WAL non-empty: bypass Close's checkpoint by closing the
+	// files directly through cleanup.
+	db.cleanup()
+
+	fail := func(label string, o Options, pts []geom.Point) {
+		t.Helper()
+		if _, err := Open(o, pts); err == nil {
+			t.Fatalf("%s: Open succeeded, expected failure", label)
+		}
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		fail("queue after engines", Options{Machine: smallMachine, Shards: 4, Dynamic: true, AsyncWrites: true, FlushPoints: -1}, geom.GenUniform(64, 1000, 7))
+		fail("async without dynamic", Options{Machine: smallMachine, Shards: 4, AsyncWrites: true}, geom.GenUniform(64, 1000, 8))
+		fail("replay into static", Options{Machine: smallMachine, Dir: dir}, nil)
+		fail("seed into existing dir", Options{Machine: smallMachine, Dynamic: true, Dir: dir}, geom.GenUniform(8, 100, 9))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		t.Fatalf("failed Opens leaked goroutines: %d running, baseline %d", got, baseline)
+	}
+
+	// The files the failed Opens touched are intact and reopenable: the
+	// dynamic recovery still works and replays the one record.
+	re, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("reopen after failed Opens: %v", err)
+	}
+	defer re.Close()
+	if rec := re.Recover(); rec.RecordsReplayed != 1 || rec.ReplayedInserts != 1 {
+		t.Fatalf("recovery after failed Opens: %+v, want the 1 logged insert", rec)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", re.Len())
+	}
+}
+
+// TestDurableFreshDirWithOrphanWAL: a directory holding a WAL but no
+// page file is ambiguous (half-deleted index?); Open refuses to guess.
+func TestDurableFreshDirWithOrphanWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(nil, []geom.Point{{X: 1, Y: 1}})
+	l.Close()
+	if _, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil); err == nil {
+		t.Fatalf("orphan WAL silently discarded")
+	}
+	// The refused open left the directory untouched: no page file was
+	// created, so a second attempt still refuses instead of silently
+	// replaying the orphan records into an empty snapshot.
+	if _, err := os.Stat(filepath.Join(dir, pagesFile)); !os.IsNotExist(err) {
+		t.Fatalf("refused open created %s (stat err %v)", pagesFile, err)
+	}
+	if _, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, nil); err == nil {
+		t.Fatalf("second open accepted the orphan WAL")
+	}
+}

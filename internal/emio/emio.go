@@ -54,8 +54,8 @@ func (c Config) Frames() int {
 }
 
 // BlocksFor returns the number of B-word blocks needed to hold the given
-// number of words, i.e. ceil(words/B) (at least 1 for words == 0 callers
-// should not allocate at all).
+// number of words, i.e. ceil(words/B). It returns 0 for words <= 0:
+// callers with nothing to store should not allocate at all.
 func (c Config) BlocksFor(words int) int {
 	if words <= 0 {
 		return 0
@@ -92,15 +92,6 @@ func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d ios=%d", s.Reads, s.Writes, s.IOs())
 }
 
-// frame is a cache slot holding one resident block.
-type frame struct {
-	id    BlockID
-	dirty bool
-	pins  int
-	prev  *frame // LRU list; more recently used towards head
-	next  *frame
-}
-
 // Disk is a simulated external-memory disk with an LRU cache.
 //
 // By default a Disk is not safe for concurrent use; each simulation owns
@@ -130,13 +121,11 @@ type Disk struct {
 	liveWords int64
 	peakWords int64
 
-	// LRU cache of resident frames.
-	resident map[BlockID]*frame
-	head     *frame // most recently used
-	tail     *frame // least recently used
-	unpinned int    // resident frames with pins == 0
-	capacity int    // total frames permitted
-	pinned   int    // resident frames with pins > 0
+	// frames is the LRU cache of resident blocks: the frame, pin and
+	// eviction discipline shared with the file-backed pager
+	// (internal/pager). Evicting a dirty frame charges one write I/O
+	// through the table's eviction callback.
+	frames *FrameTable
 }
 
 // NewDisk returns a Disk for the given machine configuration.
@@ -147,12 +136,16 @@ func NewDisk(cfg Config) *Disk {
 	if cfg.M < 0 {
 		panic("emio: config.M must be >= 0")
 	}
-	return &Disk{
-		cfg:      cfg,
-		live:     make(map[BlockID]int),
-		resident: make(map[BlockID]*frame),
-		capacity: cfg.Frames(),
+	d := &Disk{
+		cfg:  cfg,
+		live: make(map[BlockID]int),
 	}
+	d.frames = NewFrameTable(cfg.Frames(), func(f *Frame) {
+		if f.Dirty {
+			d.writes.Add(1)
+		}
+	})
+	return d
 }
 
 // NewConcurrentDisk returns a Disk in guarded mode: safe for concurrent
@@ -258,12 +251,17 @@ func (d *Disk) allocWords(words int) BlockID {
 	if d.liveWords > d.peakWords {
 		d.peakWords = d.liveWords
 	}
-	d.admit(id, true)
+	d.frames.Admit(uint64(id), true, 0)
 	return id
 }
 
 // Free releases a block. A resident frame is discarded without a
-// write-back (the data is dead).
+// write-back (the data is dead). Freeing a block that is still pinned
+// panics: a pin models a critical record the structure claims to hold
+// in memory, so freeing it is a model violation — silently discarding
+// the frame would strand the outstanding pins, make the later Unpin
+// panic as "unpinned", and drift the pin accounting the paper's
+// M = Ω(ℓb) assumption rests on.
 func (d *Disk) Free(id BlockID) {
 	d.lock()
 	defer d.unlock()
@@ -275,17 +273,14 @@ func (d *Disk) free(id BlockID) {
 	if !ok {
 		panic(fmt.Sprintf("emio: Free of unknown block %d", id))
 	}
+	if f := d.frames.Get(uint64(id)); f != nil {
+		if f.Pins > 0 {
+			panic(fmt.Sprintf("emio: Free of pinned block %d (%d outstanding pins)", id, f.Pins))
+		}
+		d.frames.Remove(f)
+	}
 	delete(d.live, id)
 	d.liveWords -= int64(words)
-	if f, ok := d.resident[id]; ok {
-		if f.pins > 0 {
-			d.pinned--
-		} else {
-			d.unpinned--
-		}
-		d.unlink(f)
-		delete(d.resident, id)
-	}
 }
 
 // Read touches a block for reading. If the block is not resident one read
@@ -393,30 +388,15 @@ func (d *Disk) pin(id BlockID) {
 	if _, ok := d.live[id]; !ok {
 		panic(fmt.Sprintf("emio: Pin of unallocated block %d", id))
 	}
-	if f, ok := d.resident[id]; ok {
-		d.unlink(f)
-		d.pushFront(f)
-		if f.pins == 0 {
-			d.unpinned--
-			d.pinned++
-		}
-		f.pins++
+	if f := d.frames.Get(uint64(id)); f != nil {
+		d.frames.Pin(f)
 		return
 	}
-	// Fetch and pin atomically so the new frame cannot be chosen as
-	// its own eviction victim when the cache is saturated with pins.
+	// Fetch and pin atomically (Admit with pins=1) so the new frame
+	// cannot be chosen as its own eviction victim when the cache is
+	// saturated with pins.
 	d.reads.Add(1)
-	f := &frame{id: id, pins: 1}
-	d.pushFront(f)
-	d.resident[id] = f
-	d.pinned++
-	for len(d.resident) > d.capacity {
-		victim := d.lruUnpinned()
-		if victim == nil {
-			break
-		}
-		d.evict(victim)
-	}
+	d.frames.Admit(uint64(id), false, 1)
 }
 
 // Unpin releases one pin of a block.
@@ -427,15 +407,11 @@ func (d *Disk) Unpin(id BlockID) {
 }
 
 func (d *Disk) unpin(id BlockID) {
-	f, ok := d.resident[id]
-	if !ok || f.pins == 0 {
+	f := d.frames.Get(uint64(id))
+	if f == nil || f.Pins == 0 {
 		panic(fmt.Sprintf("emio: Unpin of unpinned block %d", id))
 	}
-	f.pins--
-	if f.pins == 0 {
-		d.pinned--
-		d.unpinned++
-	}
+	d.frames.Unpin(f)
 }
 
 // PinSpan pins every block of a multi-block node.
@@ -471,10 +447,10 @@ func (d *Disk) admitClean(id BlockID) {
 	if _, ok := d.live[id]; !ok {
 		panic(fmt.Sprintf("emio: Admit of unallocated block %d", id))
 	}
-	if _, ok := d.resident[id]; ok {
+	if d.frames.Get(uint64(id)) != nil {
 		return
 	}
-	d.admit(id, false)
+	d.frames.Admit(uint64(id), false, 0)
 }
 
 // AdmitSpan admits every block of a multi-block node.
@@ -495,21 +471,14 @@ func (d *Disk) DropCache() {
 }
 
 func (d *Disk) dropCache() {
-	for f := d.tail; f != nil; {
-		prev := f.prev
-		if f.pins == 0 {
-			d.evict(f)
-		}
-		f = prev
-	}
+	d.frames.EvictAll()
 }
 
 // Resident reports whether the block currently occupies a cache frame.
 func (d *Disk) Resident(id BlockID) bool {
 	d.lock()
 	defer d.unlock()
-	_, ok := d.resident[id]
-	return ok
+	return d.frames.Get(uint64(id)) != nil
 }
 
 // touch makes id resident, charging I/Os as needed, and moves it to the
@@ -518,80 +487,12 @@ func (d *Disk) touch(id BlockID, write bool) {
 	if _, ok := d.live[id]; !ok {
 		panic(fmt.Sprintf("emio: access to unallocated block %d", id))
 	}
-	if f, ok := d.resident[id]; ok {
-		d.unlink(f)
-		d.pushFront(f)
-		if write {
-			f.dirty = true
-		}
+	if f := d.frames.Get(uint64(id)); f != nil {
+		d.frames.Touch(f, write)
 		return
 	}
 	d.reads.Add(1)
-	d.admit(id, write)
-}
-
-// admit inserts a (new or fetched) frame for id, evicting if over
-// capacity.
-func (d *Disk) admit(id BlockID, dirty bool) {
-	f := &frame{id: id, dirty: dirty}
-	d.pushFront(f)
-	d.resident[id] = f
-	d.unpinned++
-	for len(d.resident) > d.capacity {
-		victim := d.lruUnpinned()
-		if victim == nil {
-			// Everything is pinned; the cache is allowed to
-			// overflow only by pinned frames, mirroring the
-			// paper's assumption M = Ω(ℓb).
-			break
-		}
-		d.evict(victim)
-	}
-}
-
-// lruUnpinned returns the least recently used unpinned frame, or nil.
-func (d *Disk) lruUnpinned() *frame {
-	for f := d.tail; f != nil; f = f.prev {
-		if f.pins == 0 {
-			return f
-		}
-	}
-	return nil
-}
-
-func (d *Disk) evict(f *frame) {
-	if f.dirty {
-		d.writes.Add(1)
-	}
-	d.unlink(f)
-	delete(d.resident, f.id)
-	d.unpinned--
-}
-
-func (d *Disk) pushFront(f *frame) {
-	f.prev = nil
-	f.next = d.head
-	if d.head != nil {
-		d.head.prev = f
-	}
-	d.head = f
-	if d.tail == nil {
-		d.tail = f
-	}
-}
-
-func (d *Disk) unlink(f *frame) {
-	if f.prev != nil {
-		f.prev.next = f.next
-	} else {
-		d.head = f.next
-	}
-	if f.next != nil {
-		f.next.prev = f.prev
-	} else {
-		d.tail = f.prev
-	}
-	f.prev, f.next = nil, nil
+	d.frames.Admit(uint64(id), write, 0)
 }
 
 // Measure runs fn with a cold cache and returns the I/O stats it

@@ -1,0 +1,99 @@
+package emio
+
+import "testing"
+
+// TestFrameTableLRUDiscipline pins the eviction order the Disk and the
+// pager both rely on: least recently used unpinned frame first, pinned
+// frames never.
+func TestFrameTableLRUDiscipline(t *testing.T) {
+	var evicted []uint64
+	ft := NewFrameTable(2, func(f *Frame) { evicted = append(evicted, f.ID) })
+	ft.Admit(1, false, 0)
+	ft.Admit(2, false, 0)
+	ft.Touch(ft.Get(1), false) // 2 is now LRU
+	ft.Admit(3, false, 0)
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	if ft.Get(2) != nil || ft.Get(1) == nil || ft.Get(3) == nil {
+		t.Fatalf("residency after eviction wrong")
+	}
+
+	// Pin 1; admitting two more must evict 3 (unpinned) and then
+	// overflow by the pinned frame rather than evict it.
+	ft.Pin(ft.Get(1))
+	ft.Admit(4, false, 0)
+	ft.Admit(5, false, 0)
+	if ft.Get(1) == nil {
+		t.Fatalf("pinned frame evicted")
+	}
+	if ft.Pinned() != 1 {
+		t.Fatalf("Pinned() = %d, want 1", ft.Pinned())
+	}
+	ft.Unpin(ft.Get(1))
+	if ft.Pinned() != 0 || ft.Unpinned() != ft.Len() {
+		t.Fatalf("pin accounting drifted: pinned=%d unpinned=%d len=%d",
+			ft.Pinned(), ft.Unpinned(), ft.Len())
+	}
+}
+
+// TestFrameTableEvictAllOrder pins that EvictAll visits unpinned frames
+// LRU-first and leaves pinned frames resident — Disk.DropCache's
+// contract.
+func TestFrameTableEvictAllOrder(t *testing.T) {
+	var evicted []uint64
+	ft := NewFrameTable(10, func(f *Frame) { evicted = append(evicted, f.ID) })
+	ft.Admit(1, true, 0)
+	ft.Admit(2, false, 0)
+	ft.Admit(3, false, 1) // pinned at admission
+	ft.EvictAll()
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("evicted %v, want [1 2]", evicted)
+	}
+	if ft.Get(3) == nil || ft.Len() != 1 {
+		t.Fatalf("pinned frame did not survive EvictAll")
+	}
+}
+
+// TestFreePinnedPanics: freeing a still-pinned block is a model
+// violation (the pin claims the block is a critical record held in
+// memory) and must panic rather than silently strand the pin — the
+// old behavior discarded the frame, so a later Unpin would panic as
+// "unpinned" and the pin population counts drifted.
+func TestFreePinnedPanics(t *testing.T) {
+	d := NewDisk(Config{B: 8, M: 64})
+	id := d.Alloc()
+	d.Pin(id)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Free of a pinned block did not panic")
+			}
+		}()
+		d.Free(id)
+	}()
+	// The failed Free must not have mutated anything: the block is
+	// still live, still pinned, and a clean Unpin+Free still works.
+	if !d.Resident(id) {
+		t.Fatalf("block lost residency after rejected Free")
+	}
+	d.Unpin(id)
+	d.Free(id)
+	if d.LiveBlocks() != 0 {
+		t.Fatalf("LiveBlocks = %d after final Free, want 0", d.LiveBlocks())
+	}
+}
+
+// TestBlocksForZero pins the documented corner: no words, no blocks.
+func TestBlocksForZero(t *testing.T) {
+	c := Config{B: 256, M: 0}
+	if got := c.BlocksFor(0); got != 0 {
+		t.Fatalf("BlocksFor(0) = %d, want 0", got)
+	}
+	if got := c.BlocksFor(1); got != 1 {
+		t.Fatalf("BlocksFor(1) = %d, want 1", got)
+	}
+	if got := c.BlocksFor(257); got != 2 {
+		t.Fatalf("BlocksFor(257) = %d, want 2", got)
+	}
+}

@@ -162,9 +162,9 @@ func NewCache(inner Backend, entries int) (*CacheBackend, error) {
 // learnCuts harvests partition cuts from b: x-cuts from the first
 // Partitioned backend, y-cuts from a transpose mirror over one (the
 // mirrored frame's x is the original frame's y). Wrapping layers — a
-// Planner, a CacheBackend, an AsyncQueue — are walked through to the
-// backends they wrap, so the cache and the write queue slab on the same
-// shard boundaries regardless of stacking order.
+// Planner, a CacheBackend, an AsyncQueue, a LogBackend — are walked
+// through to the backends they wrap, so the cache and the write queue
+// slab on the same shard boundaries regardless of stacking order.
 func learnCuts(b Backend) (xcuts, ycuts []geom.Coord) {
 	var walk func(Backend)
 	walk = func(b Backend) {
@@ -176,6 +176,8 @@ func learnCuts(b Backend) (xcuts, ycuts []geom.Coord) {
 		case *CacheBackend:
 			walk(v.inner)
 		case *AsyncQueue:
+			walk(v.inner)
+		case *LogBackend:
 			walk(v.inner)
 		case *MirrorBackend:
 			if v.ref != geom.ReflectSwapXY {

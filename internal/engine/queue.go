@@ -145,6 +145,14 @@ type AsyncQueue struct {
 	closeMu sync.Mutex
 	stop    chan struct{}
 	done    chan struct{}
+
+	// firstErr latches the first apply error any drain ever hit —
+	// background tick, drain-on-read, or explicit Flush. It is never
+	// cleared: callers like core.DB.Len legitimately discard Flush's
+	// return value, so a take-and-clear would silently lose the error.
+	// Every later Flush and Close keeps returning it.
+	errMu    sync.Mutex
+	firstErr error
 }
 
 // NewAsyncQueue wraps inner with an asynchronous write queue. Partition
@@ -195,6 +203,8 @@ func (q *AsyncQueue) drainLoop() {
 		case <-q.stop:
 			return
 		case <-t.C:
+			// Errors are not lost here: drainSlab latches the first one
+			// and the next explicit Flush or Close surfaces it.
 			q.Flush()
 		}
 	}
@@ -366,7 +376,29 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 			firstErr = err
 		}
 	}
+	q.recordErr(firstErr)
 	return firstErr
+}
+
+// recordErr latches err as the queue's sticky first error. nil and
+// later errors are ignored.
+func (q *AsyncQueue) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	q.errMu.Lock()
+	if q.firstErr == nil {
+		q.firstErr = err
+	}
+	q.errMu.Unlock()
+}
+
+// Err returns the sticky first drain error, or nil if every drain so
+// far applied cleanly.
+func (q *AsyncQueue) Err() error {
+	q.errMu.Lock()
+	defer q.errMu.Unlock()
+	return q.firstErr
 }
 
 // drainFor drains every slab whose x-range intersects r — the
@@ -387,17 +419,16 @@ func (q *AsyncQueue) drainFor(r geom.Rect) error {
 	return firstErr
 }
 
-// Flush drains every buffer, returning the first apply error. It is
-// safe to call concurrently with reads, writes and other flushes, and
-// is a no-op on an already-empty queue.
+// Flush drains every buffer. Its error is the queue's sticky first
+// drain error — which covers this pass, but also any earlier background
+// or drain-on-read failure whose original caller could not see it. It
+// is safe to call concurrently with reads, writes and other flushes,
+// and is a no-op on an already-empty queue.
 func (q *AsyncQueue) Flush() error {
-	var firstErr error
 	for i := range q.slabs {
-		if err := q.drainSlab(i, false); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		q.drainSlab(i, false) // errors latch; surfaced below
 	}
-	return firstErr
+	return q.Err()
 }
 
 // Close stops the background drainer, waits for it to exit, and drains

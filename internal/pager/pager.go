@@ -1,0 +1,412 @@
+// Package pager is the real storage backend of the durable index: one
+// data file of 4 KB OS-aligned pages accessed with ReadAt/WriteAt at
+// offset = pageID × PageSize, fronted by an LRU page cache that reuses
+// the frame/pin/eviction discipline of the simulated disk
+// (emio.FrameTable) — the same rules the paper's I/O accounting runs
+// on, now moving real bytes.
+//
+// Page 0 is reserved for metadata: a magic string, the format version,
+// the number of data pages, the WAL sequence number the snapshot
+// covers, the point count, and a CRC over all of it. Pages 1..Pages
+// hold the checkpointed point set, 256 points per page (16 bytes
+// each). The emio.Disk simulation stays bookkeeping-only — structures
+// hold their payloads in host memory, so there are no structure pages
+// to store; what the file persists is the POINT SET, from which Open
+// rebuilds every structure, plus the WAL sequence that tells recovery
+// which log records the snapshot already includes.
+//
+// Checkpoint ordering is the standard two-step: data pages are flushed
+// and fsynced BEFORE the metadata page is rewritten and fsynced. A
+// crash between the steps leaves the old metadata pointing at the old
+// (intact) snapshot prefix and the old WAL sequence — recovery then
+// replays a longer WAL suffix onto an older snapshot and converges to
+// the same state.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// PageSize is the fixed page size: 4 KB, matching the OS page size so
+// aligned ReadAt/WriteAt never straddle kernel pages.
+const PageSize = 4096
+
+// PointsPerPage is how many 16-byte points one snapshot page holds.
+const PointsPerPage = PageSize / 16
+
+// DefaultCacheFrames is the page cache capacity used when the caller
+// passes 0.
+const DefaultCacheFrames = 64
+
+// magic opens every data file.
+var magic = [8]byte{'S', 'K', 'Y', 'P', 'A', 'G', 'E', '1'}
+
+// version is the current file format version.
+const version uint32 = 1
+
+// Meta is the content of page 0.
+type Meta struct {
+	// Version is the file format version (currently 1).
+	Version uint32
+	// Pages is the number of snapshot data pages (excluding page 0).
+	Pages uint64
+	// WALSeq is the last WAL sequence number whose effects the
+	// snapshot includes; recovery replays only records after it.
+	WALSeq uint64
+	// Points is the number of points in the snapshot.
+	Points uint64
+}
+
+// Stats counts real page traffic since the pager was opened.
+type Stats struct {
+	// Reads counts pages fetched from the file (cache misses).
+	Reads uint64
+	// Writes counts pages written back to the file (dirty evictions
+	// and flushes).
+	Writes uint64
+	// Hits counts page accesses served from the cache.
+	Hits uint64
+}
+
+// Pager is a file-backed page store with an LRU page cache.
+type Pager struct {
+	f     *os.File
+	path  string
+	meta  Meta
+	cache *emio.FrameTable
+	pages map[uint64][]byte // payload of every resident frame
+	stats Stats
+	// evictErr records the first write-back error from inside the
+	// eviction callback (which cannot return one); surfaced by the
+	// next Flush/Checkpoint/Close.
+	evictErr error
+}
+
+// Open opens (creating if necessary) the data file at path with a
+// cache of cacheFrames pages (0 means DefaultCacheFrames). A fresh
+// file is initialized with an empty, fsynced metadata page; an
+// existing file's metadata is validated (magic, version, CRC).
+func Open(path string, cacheFrames int) (*Pager, error) {
+	if cacheFrames <= 0 {
+		cacheFrames = DefaultCacheFrames
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	p := &Pager{f: f, path: path, pages: make(map[uint64][]byte)}
+	p.cache = emio.NewFrameTable(cacheFrames, func(fr *emio.Frame) {
+		if fr.Dirty {
+			if err := p.writePage(fr.ID, p.pages[fr.ID]); err != nil && p.evictErr == nil {
+				p.evictErr = err
+			}
+		}
+		delete(p.pages, fr.ID)
+	})
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		// Fresh file: write an empty metadata page so a reopen —
+		// even one racing a crash before the first checkpoint — finds
+		// a valid (empty) snapshot.
+		p.meta = Meta{Version: version}
+		if err := p.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: sync fresh %s: %w", path, err)
+		}
+		return p, nil
+	}
+	m, err := p.readMeta()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p.meta = m
+	return p, nil
+}
+
+// Meta returns the metadata read at Open or set by the last Checkpoint.
+func (p *Pager) Meta() Meta { return p.meta }
+
+// Stats returns the real-I/O counters.
+func (p *Pager) Stats() Stats { return p.stats }
+
+// writePage writes one page at its aligned offset.
+func (p *Pager) writePage(id uint64, data []byte) error {
+	if _, err := p.f.WriteAt(data, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	p.stats.Writes++
+	return nil
+}
+
+// readPage reads one page at its aligned offset.
+func (p *Pager) readPage(id uint64) ([]byte, error) {
+	buf := make([]byte, PageSize)
+	if _, err := p.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	p.stats.Reads++
+	return buf, nil
+}
+
+// page returns the cached frame buffer for id, fetching it on a miss
+// (fetch = one real read; the admission may evict the LRU unpinned
+// page, writing it back if dirty). create skips the fetch for a page
+// about to be fully overwritten.
+func (p *Pager) page(id uint64, create bool) ([]byte, error) {
+	if fr := p.cache.Get(id); fr != nil {
+		p.cache.Touch(fr, false)
+		p.stats.Hits++
+		return p.pages[id], nil
+	}
+	var buf []byte
+	if create {
+		buf = make([]byte, PageSize)
+	} else {
+		var err error
+		if buf, err = p.readPage(id); err != nil {
+			return nil, err
+		}
+	}
+	p.pages[id] = buf
+	p.cache.Admit(id, create, 0)
+	if err := p.evictErr; err != nil {
+		p.evictErr = nil
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Read copies page id into out (len PageSize) through the cache.
+func (p *Pager) Read(id uint64, out []byte) error {
+	buf, err := p.page(id, false)
+	if err != nil {
+		return err
+	}
+	copy(out, buf)
+	return nil
+}
+
+// Write replaces page id with data (len <= PageSize; the rest is
+// zeroed) through the cache. The page is dirty until evicted or
+// flushed.
+func (p *Pager) Write(id uint64, data []byte) error {
+	buf, err := p.page(id, true)
+	if err != nil {
+		return err
+	}
+	n := copy(buf, data)
+	for i := n; i < PageSize; i++ {
+		buf[i] = 0
+	}
+	if fr := p.cache.Get(id); fr != nil {
+		p.cache.Touch(fr, true)
+	}
+	return nil
+}
+
+// Pin pins page id in the cache (fetching it if needed): it will not
+// be evicted until unpinned, the same discipline the simulated disk
+// applies to the paper's critical records.
+func (p *Pager) Pin(id uint64) error {
+	if fr := p.cache.Get(id); fr != nil {
+		p.cache.Pin(fr)
+		return nil
+	}
+	buf, err := p.readPage(id)
+	if err != nil {
+		return err
+	}
+	p.pages[id] = buf
+	p.cache.Admit(id, false, 1)
+	if err := p.evictErr; err != nil {
+		p.evictErr = nil
+		return err
+	}
+	return nil
+}
+
+// Unpin releases one pin of page id.
+func (p *Pager) Unpin(id uint64) {
+	fr := p.cache.Get(id)
+	if fr == nil || fr.Pins == 0 {
+		panic(fmt.Sprintf("pager: Unpin of unpinned page %d", id))
+	}
+	p.cache.Unpin(fr)
+}
+
+// Flush writes every dirty cached page back to the file (keeping the
+// cache warm) and fsyncs. It also surfaces any write-back error a
+// dirty eviction hit since the last call.
+func (p *Pager) Flush() error {
+	firstErr := p.evictErr
+	p.evictErr = nil
+	for id, buf := range p.pages {
+		fr := p.cache.Get(id)
+		if fr == nil || !fr.Dirty {
+			continue
+		}
+		if err := p.writePage(id, buf); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		fr.Dirty = false
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync %s: %w", p.path, err)
+	}
+	return nil
+}
+
+// Checkpoint atomically installs a new snapshot state: it flushes and
+// fsyncs every data page, THEN rewrites and fsyncs the metadata page,
+// then truncates the file to the new page count. A crash before the
+// metadata write leaves the previous checkpoint fully intact.
+func (p *Pager) Checkpoint(m Meta) error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	m.Version = version
+	p.meta = m
+	if err := p.writeMeta(); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync meta %s: %w", p.path, err)
+	}
+	// Shrinking the file below a previous, larger snapshot is safe
+	// only after the new metadata is durable.
+	if err := p.f.Truncate(int64(m.Pages+1) * PageSize); err != nil {
+		return fmt.Errorf("pager: truncate %s: %w", p.path, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the file.
+func (p *Pager) Close() error {
+	flushErr := p.Flush()
+	if err := p.f.Close(); err != nil && flushErr == nil {
+		flushErr = fmt.Errorf("pager: close %s: %w", p.path, err)
+	}
+	return flushErr
+}
+
+// metaLen is the encoded metadata length: magic, version, pages,
+// walSeq, points, crc.
+const metaLen = 8 + 4 + 8 + 8 + 8 + 4
+
+// writeMeta encodes p.meta into page 0 and writes it (direct, not
+// through the cache: metadata must never be evicted-then-reordered
+// around the data pages it describes).
+func (p *Pager) writeMeta() error {
+	var b [PageSize]byte
+	copy(b[0:8], magic[:])
+	binary.LittleEndian.PutUint32(b[8:12], p.meta.Version)
+	binary.LittleEndian.PutUint64(b[12:20], p.meta.Pages)
+	binary.LittleEndian.PutUint64(b[20:28], p.meta.WALSeq)
+	binary.LittleEndian.PutUint64(b[28:36], p.meta.Points)
+	binary.LittleEndian.PutUint32(b[metaLen-4:metaLen], crc32.ChecksumIEEE(b[:metaLen-4]))
+	if _, err := p.f.WriteAt(b[:], 0); err != nil {
+		return fmt.Errorf("pager: write meta: %w", err)
+	}
+	p.stats.Writes++
+	return nil
+}
+
+// readMeta decodes and validates page 0.
+func (p *Pager) readMeta() (Meta, error) {
+	var b [PageSize]byte
+	if _, err := p.f.ReadAt(b[:], 0); err != nil {
+		return Meta{}, fmt.Errorf("pager: read meta of %s: %w", p.path, err)
+	}
+	p.stats.Reads++
+	if [8]byte(b[0:8]) != magic {
+		return Meta{}, fmt.Errorf("pager: %s is not a skyline pager file (bad magic)", p.path)
+	}
+	if crc32.ChecksumIEEE(b[:metaLen-4]) != binary.LittleEndian.Uint32(b[metaLen-4:metaLen]) {
+		return Meta{}, fmt.Errorf("pager: %s metadata checksum mismatch", p.path)
+	}
+	m := Meta{
+		Version: binary.LittleEndian.Uint32(b[8:12]),
+		Pages:   binary.LittleEndian.Uint64(b[12:20]),
+		WALSeq:  binary.LittleEndian.Uint64(b[20:28]),
+		Points:  binary.LittleEndian.Uint64(b[28:36]),
+	}
+	if m.Version != version {
+		return Meta{}, fmt.Errorf("pager: %s format version %d, want %d", p.path, m.Version, version)
+	}
+	return m, nil
+}
+
+// WriteSnapshot packs pts into data pages 1..ceil(n/PointsPerPage) and
+// checkpoints metadata naming walSeq. It is the whole durable state
+// transition: after WriteSnapshot returns, a reopen recovers exactly
+// pts plus whatever the WAL holds after walSeq.
+func (p *Pager) WriteSnapshot(pts []geom.Point, walSeq uint64) error {
+	var buf [PageSize]byte
+	pages := uint64(0)
+	for off := 0; off < len(pts); off += PointsPerPage {
+		chunk := pts[off:min(off+PointsPerPage, len(pts))]
+		for i, pt := range chunk {
+			binary.LittleEndian.PutUint64(buf[i*16:i*16+8], uint64(pt.X))
+			binary.LittleEndian.PutUint64(buf[i*16+8:i*16+16], uint64(pt.Y))
+		}
+		for i := len(chunk) * 16; i < PageSize; i++ {
+			buf[i] = 0
+		}
+		pages++
+		if err := p.Write(pages, buf[:]); err != nil {
+			return err
+		}
+	}
+	return p.Checkpoint(Meta{Pages: pages, WALSeq: walSeq, Points: uint64(len(pts))})
+}
+
+// ReadSnapshot reads the checkpointed point set back, in the order it
+// was written (sorted by x, as core checkpoints it).
+func (p *Pager) ReadSnapshot() ([]geom.Point, error) {
+	m := p.meta
+	if m.Points == 0 {
+		return nil, nil
+	}
+	if want := (m.Points + PointsPerPage - 1) / PointsPerPage; m.Pages != want {
+		return nil, fmt.Errorf("pager: metadata inconsistent: %d points need %d pages, have %d",
+			m.Points, want, m.Pages)
+	}
+	pts := make([]geom.Point, 0, m.Points)
+	var buf [PageSize]byte
+	remaining := int(m.Points)
+	for page := uint64(1); page <= m.Pages; page++ {
+		if err := p.Read(page, buf[:]); err != nil {
+			return nil, err
+		}
+		n := min(remaining, PointsPerPage)
+		for i := 0; i < n; i++ {
+			pts = append(pts, geom.Point{
+				X: geom.Coord(binary.LittleEndian.Uint64(buf[i*16 : i*16+8])),
+				Y: geom.Coord(binary.LittleEndian.Uint64(buf[i*16+8 : i*16+16])),
+			})
+		}
+		remaining -= n
+	}
+	return pts, nil
+}

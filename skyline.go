@@ -64,6 +64,20 @@
 // totals, and DB.Close quiesces the index (drains the queue, stops its
 // background drainer, waits out in-flight shard workers).
 //
+// Opening with Options{Dir: path} makes the index durable: two real
+// files under the directory — a 4 KB-paged snapshot of the live point
+// set (internal/pager) and a write-ahead log of acknowledged update
+// batches (internal/wal) — survive a crash, and reopening the same
+// directory rebuilds the structures from the snapshot and replays the
+// WAL tail through the batched paths (DB.Recover reports what replay
+// involved). DB.Flush and DB.Close checkpoint: snapshot the live set,
+// then truncate the WAL. With AsyncWrites, "acknowledged" means
+// drained — each drain batch is one WAL record, so buffered writes
+// that never drained are lost by a crash, but a drained batch survives
+// kill -9 anywhere before its checkpoint. An empty Dir (the default)
+// keeps everything on the simulated machine: deterministic I/O counts,
+// nothing on the host filesystem.
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
