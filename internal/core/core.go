@@ -416,17 +416,28 @@ func (db *DB) QueueCounters() engine.QueueCounters {
 // queue, Flush is the explicit third drain trigger next to FlushPoints
 // and FlushInterval (and surfaces any drain error an earlier
 // background or drain-on-read pass latched).
+//
+// When the drain reports an error — this pass's or a latched earlier
+// one — the checkpoint is SKIPPED and the error returned: the live set
+// is missing the failed applies, and checkpointing it would truncate
+// the WAL records that still hold them, turning a recoverable failure
+// (reopen and replay) into a permanent loss. Flush on a closed index
+// returns an error instead of touching closed file descriptors.
 func (db *DB) Flush() error {
-	var firstErr error
-	if db.queue != nil {
-		firstErr = db.queue.Flush()
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	if db.closed.Load() {
+		return fmt.Errorf("core: index is closed")
 	}
-	if db.logb != nil {
-		if err := db.checkpoint(); err != nil && firstErr == nil {
-			firstErr = err
+	if db.queue != nil {
+		if err := db.queue.Flush(); err != nil {
+			return err
 		}
 	}
-	return firstErr
+	if db.logb != nil {
+		return db.checkpoint()
+	}
+	return nil
 }
 
 // Close quiesces the index: it stops the async queue's background
@@ -464,9 +475,11 @@ func (db *DB) Close() error {
 		// Everything acknowledged is applied (queue closed above) and
 		// nothing new can arrive (closed flag): checkpoint, then
 		// release the files. Only the FIRST Close runs this — a second
-		// would checkpoint through closed file descriptors.
-		if err := db.checkpoint(); err != nil && firstErr == nil {
-			firstErr = err
+		// would checkpoint through closed file descriptors. A drain
+		// error skips the checkpoint, like Flush: the WAL must keep the
+		// records whose apply failed so a reopen can replay them.
+		if firstErr == nil {
+			firstErr = db.checkpoint()
 		}
 		if err := db.wal.Close(); err != nil && firstErr == nil {
 			firstErr = err

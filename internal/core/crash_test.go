@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/pager"
 )
 
 // Crash-injection tests: a child process (this test binary re-executed
@@ -117,6 +118,31 @@ func TestCrashChild(t *testing.T) {
 			t.Fatalf("checkpoint: %v", err)
 		}
 		applyOps(t, db, 100, 160)
+	case "snapwritten", "snapinstalled":
+		// Die INSIDE a checkpoint's snapshot install — the window the
+		// shadow-file rename makes atomic. "snapwritten" kills after
+		// the shadow is durable but before the rename: the old
+		// snapshot must recover, with the full WAL tail replayed over
+		// it. "snapinstalled" kills after the rename but before the
+		// WAL truncate: the new snapshot must recover, its metadata
+		// sequence filtering out every (now-duplicate) WAL record.
+		db := mustOpenCrashDB(t, dir, false)
+		applyOps(t, db, 0, 100)
+		if err := db.Flush(); err != nil { // hook not armed yet
+			t.Fatalf("checkpoint: %v", err)
+		}
+		applyOps(t, db, 100, 160)
+		stage := "snapshot-written"
+		if mode == "snapinstalled" {
+			stage = "snapshot-installed"
+		}
+		pager.TestCrashHook = func(s string) {
+			if s == stage {
+				os.Exit(137)
+			}
+		}
+		db.Flush()
+		t.Fatalf("survived the checkpoint; install hook never fired")
 	default:
 		t.Fatalf("unknown crash mode %q", mode)
 	}
@@ -238,6 +264,46 @@ func TestCrashRecovery(t *testing.T) {
 		}
 		if rec.RecordsReplayed != 60 {
 			t.Fatalf("checkpoint: replayed %d records, want the 60 post-checkpoint ops", rec.RecordsReplayed)
+		}
+	})
+
+	t.Run("snapwritten", func(t *testing.T) {
+		// Killed between the shadow file becoming durable and the
+		// rename: the live page file was never touched, so the old
+		// (100-op) snapshot plus the 60-record WAL tail recover — and
+		// the orphaned shadow must be swept, not mistaken for state.
+		dir := t.TempDir()
+		runCrashChild(t, "snapwritten", dir)
+		shadow := filepath.Join(dir, pagesFile+".tmp")
+		if _, err := os.Stat(shadow); err != nil {
+			t.Fatalf("crash before rename left no shadow file: %v", err)
+		}
+		rec := assertRecovered(t, "snapwritten", dir, 160)
+		if rec.SnapshotPoints != len(expectedSet(100)) {
+			t.Fatalf("snapwritten: snapshot holds %d points, want the old checkpoint's %d",
+				rec.SnapshotPoints, len(expectedSet(100)))
+		}
+		if rec.RecordsReplayed != 60 {
+			t.Fatalf("snapwritten: replayed %d records, want 60", rec.RecordsReplayed)
+		}
+		if _, err := os.Stat(shadow); !os.IsNotExist(err) {
+			t.Fatalf("recovery did not sweep the orphaned shadow: %v", err)
+		}
+	})
+
+	t.Run("snapinstalled", func(t *testing.T) {
+		// Killed between the rename and the WAL truncate: the NEW
+		// snapshot recovers, and the sequence filter skips every WAL
+		// record it already covers — nothing replays, nothing doubles.
+		dir := t.TempDir()
+		runCrashChild(t, "snapinstalled", dir)
+		rec := assertRecovered(t, "snapinstalled", dir, 160)
+		if rec.SnapshotPoints != len(expectedSet(160)) {
+			t.Fatalf("snapinstalled: snapshot holds %d points, want the new checkpoint's %d",
+				rec.SnapshotPoints, len(expectedSet(160)))
+		}
+		if rec.RecordsReplayed != 0 {
+			t.Fatalf("snapinstalled: replayed %d records, want 0 (snapshot covers them)", rec.RecordsReplayed)
 		}
 	})
 

@@ -185,12 +185,14 @@ func (s *walSink) LogBatch(dels, inss []geom.Point) error {
 var testAfterWALAppend func()
 
 // checkpoint makes the snapshot current and empties the WAL: the live
-// set is materialized under the LogBackend's write mutex, written
-// through the pager (data pages synced before the metadata page — a
-// crash between the two leaves the OLD checkpoint valid), and only
-// then is the WAL truncated. A crash before the truncate replays
-// records the snapshot already covers; the sequence filter in
-// openDurable skips them.
+// set is materialized under the LogBackend's write mutex and installed
+// by the pager's shadow-file rename — crash-atomic, so the page file
+// at every instant holds either the old snapshot or the new one, each
+// consistent with the WAL sequence its metadata records — and only
+// then is the WAL truncated. A crash before the rename recovers the
+// old snapshot and replays the full WAL tail; a crash after the rename
+// but before the truncate replays nothing (the sequence filter in
+// openDurable skips records the new snapshot covers).
 func (db *DB) checkpoint() error {
 	return db.logb.Checkpoint(func(live []geom.Point) error {
 		if err := db.pager.WriteSnapshot(live, db.wal.Seq()); err != nil {

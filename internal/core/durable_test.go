@@ -259,6 +259,61 @@ func TestOpenErrorPathsReleaseEverything(t *testing.T) {
 	}
 }
 
+// TestFlushSkipsCheckpointOnDrainError: when a drain latches an apply
+// error, Flush and Close must NOT checkpoint — the live set is missing
+// the failed writes, and snapshotting it while truncating the WAL
+// would permanently discard records a reopen-replay can still recover.
+func TestFlushSkipsCheckpointOnDrainError(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{
+		Machine: smallMachine, Dynamic: true, Dir: dir,
+		AsyncWrites: true, FlushPoints: 1 << 20, FlushInterval: -time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, db, 0, 10)
+	if err := db.Queue().Flush(); err != nil { // drain: WAL record 1, no checkpoint
+		t.Fatal(err)
+	}
+	before := db.Pager().Meta()
+	applyOps(t, db, 10, 20) // buffered
+	db.WAL().Close()        // break the log: the next drain's append fails
+	if err := db.Flush(); err == nil {
+		t.Fatalf("Flush over a failed drain reported success")
+	}
+	if got := db.Pager().Meta(); got != before {
+		t.Fatalf("Flush checkpointed despite the drain error: meta %+v, want %+v", got, before)
+	}
+	if err := db.Close(); err == nil {
+		t.Fatalf("Close over a latched drain error reported success")
+	}
+	// The WAL record whose writes DID apply survives the skipped
+	// checkpoints; recovery replays it. Ops 10..20 were never
+	// acknowledged (their append failed, and Flush errored), so the
+	// acknowledged set is exactly ops [0,10).
+	assertRecovered(t, "drain-error", dir, 10)
+}
+
+// TestFlushAfterCloseRejected: Flush racing (or following) Close must
+// not checkpoint through the file descriptors Close released.
+func TestFlushAfterCloseRejected(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Machine: smallMachine, Dynamic: true, Dir: dir}, geom.GenUniform(20, 500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush while open: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err == nil {
+		t.Fatalf("Flush after Close reported success")
+	}
+}
+
 // TestDurableFreshDirWithOrphanWAL: a directory holding a WAL but no
 // page file is ambiguous (half-deleted index?); Open refuses to guess.
 func TestDurableFreshDirWithOrphanWAL(t *testing.T) {

@@ -19,6 +19,21 @@
 // Checkpoint holds while materializing the snapshot, so a snapshot at
 // sequence S contains exactly the effects of records 1..S.
 //
+// The write-ahead rule has a deliberate asymmetry on failure: the
+// record becomes durable BEFORE the apply, so when the apply then
+// fails the caller gets an error — the write is NOT acknowledged —
+// while the log still holds the record. A crash before the next
+// checkpoint replays that record, so an unacknowledged write can
+// appear after recovery (a phantom); a checkpoint instead drops it for
+// good (the live set never absorbed it, and the truncate discards the
+// record). The alternative — logging after applying — would lose
+// ACKNOWLEDGED writes on a crash between the two, which is strictly
+// worse, and compensating records would buy exactness only at the
+// price of a second append on every failure path. Apply errors in this
+// repository mean structure corruption; callers observing one should
+// treat rebuild-from-log (reopen) as the recovery, which is exactly
+// why core skips checkpoints while a drain error is latched.
+//
 // Serializing writes through one mutex is a deliberate simplification:
 // a write-ahead log is a single append stream anyway, batches amortize
 // the serialization exactly as they amortize the structure locks, and
@@ -86,7 +101,9 @@ func (lb *LogBackend) RangeSkyline(q geom.Rect) []geom.Point {
 	return lb.inner.RangeSkyline(q)
 }
 
-// Insert logs then applies a single insert.
+// Insert logs then applies a single insert. On apply failure the
+// logged record persists and a pre-checkpoint crash replays it; see
+// the failure-asymmetry note in the package comment.
 func (lb *LogBackend) Insert(p geom.Point) error {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()

@@ -15,12 +15,16 @@
 // rebuilds every structure, plus the WAL sequence that tells recovery
 // which log records the snapshot already includes.
 //
-// Checkpoint ordering is the standard two-step: data pages are flushed
-// and fsynced BEFORE the metadata page is rewritten and fsynced. A
-// crash between the steps leaves the old metadata pointing at the old
-// (intact) snapshot prefix and the old WAL sequence — recovery then
-// replays a longer WAL suffix onto an older snapshot and converges to
-// the same state.
+// Snapshot installs are crash-atomic: WriteSnapshot builds the whole
+// new snapshot — data pages and metadata — in a shadow file beside the
+// data file, fsyncs it, and rename(2)s it over the data file (then
+// fsyncs the directory). The live file is never written in place, so
+// at no instant does it hold a mix of old and new pages: a crash
+// anywhere leaves either the complete old snapshot (whose metadata and
+// WAL sequence are still mutually consistent — recovery replays the
+// longer WAL suffix onto it and converges to the same state) or the
+// complete new one. A shadow file orphaned by such a crash is deleted
+// at the next Open; the data file is always the authority.
 package pager
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 
 	"repro/internal/emio"
 	"repro/internal/geom"
@@ -43,6 +48,18 @@ const PointsPerPage = PageSize / 16
 // DefaultCacheFrames is the page cache capacity used when the caller
 // passes 0.
 const DefaultCacheFrames = 64
+
+// shadowSuffix names the shadow file WriteSnapshot builds next to the
+// data file before renaming it into place.
+const shadowSuffix = ".tmp"
+
+// TestCrashHook, when non-nil, is called at named points inside
+// WriteSnapshot's install sequence: "snapshot-written" after the
+// shadow file is durable but before the rename, "snapshot-installed"
+// after the rename but before the directory sync. Crash-injection
+// tests use it to die inside the exact windows the atomicity argument
+// is about; it must be nil outside tests.
+var TestCrashHook func(stage string)
 
 // magic opens every data file.
 var magic = [8]byte{'S', 'K', 'Y', 'P', 'A', 'G', 'E', '1'}
@@ -76,15 +93,18 @@ type Stats struct {
 
 // Pager is a file-backed page store with an LRU page cache.
 type Pager struct {
-	f     *os.File
-	path  string
-	meta  Meta
-	cache *emio.FrameTable
-	pages map[uint64][]byte // payload of every resident frame
-	stats Stats
+	f       *os.File
+	path    string
+	meta    Meta
+	cache   *emio.FrameTable
+	frames  int // cache capacity, for resets after a snapshot install
+	onEvict func(*emio.Frame)
+	pages   map[uint64][]byte // payload of every resident frame
+	stats   Stats
 	// evictErr records the first write-back error from inside the
 	// eviction callback (which cannot return one); surfaced by the
-	// next Flush/Checkpoint/Close.
+	// next Flush/Close (or page admission, which then backs out the
+	// admitted frame).
 	evictErr error
 }
 
@@ -96,19 +116,24 @@ func Open(path string, cacheFrames int) (*Pager, error) {
 	if cacheFrames <= 0 {
 		cacheFrames = DefaultCacheFrames
 	}
+	// A shadow file here is a snapshot install a crash interrupted
+	// before the rename; the data file is the authority, the shadow is
+	// garbage.
+	os.Remove(path + shadowSuffix)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
-	p := &Pager{f: f, path: path, pages: make(map[uint64][]byte)}
-	p.cache = emio.NewFrameTable(cacheFrames, func(fr *emio.Frame) {
+	p := &Pager{f: f, path: path, frames: cacheFrames, pages: make(map[uint64][]byte)}
+	p.onEvict = func(fr *emio.Frame) {
 		if fr.Dirty {
 			if err := p.writePage(fr.ID, p.pages[fr.ID]); err != nil && p.evictErr == nil {
 				p.evictErr = err
 			}
 		}
 		delete(p.pages, fr.ID)
-	})
+	}
+	p.cache = emio.NewFrameTable(cacheFrames, p.onEvict)
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -183,9 +208,16 @@ func (p *Pager) page(id uint64, create bool) ([]byte, error) {
 		}
 	}
 	p.pages[id] = buf
-	p.cache.Admit(id, create, 0)
+	fr := p.cache.Admit(id, create, 0)
 	if err := p.evictErr; err != nil {
+		// The admission's eviction failed to write a dirty page back.
+		// Back the new frame out: on the create path it is a dirty
+		// all-zero page, and leaving it resident would let a later
+		// Flush/Close write zeros over a page the current metadata
+		// still describes.
 		p.evictErr = nil
+		p.cache.Remove(fr)
+		delete(p.pages, id)
 		return nil, err
 	}
 	return buf, nil
@@ -232,9 +264,13 @@ func (p *Pager) Pin(id uint64) error {
 		return err
 	}
 	p.pages[id] = buf
-	p.cache.Admit(id, false, 1)
+	fr := p.cache.Admit(id, false, 1)
 	if err := p.evictErr; err != nil {
+		// Same backout as page(): a failed admission must not leave
+		// the new frame (here additionally pinned) resident.
 		p.evictErr = nil
+		p.cache.Remove(fr)
+		delete(p.pages, id)
 		return err
 	}
 	return nil
@@ -277,30 +313,6 @@ func (p *Pager) Flush() error {
 	return nil
 }
 
-// Checkpoint atomically installs a new snapshot state: it flushes and
-// fsyncs every data page, THEN rewrites and fsyncs the metadata page,
-// then truncates the file to the new page count. A crash before the
-// metadata write leaves the previous checkpoint fully intact.
-func (p *Pager) Checkpoint(m Meta) error {
-	if err := p.Flush(); err != nil {
-		return err
-	}
-	m.Version = version
-	p.meta = m
-	if err := p.writeMeta(); err != nil {
-		return err
-	}
-	if err := p.f.Sync(); err != nil {
-		return fmt.Errorf("pager: sync meta %s: %w", p.path, err)
-	}
-	// Shrinking the file below a previous, larger snapshot is safe
-	// only after the new metadata is durable.
-	if err := p.f.Truncate(int64(m.Pages+1) * PageSize); err != nil {
-		return fmt.Errorf("pager: truncate %s: %w", p.path, err)
-	}
-	return nil
-}
-
 // Close flushes and closes the file.
 func (p *Pager) Close() error {
 	flushErr := p.Flush()
@@ -314,21 +326,31 @@ func (p *Pager) Close() error {
 // walSeq, points, crc.
 const metaLen = 8 + 4 + 8 + 8 + 8 + 4
 
-// writeMeta encodes p.meta into page 0 and writes it (direct, not
+// writeMeta encodes p.meta into page 0 of the data file (direct, not
 // through the cache: metadata must never be evicted-then-reordered
-// around the data pages it describes).
+// around the data pages it describes). Only the fresh-file path in
+// Open uses it; snapshot installs write their metadata into the
+// shadow file instead.
 func (p *Pager) writeMeta() error {
-	var b [PageSize]byte
-	copy(b[0:8], magic[:])
-	binary.LittleEndian.PutUint32(b[8:12], p.meta.Version)
-	binary.LittleEndian.PutUint64(b[12:20], p.meta.Pages)
-	binary.LittleEndian.PutUint64(b[20:28], p.meta.WALSeq)
-	binary.LittleEndian.PutUint64(b[28:36], p.meta.Points)
-	binary.LittleEndian.PutUint32(b[metaLen-4:metaLen], crc32.ChecksumIEEE(b[:metaLen-4]))
-	if _, err := p.f.WriteAt(b[:], 0); err != nil {
-		return fmt.Errorf("pager: write meta: %w", err)
+	if err := writeMetaTo(p.f, p.meta); err != nil {
+		return err
 	}
 	p.stats.Writes++
+	return nil
+}
+
+// writeMetaTo encodes m into page 0 of f.
+func writeMetaTo(f *os.File, m Meta) error {
+	var b [PageSize]byte
+	copy(b[0:8], magic[:])
+	binary.LittleEndian.PutUint32(b[8:12], m.Version)
+	binary.LittleEndian.PutUint64(b[12:20], m.Pages)
+	binary.LittleEndian.PutUint64(b[20:28], m.WALSeq)
+	binary.LittleEndian.PutUint64(b[28:36], m.Points)
+	binary.LittleEndian.PutUint32(b[metaLen-4:metaLen], crc32.ChecksumIEEE(b[:metaLen-4]))
+	if _, err := f.WriteAt(b[:], 0); err != nil {
+		return fmt.Errorf("pager: write meta: %w", err)
+	}
 	return nil
 }
 
@@ -357,13 +379,30 @@ func (p *Pager) readMeta() (Meta, error) {
 	return m, nil
 }
 
-// WriteSnapshot packs pts into data pages 1..ceil(n/PointsPerPage) and
-// checkpoints metadata naming walSeq. It is the whole durable state
-// transition: after WriteSnapshot returns, a reopen recovers exactly
-// pts plus whatever the WAL holds after walSeq.
+// WriteSnapshot packs pts into data pages 1..ceil(n/PointsPerPage) of
+// a shadow file (metadata naming walSeq on page 0), fsyncs it, and
+// atomically installs it over the data file with rename(2). It is the
+// whole durable state transition: after WriteSnapshot returns, a
+// reopen recovers exactly pts plus whatever the WAL holds after
+// walSeq. The install is crash-atomic — the live file is never
+// partially overwritten, so a crash at any point leaves either the
+// previous snapshot or the new one, each consistent with its recorded
+// WAL sequence. The page cache is reset afterwards: the install
+// replaced the whole file, superseding every cached page (dirty pages
+// written through the generic Write API included).
 func (p *Pager) WriteSnapshot(pts []geom.Point, walSeq uint64) error {
+	shadowPath := p.path + shadowSuffix
+	shadow, err := os.OpenFile(shadowPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pager: create shadow %s: %w", shadowPath, err)
+	}
+	abort := func(err error) error {
+		shadow.Close()
+		os.Remove(shadowPath)
+		return err
+	}
+	m := Meta{Version: version, WALSeq: walSeq, Points: uint64(len(pts))}
 	var buf [PageSize]byte
-	pages := uint64(0)
 	for off := 0; off < len(pts); off += PointsPerPage {
 		chunk := pts[off:min(off+PointsPerPage, len(pts))]
 		for i, pt := range chunk {
@@ -373,12 +412,57 @@ func (p *Pager) WriteSnapshot(pts []geom.Point, walSeq uint64) error {
 		for i := len(chunk) * 16; i < PageSize; i++ {
 			buf[i] = 0
 		}
-		pages++
-		if err := p.Write(pages, buf[:]); err != nil {
-			return err
+		m.Pages++
+		if _, err := shadow.WriteAt(buf[:], int64(m.Pages)*PageSize); err != nil {
+			return abort(fmt.Errorf("pager: write shadow page %d: %w", m.Pages, err))
 		}
+		p.stats.Writes++
 	}
-	return p.Checkpoint(Meta{Pages: pages, WALSeq: walSeq, Points: uint64(len(pts))})
+	if err := writeMetaTo(shadow, m); err != nil {
+		return abort(err)
+	}
+	p.stats.Writes++
+	if err := shadow.Sync(); err != nil {
+		return abort(fmt.Errorf("pager: sync shadow %s: %w", shadowPath, err))
+	}
+	if TestCrashHook != nil {
+		TestCrashHook("snapshot-written")
+	}
+	if err := os.Rename(shadowPath, p.path); err != nil {
+		return abort(fmt.Errorf("pager: install snapshot %s: %w", p.path, err))
+	}
+	if TestCrashHook != nil {
+		TestCrashHook("snapshot-installed")
+	}
+	// Past the rename the install has happened: the shadow fd now IS
+	// the data file (rename does not invalidate it). Retire the old fd,
+	// adopt the new state, and drop the superseded cache before
+	// reporting any remaining durability error.
+	old := p.f
+	p.f = shadow
+	old.Close()
+	p.meta = m
+	p.cache = emio.NewFrameTable(p.frames, p.onEvict)
+	p.pages = make(map[uint64][]byte)
+	p.evictErr = nil
+	// The rename is durable only once the directory entry is.
+	return syncDir(filepath.Dir(p.path))
+}
+
+// syncDir fsyncs a directory, making renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("pager: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("pager: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // ReadSnapshot reads the checkpointed point set back, in the order it

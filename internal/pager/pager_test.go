@@ -194,6 +194,73 @@ func TestCacheDisciplineCounts(t *testing.T) {
 	}
 }
 
+// TestEvictErrorDropsAdmittedFrame: when admitting a page fails
+// because the eviction's dirty write-back failed, the just-admitted
+// frame must not stay resident — on the create path it is a dirty
+// all-zero page, and a later Flush/Close would write zeros over a page
+// the metadata still describes.
+func TestEvictErrorDropsAdmittedFrame(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Open(path, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var page [PageSize]byte
+	page[0] = 1
+	if err := p.Write(1, page[:]); err != nil { // dirty, resident
+		t.Fatal(err)
+	}
+	p.f.Close() // break the file: the eviction write-back must fail
+	if err := p.Write(2, page[:]); err == nil {
+		t.Fatalf("Write over a broken write-back reported success")
+	}
+	if p.cache.Get(2) != nil {
+		t.Fatalf("failed admission left frame 2 resident (a zeroed dirty page)")
+	}
+	if _, ok := p.pages[2]; ok {
+		t.Fatalf("failed admission left page 2's payload in the side table")
+	}
+}
+
+// TestLeftoverShadowSwept: a shadow file orphaned by a crash between
+// write and rename is deleted at Open, and the data file — the
+// authority — reads back unharmed.
+func TestLeftoverShadowSwept(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Open(path, 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pts := []geom.Point{{X: 1, Y: 9}, {X: 4, Y: 2}}
+	if err := p.WriteSnapshot(pts, 5); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	shadow := path + shadowSuffix
+	if err := os.WriteFile(shadow, make([]byte, 3*PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, 0)
+	if err != nil {
+		t.Fatalf("reopen next to a shadow: %v", err)
+	}
+	defer p2.Close()
+	if _, err := os.Stat(shadow); !os.IsNotExist(err) {
+		t.Fatalf("Open did not sweep the orphaned shadow: %v", err)
+	}
+	got, err := p2.ReadSnapshot()
+	if err != nil || len(got) != len(pts) {
+		t.Fatalf("snapshot after sweep: %d points, err %v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d = %v, want %v", i, got[i], pts[i])
+		}
+	}
+}
+
 // TestUnpinUnpinnedPanics matches the simulated disk's discipline.
 func TestUnpinUnpinnedPanics(t *testing.T) {
 	p, _ := Open(tmpFile(t), 0)
