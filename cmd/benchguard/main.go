@@ -33,11 +33,20 @@
 //
 // Usage:
 //
-//	benchguard [-threshold 0.30] [-strict-io] baseline.json current.json
+//	benchguard [-threshold 0.30] [-strict-io] baseline.json[,more.json...] current.json
+//
+// The baseline argument is a comma-separated list of artifact files
+// merged by experiment ID — the committed BENCH_*.json files each
+// carry one experiment, and one gate invocation covers them all. The
+// same experiment in two baseline files is ambiguous and fails the
+// run. Every row of the delta table names the baseline file its
+// metric came from, so a regression message traces straight to the
+// artifact to regenerate.
 //
 // Exit status: 0 when comparisons ran and (in -strict-io mode) no
 // deterministic metric regressed; 1 for unreadable or malformed
-// inputs, zero performed comparisons, or strict-mode metric failures.
+// inputs, duplicate baseline experiments, zero performed comparisons,
+// or strict-mode metric failures.
 package main
 
 import (
@@ -119,6 +128,38 @@ func load(path string) (map[string]result, error) {
 	return out, nil
 }
 
+// sourced pairs a baseline record with the file it came from, so every
+// delta row and regression message names its provenance.
+type sourced struct {
+	result
+	file string
+}
+
+// loadBaselines merges a comma-separated list of baseline artifacts by
+// experiment ID. The same experiment in two files would make "which
+// baseline gated this" ambiguous, so duplicates are an error rather
+// than a silent override.
+func loadBaselines(arg string) (map[string]sourced, error) {
+	out := make(map[string]sourced)
+	for _, path := range strings.Split(arg, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		rs, err := load(path)
+		if err != nil {
+			return nil, err
+		}
+		for id, r := range rs {
+			if prev, ok := out[id]; ok {
+				return nil, fmt.Errorf("experiment %s in both %s and %s", id, prev.file, path)
+			}
+			out[id] = sourced{result: r, file: path}
+		}
+	}
+	return out, nil
+}
+
 // warn prints a GitHub-Actions warning annotation (a plain line off CI).
 func warn(format string, args ...any) {
 	fmt.Printf("::warning::benchguard: "+format+"\n", args...)
@@ -157,21 +198,22 @@ func regressed(base, cur, threshold float64) bool {
 }
 
 // deltaRow is one performed comparison, kept for the summary table.
+// src is the baseline file the compared metric came from.
 type deltaRow struct {
-	id, labels, name string
-	base, cur        float64
-	bad              bool
+	id, labels, name, src string
+	base, cur             float64
+	bad                   bool
 }
 
 // printDelta renders every performed comparison — regressed or not — so
-// a green run still shows exactly what moved and by how much, instead
-// of passing silently.
+// a green run still shows exactly what moved and by how much, and from
+// which baseline file, instead of passing silently.
 func printDelta(rows []deltaRow) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Printf("%-4s %-44s %-10s %10s %10s %8s\n",
-		"exp", "labels", "metric", "baseline", "current", "delta")
+	fmt.Printf("%-4s %-44s %-10s %10s %10s %8s  %s\n",
+		"exp", "labels", "metric", "baseline", "current", "delta", "source")
 	for _, r := range rows {
 		delta := "0.0%"
 		switch {
@@ -184,18 +226,18 @@ func printDelta(rows []deltaRow) {
 		if r.bad {
 			mark = "  <-- regressed"
 		}
-		fmt.Printf("%-4s %-44s %-10s %10.2f %10.2f %8s%s\n",
-			r.id, r.labels, r.name, r.base, r.cur, delta, mark)
+		fmt.Printf("%-4s %-44s %-10s %10.2f %10.2f %8s  %s%s\n",
+			r.id, r.labels, r.name, r.base, r.cur, delta, r.src, mark)
 	}
 }
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 0.30] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 0.30] baseline.json[,more.json...] current.json")
 		os.Exit(1)
 	}
-	baseline, err := load(flag.Arg(0))
+	baseline, err := loadBaselines(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
@@ -210,12 +252,12 @@ func main() {
 	for id, base := range baseline {
 		cur, ok := current[id]
 		if !ok {
-			metricProblem("experiment %s present in baseline but missing from current run", id)
+			metricProblem("experiment %s (baseline %s) missing from current run", id, base.file)
 			continue
 		}
 		if base.Quick != cur.Quick {
-			warn("experiment %s: baseline quick=%t vs current quick=%t; comparison skipped",
-				id, base.Quick, cur.Quick)
+			warn("experiment %s: baseline %s quick=%t vs current quick=%t; comparison skipped",
+				id, base.file, base.Quick, cur.Quick)
 			continue
 		}
 		bm, cm := parseMetrics(id, base.Output), parseMetrics(id, cur.Output)
@@ -225,35 +267,35 @@ func main() {
 			compared++
 			bad := cur.Seconds > base.Seconds*(1+*flagThreshold)
 			table = append(table, deltaRow{
-				id: id, labels: "(wall clock)", name: "seconds",
+				id: id, labels: "(wall clock)", name: "seconds", src: base.file,
 				base: base.Seconds, cur: cur.Seconds, bad: bad,
 			})
 			if bad {
 				regressions++
-				warn("%s wall clock %.2fs vs baseline %.2fs (+%.0f%%)",
-					id, cur.Seconds, base.Seconds, 100*(cur.Seconds/base.Seconds-1))
+				warn("%s wall clock %.2fs vs baseline %.2fs (%s, +%.0f%%)",
+					id, cur.Seconds, base.Seconds, base.file, 100*(cur.Seconds/base.Seconds-1))
 			}
 			continue
 		}
 		for key, b := range bm {
 			c, ok := cm[key]
 			if !ok {
-				metricProblem("%s metric line [%s] missing from current run", id, key)
+				metricProblem("%s metric line [%s] (baseline %s) missing from current run", id, key, base.file)
 				continue
 			}
 			for name, bv := range b.values {
 				cv, ok := c.values[name]
 				if !ok {
-					metricProblem("%s [%s] metric %s missing from current run", id, key, name)
+					metricProblem("%s [%s] metric %s (baseline %s) missing from current run", id, key, name, base.file)
 					continue
 				}
 				compared++
 				bad := regressed(bv, cv, *flagThreshold)
-				table = append(table, deltaRow{id: id, labels: key, name: name, base: bv, cur: cv, bad: bad})
+				table = append(table, deltaRow{id: id, labels: key, name: name, src: base.file, base: bv, cur: cv, bad: bad})
 				if bad {
 					regressions++
-					metricProblem("%s [%s] %s=%.2f vs baseline %.2f (+%.0f%%)",
-						id, key, name, cv, bv, 100*(cv/bv-1))
+					metricProblem("%s [%s] %s=%.2f vs baseline %.2f (%s, +%.0f%%)",
+						id, key, name, cv, bv, base.file, 100*(cv/bv-1))
 				}
 			}
 		}

@@ -129,6 +129,7 @@ func main() {
 	run("E14", e14)
 	run("E15", e15)
 	run("E16", e16)
+	run("E17", e17)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {
@@ -1219,6 +1220,310 @@ func e15() {
 			}
 			fmt.Printf("E15-METRIC mix=%s mode=%s n=%d ios=%.2f drainfrac=%.4f forced=%.1f\n",
 				stream.name, mode, n, ios, drainFrac, float64(ctr.ForcedDrains))
+		}
+	}
+}
+
+// e17op is one write of the hot-writer stream.
+type e17op struct {
+	del bool
+	p   geom.Point
+}
+
+// e17Bursts precomputes the hot write stream: per burst, Zipf-ranked
+// inserts from the low-x-sorted pool (so the lowest-x shards absorb
+// most of the traffic) mixed with deletes of recently inserted hot
+// points. Precomputing keeps the drain and snapshot runs on the exact
+// same ops.
+func e17Bursts(bursts, perBurst int, pool []geom.Point, seed int64) [][]e17op {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(pool)-1))
+	used := make([]bool, len(pool))
+	var recent []geom.Point
+	out := make([][]e17op, 0, bursts)
+	for b := 0; b < bursts; b++ {
+		ops := make([]e17op, 0, perBurst)
+		for len(ops) < perBurst {
+			if rng.Float64() < 0.35 && len(recent) > 8 {
+				p := recent[0]
+				recent = recent[1:]
+				ops = append(ops, e17op{del: true, p: p})
+				continue
+			}
+			idx := int(zipf.Uint64())
+			for idx < len(pool) && used[idx] {
+				idx++
+			}
+			if idx >= len(pool) {
+				if len(recent) == 0 {
+					break
+				}
+				p := recent[0]
+				recent = recent[1:]
+				ops = append(ops, e17op{del: true, p: p})
+				continue
+			}
+			used[idx] = true
+			recent = append(recent, pool[idx])
+			ops = append(ops, e17op{p: pool[idx]})
+		}
+		out = append(out, ops)
+	}
+	return out
+}
+
+// e17Rects draws the reader's rectangle pool: narrow top-open
+// rectangles over the hot low-x region — the slabs the writer keeps
+// dirty, so a drain-on-read pays a forced drain on almost every query
+// while the query itself stays cheap (Theorem 4 logarithmic search,
+// small output). Mode-independent query cost would only dilute the
+// drain-vs-pin comparison, so the pool stays hot and narrow.
+func e17Rects(rng *rand.Rand, n int, span int64) []geom.Rect {
+	pool := make([]geom.Rect, 64)
+	for i := range pool {
+		x1 := rng.Int63n(span / 8)
+		x2 := x1 + span/32
+		pool[i] = geom.TopOpen(x1, x2, rng.Int63n(span))
+	}
+	return pool
+}
+
+// e17Open opens the E17 configuration: sharded, async, FlushPoints 64
+// — small enough that in snapshot mode the WRITE path absorbs drains
+// at batch boundaries (size-triggered, inline) while in drain-on-read
+// mode the frequent reads drain first, charging the same work to the
+// read path.
+func e17Open(base []geom.Point) *core.DB {
+	db, err := core.Open(core.Options{
+		Machine: cfg, Dynamic: true, Shards: 8, Workers: 4,
+		AsyncWrites: true, FlushPoints: 64, FlushInterval: -1,
+	}, base)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func e17() {
+	fmt.Println("E17 snapshot reads (DB.Snapshot): point-in-time views vs drain-on-read")
+	fmt.Println("    A hot Zipf writer keeps the lowest-x shards dirty while a reader asks")
+	fmt.Println("    mostly-hot rectangles. Drain-on-read readers pay the forced drains of")
+	fmt.Println("    every slab their rectangles touch; snapshot readers pin a view (one")
+	fmt.Println("    flush per pin, refreshed every few bursts) and then query pinned roots")
+	fmt.Println("    with no locks and no drains. Part 1 is single-caller and deterministic:")
+	fmt.Println("    the E17-METRIC read-path I/O totals gate exactly (cmd/benchguard")
+	fmt.Println("    -strict-io), and snapcost = snapshot/drain read I/Os must stay <= 0.5 —")
+	fmt.Println("    the >=2x reader-throughput claim in simulated I/Os. Part 2 (E17-WALL,")
+	fmt.Println("    warn-only) races live goroutines for wall-clock throughput and p99.")
+	n := sizes([]int{1 << 12}, []int{1 << 13})[0]
+	span := int64(n) * 16
+	bursts := sizes([]int{120}, []int{240})[0]
+	const writesPerBurst, readsPerBurst, refreshEvery = 32, 8, 4
+
+	all := geom.GenUniform(n+8*bursts*writesPerBurst, span, 171)
+	base := append([]geom.Point(nil), all[:n]...)
+	pool := append([]geom.Point(nil), all[n:]...)
+	geom.SortByX(base)
+	geom.SortByX(pool)
+	stream := e17Bursts(bursts, writesPerBurst, pool, 173)
+	qpool := e17Rects(rand.New(rand.NewSource(175)), n, span)
+
+	fmt.Printf("    part 1: %d bursts x (%d writes + %d reads), n=%d, 8 shards, refresh every %d bursts\n",
+		bursts, writesPerBurst, readsPerBurst, n, refreshEvery)
+	readIOs := map[string]float64{}
+	for _, mode := range []string{"drain", "snapshot"} {
+		db := e17Open(base)
+		ref, err := core.Open(core.Options{Machine: cfg, Dynamic: true, Shards: 8, Workers: 4}, base)
+		if err != nil {
+			panic(err)
+		}
+		var snap *core.Snapshot
+		rng := rand.New(rand.NewSource(177))
+		ios, reads, pins := uint64(0), 0, 0
+		for b, ops := range stream {
+			for _, op := range ops {
+				dbs := []*core.DB{db, ref}
+				for _, d := range dbs {
+					if op.del {
+						if _, err := d.Delete(op.p); err != nil {
+							panic(err)
+						}
+					} else if err := d.Insert(op.p); err != nil {
+						panic(err)
+					}
+				}
+			}
+			io0 := db.Stats().IOs()
+			refreshed := false
+			if mode == "snapshot" && b%refreshEvery == 0 {
+				if snap != nil {
+					snap.Close()
+				}
+				var err error
+				if snap, err = db.Snapshot(); err != nil {
+					panic(err)
+				}
+				pins++
+				refreshed = true
+			}
+			burstQs := make([]geom.Rect, readsPerBurst)
+			for r := range burstQs {
+				burstQs[r] = qpool[rng.Intn(len(qpool))]
+			}
+			for _, q := range burstQs {
+				if mode == "snapshot" {
+					_ = snap.RangeSkyline(q)
+				} else {
+					e14Check("E17 drain", q, db.RangeSkyline(q), ref.RangeSkyline(q))
+				}
+			}
+			ios += db.Stats().IOs() - io0
+			reads += readsPerBurst
+			// At a fresh pin no write separates the view from the live
+			// index, so the answers must be byte-identical (the drained
+			// live read costs nothing extra: the pin just flushed).
+			if refreshed {
+				for _, q := range burstQs[:2] {
+					e14Check("E17 pin boundary", q, snap.RangeSkyline(q), db.RangeSkyline(q))
+				}
+			}
+		}
+		if snap != nil {
+			snap.Close()
+		}
+		if err := db.Flush(); err != nil {
+			panic(err)
+		}
+		if db.Len() != ref.Len() {
+			panic(fmt.Sprintf("E17 %s: Len %d, want %d", mode, db.Len(), ref.Len()))
+		}
+		if got := db.DeferredBlocks(); got != 0 {
+			panic(fmt.Sprintf("E17 %s: %d deferred blocks leaked", mode, got))
+		}
+		ctr := db.QueueCounters()
+		perRead := float64(ios) / float64(reads)
+		readIOs[mode] = perRead
+		fmt.Printf("    mode %-8s  read I/Os/query %8.2f  readdrains %7d  pins %3d\n",
+			mode, perRead, ctr.ReadDrains, pins)
+		// readdrains prints with a decimal point so benchguard gates
+		// it as a metric (like E15's forced), not a label.
+		fmt.Printf("E17-METRIC mode=%s n=%d readios=%.2f readdrains=%.1f\n",
+			mode, n, perRead, float64(ctr.ReadDrains))
+		if mode == "drain" && ctr.ReadDrains == 0 {
+			panic("E17 drain: hot stream forced no read drains")
+		}
+		if err := db.Close(); err != nil {
+			panic(err)
+		}
+	}
+	snapcost := readIOs["snapshot"] / readIOs["drain"]
+	// Smaller is better, and benchguard's bigger-is-worse gate holds
+	// the ratio down; the paper-level claim is >=2x reader throughput,
+	// i.e. snapcost <= 0.5.
+	fmt.Printf("E17-METRIC n=%d snapcost=%.4f\n", n, snapcost)
+	if snapcost > 0.5 {
+		panic(fmt.Sprintf("E17: snapshot reads cost %.2fx of drain-on-read, want <= 0.5x", snapcost))
+	}
+
+	// Part 2: wall clock. Live goroutines — warn-only numbers, printed
+	// as E17-WALL so benchguard's strict gate ignores them.
+	readers := 3
+	queriesPerReader := sizes([]int{600}, []int{2000})[0]
+	fmt.Printf("    part 2: %d readers x %d queries racing a hot writer (wall clock, warn-only)\n",
+		readers, queriesPerReader)
+	for _, mode := range []string{"drain", "snapshot"} {
+		db := e17Open(base)
+		stop := make(chan struct{})
+		var writes int64
+		var wwg sync.WaitGroup
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			// Endless hot stream: Zipf-ranked toggles (insert the point
+			// if absent, delete it if live) keep the low-x shards dirty
+			// without exhausting the pool.
+			rng := rand.New(rand.NewSource(179))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(pool)-1))
+			inserted := make([]bool, len(pool))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := int(zipf.Uint64())
+				if inserted[idx] {
+					if _, err := db.Delete(pool[idx]); err != nil {
+						panic(err)
+					}
+				} else if err := db.Insert(pool[idx]); err != nil {
+					panic(err)
+				}
+				inserted[idx] = !inserted[idx]
+				writes++
+			}
+		}()
+		lats := make([][]time.Duration, readers)
+		start := time.Now()
+		var rwg sync.WaitGroup
+		for g := 0; g < readers; g++ {
+			g := g
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				rng := rand.New(rand.NewSource(181 + int64(g)))
+				var snap *core.Snapshot
+				if mode == "snapshot" {
+					var err error
+					if snap, err = db.Snapshot(); err != nil {
+						panic(err)
+					}
+					defer func() { snap.Close() }()
+				}
+				lat := make([]time.Duration, 0, queriesPerReader)
+				for q := 0; q < queriesPerReader; q++ {
+					if mode == "snapshot" && q > 0 && q%250 == 0 {
+						snap.Close()
+						var err error
+						if snap, err = db.Snapshot(); err != nil {
+							panic(err)
+						}
+					}
+					r := qpool[rng.Intn(len(qpool))]
+					t0 := time.Now()
+					if mode == "snapshot" {
+						_ = snap.RangeSkyline(r)
+					} else {
+						_ = db.RangeSkyline(r)
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				lats[g] = lat
+			}()
+		}
+		rwg.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		wwg.Wait()
+		if err := db.Close(); err != nil {
+			panic(err)
+		}
+		var flat []time.Duration
+		for _, l := range lats {
+			flat = append(flat, l...)
+		}
+		sortDurations(flat)
+		p99 := flat[len(flat)*99/100]
+		qps := float64(len(flat)) / elapsed.Seconds()
+		fmt.Printf("E17-WALL mode=%s readers=%d qps=%.0f p99us=%.0f writes=%d\n",
+			mode, readers, qps, float64(p99.Microseconds()), writes)
+	}
+}
+
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
 		}
 	}
 }

@@ -3,7 +3,10 @@
 // deleted, and top-open range skyline queries ("best items in this time
 // range scoring at least s") run continuously. Demonstrates the
 // O(log²_{B^ε}(n/B)) update / O(log²_{B^ε}(n/B) + k/B^{1−ε}) query
-// trade-off of the dynamic index.
+// trade-off of the dynamic index, and — the part a live feed cares
+// about — paginating the result via DB.Snapshot, so pages fetched
+// while the window keeps rolling stitch together with no tearing: no
+// event vanishes between pages, none appears twice.
 package main
 
 import (
@@ -82,4 +85,61 @@ func main() {
 	fmt.Printf("avg update cost: %.1f I/Os\n", float64(updateIOs)/float64(updates))
 	fmt.Printf("avg query  cost: %.1f I/Os over %d queries (oracle-checked)\n",
 		float64(queryIOs)/float64(queries), queries)
+
+	// Paginate the feed through a snapshot. A staircase paginates with
+	// a resume token — the last point p of a page: every remaining
+	// skyline point has x > p.X, and any of its dominators does too, so
+	// TopOpen(p.X+1, ∞, beta) is exactly the rest of the staircase
+	// (each fetch then keeps the first pageSize points, a LIMIT). On
+	// the live index the window rolling between fetches could delete a
+	// page boundary or push new maxima into an already-read range; on
+	// the pinned snapshot the pages must stitch into the exact skyline
+	// at pin time, however far the live index has moved on.
+	snap, err := db.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	frozen := append([]repro.Point(nil), live...)
+	const pageSize = 4
+	x1, beta := frozen[0].X, repro.Coord(0)
+	var feed []repro.Point
+	pages := 0
+	for fromX := x1; ; {
+		rest := snap.TopOpen(fromX, repro.PosInf, beta)
+		if len(rest) == 0 {
+			break
+		}
+		page := rest
+		if len(page) > pageSize {
+			page = page[:pageSize]
+		}
+		feed = append(feed, page...)
+		pages++
+		if len(rest) <= pageSize {
+			break
+		}
+		fromX = page[len(page)-1].X + 1
+		// The stream does not wait for the reader: roll the window
+		// between page fetches.
+		for i := 0; i < 40; i++ {
+			old := live[0]
+			live = live[1:]
+			if ok, err := db.Delete(old); err != nil || !ok {
+				panic(fmt.Sprintf("delete %v: %v %v", old, ok, err))
+			}
+			insert()
+		}
+	}
+	snap.Close()
+	want := geom.RangeSkyline(frozen, geom.TopOpen(x1, repro.PosInf, beta))
+	if len(feed) != len(want) {
+		panic(fmt.Sprintf("paginated feed tore: %d events, want %d", len(feed), len(want)))
+	}
+	for i := range feed {
+		if feed[i] != want[i] {
+			panic(fmt.Sprintf("paginated feed tore at %d: %v, want %v", i, feed[i], want[i]))
+		}
+	}
+	fmt.Printf("paginated feed: %d events in %d pages of <=%d while the window rolled on — no tearing\n",
+		len(feed), pages, pageSize)
 }

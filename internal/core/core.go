@@ -207,6 +207,10 @@ type DB struct {
 	// backends themselves serialize nothing — concurrent updates are
 	// only safe when sharded, exactly as for the underlying engine.
 	n atomic.Int64
+
+	// openSnaps counts unclosed snapshots (see DB.Snapshot); the leak
+	// checks pair it with the disks' deferred-free counts.
+	openSnaps atomic.Int64
 }
 
 // Open creates an index over pts (any order; sorted internally). For a
@@ -239,7 +243,10 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 		sorted = dur.base
 	}
 
-	db := &DB{opts: opts, disk: emio.NewDisk(opts.Machine), plan: new(engine.Planner)}
+	// The disk is guarded even unsharded: snapshot readers
+	// (DB.Snapshot) run lock-free against live writers, and both sides
+	// charge I/Os to this disk.
+	db := &DB{opts: opts, disk: emio.NewConcurrentDisk(opts.Machine), plan: new(engine.Planner)}
 	if dur != nil {
 		db.pager, db.wal, db.recov = dur.pager, dur.wal, dur.recov
 	}
@@ -376,7 +383,9 @@ func (db *DB) addMirror(sorted []geom.Point) error {
 		}
 		inner = meng
 	} else {
-		inner = buildTopOpen(emio.NewDisk(db.opts.Machine), db.opts.Epsilon, db.opts.Dynamic, mirrored)
+		// Guarded for the same reason as the primary disk: snapshot
+		// readers reach the mirror's storage without any lock.
+		inner = buildTopOpen(emio.NewConcurrentDisk(db.opts.Machine), db.opts.Epsilon, db.opts.Dynamic, mirrored)
 	}
 	m, err := engine.NewMirror(ref, inner)
 	if err != nil {
@@ -400,8 +409,10 @@ func (db *DB) Cache() *engine.CacheBackend { return db.cache }
 func (db *DB) Queue() *engine.AsyncQueue { return db.queue }
 
 // QueueCounters returns the async queue's operation totals (enqueued,
-// drained, coalesced, forced drains); the zero value when the index was
-// opened without AsyncWrites.
+// drained, coalesced, forced drains, and the buffered writes those
+// read-forced drains applied — ReadDrains, the contention snapshot
+// reads avoid); the zero value when the index was opened without
+// AsyncWrites.
 func (db *DB) QueueCounters() engine.QueueCounters {
 	if db.queue == nil {
 		return engine.QueueCounters{}

@@ -1,0 +1,144 @@
+package cpqa
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/emio"
+)
+
+// captured is a queue handle pinned mid-sequence together with the
+// answers it gave at capture time.
+type captured struct {
+	q     *Queue
+	op    int
+	min   Elem
+	minOK bool
+	items []int64
+}
+
+// runHandleProperty is the confluent-persistence property the snapshot
+// layer (core.DB.Snapshot) is built on: a queue handle captured at ANY
+// point of an operation sequence keeps answering FindMin and full
+// iteration (Contents) byte-identically, no matter what operations —
+// inserts, attriting deletes, catenations — derive later queues from
+// it on the same disk. Ops are decoded from data exactly like
+// FuzzQueueOps, so the two fuzz targets share a corpus shape.
+func runHandleProperty(t *testing.T, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	b := int(data[0]%8) + 1
+	data = data[1:]
+	d := emio.NewDisk(emio.Config{B: 16, M: 1 << 20})
+	q := New(d, b)
+
+	next16 := func() (int64, bool) {
+		if len(data) < 2 {
+			return 0, false
+		}
+		k := int64(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		return k, true
+	}
+	capture := func(op int) captured {
+		c := captured{q: q, op: op}
+		c.min, c.minOK = q.FindMin()
+		c.items = append([]int64(nil), keys(q.Contents())...)
+		return c
+	}
+	var pins []captured
+
+	ops := 0
+	for len(data) > 0 && ops < 400 {
+		op := data[0]
+		data = data[1:]
+		ops++
+		switch op % 4 {
+		case 0, 1:
+			k, ok := next16()
+			if !ok {
+				break
+			}
+			q = q.InsertAndAttrite(Elem{Key: k})
+		case 2:
+			_, nq, _ := q.DeleteMin()
+			q = nq
+		case 3:
+			n := 0
+			if len(data) > 0 {
+				n = int(data[0] % 20)
+				data = data[1:]
+			}
+			q2 := New(d, b)
+			for i := 0; i < n; i++ {
+				k, ok := next16()
+				if !ok {
+					break
+				}
+				q2 = q2.InsertAndAttrite(Elem{Key: k})
+			}
+			q = CatenateAndAttrite(q, q2)
+		}
+		if ops%4 == 0 && len(pins) < 40 {
+			pins = append(pins, capture(ops))
+		}
+	}
+	pins = append(pins, capture(ops))
+
+	// Every captured handle answers exactly as it did at capture time.
+	for _, c := range pins {
+		if msg := c.q.CheckInvariants(); msg != "" {
+			t.Fatalf("handle at op %d: invariant violated after sequence: %s", c.op, msg)
+		}
+		m, ok := c.q.FindMin()
+		if ok != c.minOK || (ok && m != c.min) {
+			t.Fatalf("handle at op %d: FindMin = %v,%t; was %v,%t at capture",
+				c.op, m, ok, c.min, c.minOK)
+		}
+		got := keys(c.q.Contents())
+		if len(got) != len(c.items) {
+			t.Fatalf("handle at op %d: %d items, was %d at capture", c.op, len(got), len(c.items))
+		}
+		for i := range got {
+			if got[i] != c.items[i] {
+				t.Fatalf("handle at op %d: item %d = %v, was %v at capture",
+					c.op, i, got[i], c.items[i])
+			}
+		}
+	}
+}
+
+func keys(es []Elem) []int64 {
+	out := make([]int64, len(es))
+	for i, e := range es {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// FuzzSnapshotHandles fuzzes the captured-handle property. Run with:
+//
+//	go test ./internal/cpqa -fuzz FuzzSnapshotHandles -fuzztime 30s
+func FuzzSnapshotHandles(f *testing.F) {
+	// The FuzzQueueOps seeds, so the corpora stay interchangeable.
+	f.Add([]byte{2, 0, 1, 2, 0, 3, 4, 8, 12, 1, 5})
+	f.Add([]byte{1, 0, 255, 255, 0, 0, 0, 8, 3, 9})
+	f.Add([]byte{4, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{8, 3, 5, 0, 9, 0, 7, 3, 4, 0, 1, 0, 2, 2, 2})
+	// Delete-heavy: derived queues retire the most shared structure.
+	f.Add([]byte{3, 0, 9, 0, 0, 7, 0, 0, 5, 0, 2, 2, 2, 2, 2})
+	f.Fuzz(runHandleProperty)
+}
+
+// TestSnapshotHandleProperty drives the same property on seeded random
+// sequences, so plain `go test` covers it without the fuzz engine.
+func TestSnapshotHandleProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 600))
+		data := make([]byte, 200+rng.Intn(400))
+		rng.Read(data)
+		runHandleProperty(t, data)
+	}
+}

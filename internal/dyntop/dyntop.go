@@ -259,9 +259,14 @@ func (t *Tree) Insert(p geom.Point) {
 	leaf := t.leafFor(p.X)
 	t.disk.ReadSpan(leaf.ptsBlock, leaf.ptsWords)
 	i := sort.Search(len(leaf.pts), func(j int) bool { return leaf.pts[j].X >= p.X })
-	leaf.pts = append(leaf.pts, geom.Point{})
-	copy(leaf.pts[i+1:], leaf.pts[i:])
-	leaf.pts[i] = p
+	// Copy-on-write: a pinned snapshot may share the old array, so the
+	// insert builds a fresh one instead of shifting in place. The copy
+	// is O(B) host words, dominated by the refreshLeaf rebuild below.
+	np := make([]geom.Point, len(leaf.pts)+1)
+	copy(np, leaf.pts[:i])
+	np[i] = p
+	copy(np[i+1:], leaf.pts[i:])
+	leaf.pts = np
 	t.n++
 	t.refreshLeaf(leaf)
 	t.rebalanceUp(leaf)
@@ -279,7 +284,11 @@ func (t *Tree) Delete(p geom.Point) bool {
 	if i >= len(leaf.pts) || leaf.pts[i] != p {
 		return false
 	}
-	leaf.pts = append(leaf.pts[:i], leaf.pts[i+1:]...)
+	// Copy-on-write, as in Insert: never shift a possibly-shared array.
+	np := make([]geom.Point, 0, len(leaf.pts)-1)
+	np = append(np, leaf.pts[:i]...)
+	np = append(np, leaf.pts[i+1:]...)
+	leaf.pts = np
 	t.n--
 	t.refreshLeaf(leaf)
 	t.rebalanceUp(leaf)
@@ -427,16 +436,29 @@ func removeChild(par, nd *node) {
 	panic("dyntop: removeChild target missing")
 }
 
+// view is the read-only query machinery, shared between the live tree
+// and its pinned snapshots: everything a top-open query needs is the
+// root, the CPQA buffer parameter and the disk the I/Os are charged to.
+type view struct {
+	disk *emio.Disk
+	b    int
+	root *node
+}
+
 // Query answers the top-open query [x1,x2] × [β, ∞): the maximal points
 // of the indexed set inside the rectangle, in increasing-x order.
 // O(log_{2B^ε}(n/B) + k/B^{1−ε}) I/Os.
 func (t *Tree) Query(x1, x2, beta geom.Coord) []geom.Point {
-	if t.root == nil || x1 > x2 {
+	return view{disk: t.disk, b: t.b, root: t.root}.query(x1, x2, beta)
+}
+
+func (v view) query(x1, x2, beta geom.Coord) []geom.Point {
+	if v.root == nil || x1 > x2 {
 		return nil
 	}
 	var qs []*cpqa.Queue
 	var unpins []func()
-	t.collect(t.root, x1, x2, &qs, &unpins)
+	v.collect(v.root, x1, x2, &qs, &unpins)
 	merged := cpqa.CatenateAll(qs)
 	for _, u := range unpins {
 		u()
@@ -457,12 +479,12 @@ func (t *Tree) Query(x1, x2, beta geom.Coord) []geom.Point {
 // collect gathers, in ascending x order, the queues covering [x1,x2]:
 // whole-node queues for maximal contained subtrees and fresh partial
 // queues for the boundary leaves.
-func (t *Tree) collect(nd *node, x1, x2 geom.Coord, qs *[]*cpqa.Queue, unpins *[]func()) {
+func (v view) collect(nd *node, x1, x2 geom.Coord, qs *[]*cpqa.Queue, unpins *[]func()) {
 	if nd.maxX < x1 || nd.minX > x2 || (nd.leaf() && len(nd.pts) == 0) {
 		return
 	}
 	if nd.leaf() {
-		t.disk.ReadSpan(nd.ptsBlock, nd.ptsWords)
+		v.disk.ReadSpan(nd.ptsBlock, nd.ptsWords)
 		if nd.minX >= x1 && nd.maxX <= x2 {
 			nd.q.AdmitCritical()
 			*unpins = append(*unpins, nd.q.PinCritical())
@@ -474,12 +496,12 @@ func (t *Tree) collect(nd *node, x1, x2 geom.Coord, qs *[]*cpqa.Queue, unpins *[
 		if lo >= hi {
 			return
 		}
-		*qs = append(*qs, cpqa.FromAscending(t.disk, t.b, staircase(nd.pts[lo:hi])))
+		*qs = append(*qs, cpqa.FromAscending(v.disk, v.b, staircase(nd.pts[lo:hi])))
 		return
 	}
 	// Internal: one representative-block read makes every child's
 	// critical records resident.
-	t.disk.ReadSpan(nd.repBlock, nd.repWords)
+	v.disk.ReadSpan(nd.repBlock, nd.repWords)
 	for _, c := range nd.children {
 		if c.maxX < x1 || c.minX > x2 {
 			continue
@@ -490,9 +512,74 @@ func (t *Tree) collect(nd *node, x1, x2 geom.Coord, qs *[]*cpqa.Queue, unpins *[
 			*qs = append(*qs, c.q)
 			continue
 		}
-		t.collect(c, x1, x2, qs, unpins)
+		v.collect(c, x1, x2, qs, unpins)
 	}
 }
+
+// Handle is an immutable point-in-time view of a Tree, pinned by
+// Snapshot. It answers Query from the captured roots while the live
+// tree keeps mutating; the CPQA queues it reaches are confluently
+// persistent (no operation ever mutates a record), so the only state
+// the handle must protect is the base tree's node graph — captured by
+// copy — and the leaf/representative spans the live tree recycles,
+// which the caller protects with an emio retention
+// (Disk.RetainFrees) opened before Snapshot and released when the
+// handle is dropped. Handles perform no I/O at pin time.
+type Handle struct {
+	view
+	n int
+}
+
+// Snapshot captures the current tree as an immutable Handle: the node
+// graph is copied (host pointers only — the queues, point arrays and
+// block ids are shared with the live tree, which copy-on-writes its
+// leaf arrays and never mutates a published queue), so the capture
+// charges zero simulated I/Os and costs O(n/B) host words. Callers
+// composing with concurrent updaters must hold the structure's
+// external lock across the call and open a retention on the disk
+// first; see internal/shard.Engine.Snapshot for the composed recipe.
+func (t *Tree) Snapshot() *Handle {
+	return &Handle{view: view{disk: t.disk, b: t.b, root: cloneNodes(t.root, nil)}, n: t.n}
+}
+
+// cloneNodes deep-copies the node graph. Shared payloads (pts arrays,
+// queues, span ids) are NOT copied: they are immutable from the
+// snapshot's perspective.
+func cloneNodes(nd, parent *node) *node {
+	if nd == nil {
+		return nil
+	}
+	c := &node{
+		parent:   parent,
+		pts:      nd.pts,
+		ptsBlock: nd.ptsBlock,
+		ptsWords: nd.ptsWords,
+		q:        nd.q,
+		repBlock: nd.repBlock,
+		repWords: nd.repWords,
+		minX:     nd.minX,
+		maxX:     nd.maxX,
+	}
+	if nd.children != nil {
+		c.children = make([]*node, len(nd.children))
+		for i, ch := range nd.children {
+			c.children[i] = cloneNodes(ch, c)
+		}
+	}
+	return c
+}
+
+// Query answers the top-open query [x1,x2] × [β, ∞) against the pinned
+// state, byte-identically to what the live tree would have answered at
+// the pin point. Concurrent Query calls on one handle are safe when
+// the disk is guarded (emio.NewConcurrentDisk): the handle's state is
+// immutable and CPQA operations only derive new queues.
+func (h *Handle) Query(x1, x2, beta geom.Coord) []geom.Point {
+	return h.view.query(x1, x2, beta)
+}
+
+// Len returns the number of points in the pinned state.
+func (h *Handle) Len() int { return h.n }
 
 // Height returns the number of levels of the base tree.
 func (t *Tree) Height() int {

@@ -126,6 +126,15 @@ type Disk struct {
 	// (internal/pager). Evicting a dirty frame charges one write I/O
 	// through the table's eviction callback.
 	frames *FrameTable
+
+	// Snapshot retention state (see retain.go): while retained is
+	// non-empty, frees are deferred — the block stays live so pinned
+	// point-in-time views can keep reading it — and applied once every
+	// retention that could reference it is released.
+	retainSeq   uint64
+	retained    map[uint64]struct{}
+	deferred    []deferredFree
+	deferredSet map[BlockID]bool
 }
 
 // NewDisk returns a Disk for the given machine configuration.
@@ -137,8 +146,10 @@ func NewDisk(cfg Config) *Disk {
 		panic("emio: config.M must be >= 0")
 	}
 	d := &Disk{
-		cfg:  cfg,
-		live: make(map[BlockID]int),
+		cfg:         cfg,
+		live:        make(map[BlockID]int),
+		retained:    make(map[uint64]struct{}),
+		deferredSet: make(map[BlockID]bool),
 	}
 	d.frames = NewFrameTable(cfg.Frames(), func(f *Frame) {
 		if f.Dirty {
@@ -261,14 +272,30 @@ func (d *Disk) allocWords(words int) BlockID {
 // in memory, so freeing it is a model violation — silently discarding
 // the frame would strand the outstanding pins, make the later Unpin
 // panic as "unpinned", and drift the pin accounting the paper's
-// M = Ω(ℓb) assumption rests on.
+// M = Ω(ℓb) assumption rests on. While a retention is open (see
+// retain.go) the free is deferred: the block stays readable for the
+// snapshots that may still walk it and is released when the last
+// retention that could reference it drops.
 func (d *Disk) Free(id BlockID) {
 	d.lock()
 	defer d.unlock()
 	d.free(id)
 }
 
+// free defers the release behind any open retention, and reclaims
+// immediately otherwise. Caller holds the lock.
 func (d *Disk) free(id BlockID) {
+	if len(d.retained) > 0 {
+		d.deferFree(id)
+		return
+	}
+	d.reclaim(id)
+}
+
+// reclaim actually releases a block, bypassing retention deferral (the
+// path Retention.Release drains the deferred queue through). Caller
+// holds the lock.
+func (d *Disk) reclaim(id BlockID) {
 	words, ok := d.live[id]
 	if !ok {
 		panic(fmt.Sprintf("emio: Free of unknown block %d", id))

@@ -1,9 +1,10 @@
-package engine
+package engine_test
 
 import (
 	"testing"
 
 	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/shard"
 )
@@ -12,7 +13,7 @@ var cacheCfg = emio.Config{B: 32, M: 32 * 32}
 
 // buildShardedCache builds a dynamic sharded engine over n uniform
 // points and wraps it in a cache of the given capacity.
-func buildShardedCache(t *testing.T, n, shards, entries int, seed int64) (*CacheBackend, *shard.Engine, []geom.Point) {
+func buildShardedCache(t *testing.T, n, shards, entries int, seed int64) (*engine.CacheBackend, *shard.Engine, []geom.Point) {
 	t.Helper()
 	pts := geom.GenUniform(n, int64(n)*16, seed)
 	geom.SortByX(pts)
@@ -20,7 +21,7 @@ func buildShardedCache(t *testing.T, n, shards, entries int, seed int64) (*Cache
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCache(eng, entries)
+	c, err := engine.NewCache(eng, entries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,15 +206,15 @@ func TestCacheYCutRefinement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMirror(geom.ReflectSwapXY, inner)
+	m, err := engine.NewMirror(geom.ReflectSwapXY, inner)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := new(Planner)
+	pl := new(engine.Planner)
 	pl.RegisterTopOpen(primary)
 	pl.RegisterGeneral(primary)
 	pl.RegisterMirror(m)
-	c, err := NewCache(pl, 16)
+	c, err := engine.NewCache(pl, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,9 +247,9 @@ func TestCacheYCutRefinement(t *testing.T) {
 		t.Fatalf("high write invalidated %d entries, want 1 (the band)", got.Invalidations)
 	}
 
-	// CacheCounters aggregation: register the cache for both planner
+	// engine.CacheCounters aggregation: register the cache for both planner
 	// roles; the StatsKey dedup counts it once.
-	outer := new(Planner)
+	outer := new(engine.Planner)
 	outer.RegisterTopOpen(c)
 	outer.RegisterGeneral(c)
 	want := c.Counters()
@@ -281,8 +282,8 @@ func TestCacheLRUBound(t *testing.T) {
 	if got.Hits != before.Hits+1 || got.Misses != before.Misses+1 {
 		t.Fatalf("LRU order wrong: counters %+v -> %+v", before, got)
 	}
-	if _, err := NewCache(c.Inner(), 0); err == nil {
-		t.Fatal("NewCache accepted capacity 0")
+	if _, err := engine.NewCache(c.Inner(), 0); err == nil {
+		t.Fatal("engine.NewCache accepted capacity 0")
 	}
 }
 
@@ -300,7 +301,7 @@ func TestCacheResetStatsKeepsEntries(t *testing.T) {
 		t.Fatal("warm-up recorded nothing")
 	}
 	c.ResetStats()
-	if got := c.Counters(); got != (CacheCounters{}) {
+	if got := c.Counters(); got != (engine.CacheCounters{}) {
 		t.Fatalf("counters after ResetStats = %+v, want zero", got)
 	}
 	if got := eng.Stats().IOs(); got != 0 {

@@ -9,6 +9,8 @@ import (
 	"repro/internal/geom"
 )
 
+var cacheCfg = emio.Config{B: 32, M: 32 * 32}
+
 // FuzzCanonicalQuery fuzzes the shape classifier and the cache-key
 // canonicalization over arbitrary rectangles. The invariants:
 //

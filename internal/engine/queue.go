@@ -87,6 +87,13 @@ type QueueCounters struct {
 	// drain-on-read consistency rule paying its cost. Size-, timer-
 	// and Flush-triggered drains are not forced.
 	ForcedDrains uint64
+	// ReadDrains counts buffered writes applied by read-forced drains:
+	// the slice of Drained charged to readers rather than to the size,
+	// timer or Flush triggers. It is the work a reader had to perform
+	// inline before its query could run — exactly the contention a
+	// snapshot read (which never drains) removes, and what skybench E17
+	// measures.
+	ReadDrains uint64
 }
 
 // pendingState is a point's buffered-write state inside one slab.
@@ -134,10 +141,11 @@ type AsyncQueue struct {
 	// buffers drained, initial size + applied is the exact live count.
 	applied atomic.Int64
 
-	enqueued  atomic.Uint64
-	drained   atomic.Uint64
-	coalesced atomic.Uint64
-	forced    atomic.Uint64
+	enqueued    atomic.Uint64
+	drained     atomic.Uint64
+	coalesced   atomic.Uint64
+	forced      atomic.Uint64
+	readDrained atomic.Uint64
 
 	closed atomic.Bool
 	// closeMu serializes Close callers, so a second Close cannot
@@ -228,6 +236,7 @@ func (q *AsyncQueue) Counters() QueueCounters {
 		Drained:      q.drained.Load(),
 		Coalesced:    q.coalesced.Load(),
 		ForcedDrains: q.forced.Load(),
+		ReadDrains:   q.readDrained.Load(),
 	}
 }
 
@@ -351,6 +360,7 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 	}
 	if forced {
 		q.forced.Add(1)
+		q.readDrained.Add(uint64(len(dels) + len(inss)))
 	}
 	// Deletes before inserts: a pendingDelIns point must leave the
 	// structures before its re-insert. Across distinct points the

@@ -1,17 +1,19 @@
-package engine
+package engine_test
 
 import (
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/emio"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/shard"
 )
 
 // buildShardedQueue builds a dynamic sharded engine over n uniform
-// points and wraps it in an AsyncQueue with the given options.
-func buildShardedQueue(t *testing.T, n, shards int, opts QueueOptions, seed int64) (*AsyncQueue, *shard.Engine, []geom.Point) {
+// points and wraps it in an engine.AsyncQueue with the given options.
+func buildShardedQueue(t *testing.T, n, shards int, opts engine.QueueOptions, seed int64) (*engine.AsyncQueue, *shard.Engine, []geom.Point) {
 	t.Helper()
 	pts := geom.GenUniform(n, int64(n)*16, seed)
 	geom.SortByX(pts)
@@ -19,7 +21,7 @@ func buildShardedQueue(t *testing.T, n, shards int, opts QueueOptions, seed int6
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := NewAsyncQueue(eng, opts)
+	q, err := engine.NewAsyncQueue(eng, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +30,7 @@ func buildShardedQueue(t *testing.T, n, shards int, opts QueueOptions, seed int6
 }
 
 // noTimer disables the background drainer so tests control every drain.
-var noTimer = QueueOptions{FlushPoints: 1 << 20, FlushInterval: -1}
+var noTimer = engine.QueueOptions{FlushPoints: 1 << 20, FlushInterval: -1}
 
 // wholePlane is the query that drains every slab.
 var wholePlane = geom.Rect{X1: geom.NegInf, X2: geom.PosInf, Y1: geom.NegInf, Y2: geom.PosInf}
@@ -38,7 +40,7 @@ func TestQueueSlabsMatchShards(t *testing.T) {
 	if q.NumSlabs() != eng.NumShards() {
 		t.Fatalf("NumSlabs = %d, want %d", q.NumSlabs(), eng.NumShards())
 	}
-	single, err := NewAsyncQueue(newFake("flat"), noTimer)
+	single, err := engine.NewAsyncQueue(newFake("flat"), noTimer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +202,7 @@ func TestQueueCoalescing(t *testing.T) {
 // fills a buffer to FlushPoints drains it inline, and earlier writes do
 // not.
 func TestQueueFlushPointsTrigger(t *testing.T) {
-	q, eng, pts := buildShardedQueue(t, 128, 1, QueueOptions{FlushPoints: 4, FlushInterval: -1}, 23)
+	q, eng, pts := buildShardedQueue(t, 128, 1, engine.QueueOptions{FlushPoints: 4, FlushInterval: -1}, 23)
 	span := geom.Coord(128 * 16)
 	for i := 0; i < 3; i++ {
 		if err := q.Insert(geom.Point{X: span + geom.Coord(i) + 1, Y: span + geom.Coord(i) + 1}); err != nil {
@@ -226,7 +228,7 @@ func TestQueueFlushPointsTrigger(t *testing.T) {
 // queue converges to fully-applied state without any read or explicit
 // Flush.
 func TestQueueBackgroundDrainer(t *testing.T) {
-	q, eng, pts := buildShardedQueue(t, 128, 2, QueueOptions{FlushPoints: 1 << 20, FlushInterval: time.Millisecond}, 29)
+	q, eng, pts := buildShardedQueue(t, 128, 2, engine.QueueOptions{FlushPoints: 1 << 20, FlushInterval: time.Millisecond}, 29)
 	span := geom.Coord(128 * 16)
 	if err := q.Insert(geom.Point{X: span + 1, Y: span + 1}); err != nil {
 		t.Fatal(err)
@@ -247,7 +249,7 @@ func TestQueueBackgroundDrainer(t *testing.T) {
 // drainer, rejects further writes, keeps serving reads, and is
 // idempotent.
 func TestQueueClose(t *testing.T) {
-	q, eng, pts := buildShardedQueue(t, 128, 2, QueueOptions{FlushPoints: 1 << 20, FlushInterval: time.Hour}, 31)
+	q, eng, pts := buildShardedQueue(t, 128, 2, engine.QueueOptions{FlushPoints: 1 << 20, FlushInterval: time.Hour}, 31)
 	span := geom.Coord(128 * 16)
 	fresh := geom.Point{X: span + 1, Y: span + 1}
 	if err := q.Insert(fresh); err != nil {
@@ -286,11 +288,11 @@ func TestQueueCacheComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache, err := NewCache(eng, 16)
+	cache, err := engine.NewCache(eng, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := NewAsyncQueue(cache, noTimer)
+	q, err := engine.NewAsyncQueue(cache, noTimer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,10 +345,10 @@ func TestQueueCacheComposition(t *testing.T) {
 
 // TestQueueOptionValidation pins constructor errors and defaults.
 func TestQueueOptionValidation(t *testing.T) {
-	if _, err := NewAsyncQueue(newFake("f"), QueueOptions{FlushPoints: -1}); err == nil {
+	if _, err := engine.NewAsyncQueue(newFake("f"), engine.QueueOptions{FlushPoints: -1}); err == nil {
 		t.Fatal("negative FlushPoints accepted")
 	}
-	q, err := NewAsyncQueue(newFake("f"), QueueOptions{FlushInterval: -1})
+	q, err := engine.NewAsyncQueue(newFake("f"), engine.QueueOptions{FlushInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +366,7 @@ func TestQueueOptionValidation(t *testing.T) {
 // returned.
 func TestQueueCloseRacingWriters(t *testing.T) {
 	for round := 0; round < 8; round++ {
-		q, eng, base := buildShardedQueue(t, 128, 4, QueueOptions{FlushPoints: 1 << 20, FlushInterval: -1}, 41)
+		q, eng, base := buildShardedQueue(t, 128, 4, engine.QueueOptions{FlushPoints: 1 << 20, FlushInterval: -1}, 41)
 		span := geom.Coord(128 * 16)
 		const nWriters, perWriter = 4, 64
 		accepted := make([]int, nWriters)
@@ -418,3 +420,50 @@ func TestQueueCloseRacingWriters(t *testing.T) {
 		}
 	}
 }
+
+// fakeBackend is a minimal unpartitioned Backend for queue plumbing
+// tests (constructor validation, slab counting); the external test
+// package cannot reuse the in-package fake.
+type fakeBackend struct{ pts map[geom.Point]bool }
+
+func newFake(_ string, pts ...geom.Point) *fakeBackend {
+	f := &fakeBackend{pts: make(map[geom.Point]bool)}
+	for _, p := range pts {
+		f.pts[p] = true
+	}
+	return f
+}
+
+func (f *fakeBackend) RangeSkyline(geom.Rect) []geom.Point { return nil }
+
+func (f *fakeBackend) Insert(p geom.Point) error {
+	f.pts[p] = true
+	return nil
+}
+
+func (f *fakeBackend) Delete(p geom.Point) (bool, error) {
+	ok := f.pts[p]
+	delete(f.pts, p)
+	return ok, nil
+}
+
+func (f *fakeBackend) BatchInsert(pts []geom.Point) error {
+	for _, p := range pts {
+		f.pts[p] = true
+	}
+	return nil
+}
+
+func (f *fakeBackend) BatchDelete(pts []geom.Point) (int, error) {
+	n := 0
+	for _, p := range pts {
+		if f.pts[p] {
+			delete(f.pts, p)
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (f *fakeBackend) Stats() emio.Stats { return emio.Stats{} }
+func (f *fakeBackend) ResetStats()       {}

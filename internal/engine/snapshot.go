@@ -1,0 +1,329 @@
+// Snapshot views: the read-only seam of the engine. A View is a pinned
+// point-in-time answerer for some family of rectangles; Snapshottable
+// is the optional interface of backends that can produce one. The
+// stack threads snapshots the same way it threads queries:
+//
+//	AsyncQueue.Snapshot  — flushes every buffer ONCE to establish the
+//	                       drain boundary, then pins the inner backend
+//	LogBackend.Snapshot  — passes through (reads are not logged)
+//	CacheBackend.Snapshot— passes through (the cache memoizes LIVE
+//	                       answers; a snapshot's answers are frozen by
+//	                       construction, so caching them buys nothing
+//	                       and sharing entries with the live index
+//	                       would serve post-pin answers)
+//	Planner.Snapshot     — pins every registered backend once and
+//	                       freezes the routing table into a PlanView
+//	MirrorBackend        — pins the inner (reflected) backend and keeps
+//	                       rewriting rectangles at query time
+//	adapters             — open an emio retention, then capture the
+//	                       structure's immutable root handle
+//
+// The retention-before-capture order is load-bearing: once RetainFrees
+// returns, no span the captured roots reference can be reclaimed until
+// the view is released, and captures are performed by the caller while
+// it still holds whatever lock serializes writers (core's engineMu,
+// a shard's mutex), so no free can slip between the two.
+//
+// Copy-on-pin vs epoch-retired roots: both were candidates for the
+// 4-sided secondaries. Copy-on-pin (what dyntop.Snapshot and
+// foursided.Snapshot do) clones the node graph in host RAM — zero
+// simulated I/Os, O(n/B) pointer copies — while epoch-retiring whole
+// roots would make every UPDATE copy its root-to-leaf path. Measured
+// on the E17 workload the clone costs microseconds per pin and nothing
+// per update, so copy-on-pin wins at every update:snapshot ratio
+// above ~1:1 and is what ships; the emio retention supplies the epoch
+// machinery for the spans either way.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/emio"
+	"repro/internal/geom"
+)
+
+// View is a pinned point-in-time RangeSkyline answerer. Answers are
+// byte-identical to what the live backend would have answered at the
+// pin point, regardless of writes applied since. Release unpins the
+// view — idempotent, and required: an unreleased view holds retired
+// storage spans (emio deferred frees) alive forever. Concurrent
+// RangeSkyline calls on one View are safe when the underlying disks
+// are guarded (emio.NewConcurrentDisk), because a view's state is
+// immutable.
+type View interface {
+	RangeSkyline(q geom.Rect) []geom.Point
+	Release()
+}
+
+// Snapshottable is the optional interface of backends that can pin a
+// point-in-time View of themselves. Every backend core.Open builds
+// implements it; purely test-local backends need not.
+type Snapshottable interface {
+	Snapshot() (View, error)
+}
+
+// errNotSnapshottable reports a backend that cannot pin a view.
+func errNotSnapshottable(b Backend) error {
+	return fmt.Errorf("engine: backend %T does not support snapshots", b)
+}
+
+// retainedView pairs a pinned answerer with the retention holding its
+// spans alive. query is the shape-checked delegate.
+type retainedView struct {
+	query func(q geom.Rect) []geom.Point
+	ret   *emio.Retention
+}
+
+func (v *retainedView) RangeSkyline(q geom.Rect) []geom.Point { return v.query(q) }
+func (v *retainedView) Release()                              { v.ret.Release() }
+
+// Snapshot pins the static Theorem 1 index: the handle is the index
+// itself (it never mutates), and the retention guards against a
+// concurrent Free/Close retiring its spans mid-query.
+func (b *TopOpenBackend) Snapshot() (View, error) {
+	ret := b.disk.RetainFrees()
+	h := b.ix.Snapshot()
+	return &retainedView{
+		query: func(q geom.Rect) []geom.Point {
+			if !q.IsTopOpen() {
+				panic("engine: topopen snapshot requires a top-open rectangle")
+			}
+			return h.Query(q.X1, q.X2, q.Y1)
+		},
+		ret: ret,
+	}, nil
+}
+
+// Snapshot pins the Theorem 4 tree: retention first, then the O(n/B)
+// host-pointer root clone (zero simulated I/Os). The caller must hold
+// whatever lock serializes writers on this tree across the call.
+func (b *DynTopBackend) Snapshot() (View, error) {
+	ret := b.disk.RetainFrees()
+	h := b.tree.Snapshot()
+	return &retainedView{
+		query: func(q geom.Rect) []geom.Point {
+			if !q.IsTopOpen() {
+				panic("engine: dyntop snapshot requires a top-open rectangle")
+			}
+			return h.Query(q.X1, q.X2, q.Y1)
+		},
+		ret: ret,
+	}, nil
+}
+
+// Snapshot pins the Theorem 6 structure, secondaries included (each
+// internal node's dyntop is pinned through its own Snapshot).
+func (b *FourSidedBackend) Snapshot() (View, error) {
+	ret := b.disk.RetainFrees()
+	h := b.ix.Snapshot()
+	return &retainedView{
+		query: func(q geom.Rect) []geom.Point { return h.Query(q) },
+		ret:   ret,
+	}, nil
+}
+
+// MirrorView serves queries whose reflection is top-open from a pinned
+// view of the reflected point set — the frozen counterpart of
+// MirrorBackend, same rewriting at query time.
+type MirrorView struct {
+	ref   geom.Reflection
+	inner View
+}
+
+// Serves reports whether q reflects onto the top-open family, exactly
+// like the live mirror's Serves.
+func (m *MirrorView) Serves(q geom.Rect) bool { return m.ref.Rect(q).IsTopOpen() }
+
+// RangeSkyline rewrites q into the mirrored frame, queries the pinned
+// inner view, and maps the answer back into increasing-x order.
+func (m *MirrorView) RangeSkyline(q geom.Rect) []geom.Point {
+	return m.ref.SkylineToOriginal(m.inner.RangeSkyline(m.ref.Rect(q)))
+}
+
+// Release unpins the inner view.
+func (m *MirrorView) Release() { m.inner.Release() }
+
+// Snapshot pins the mirror: the inner (reflected) backend is pinned
+// and the reflection keeps being applied per query.
+func (m *MirrorBackend) Snapshot() (View, error) {
+	s, ok := m.inner.(Snapshottable)
+	if !ok {
+		return nil, errNotSnapshottable(m.inner)
+	}
+	v, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &MirrorView{ref: m.ref, inner: v}, nil
+}
+
+// Snapshot passes through: the cache memoizes live answers; snapshot
+// answers are frozen by construction and must not share entries with
+// the live index (a hit filled after the pin would serve a post-pin
+// answer).
+func (c *CacheBackend) Snapshot() (View, error) {
+	s, ok := c.inner.(Snapshottable)
+	if !ok {
+		return nil, errNotSnapshottable(c.inner)
+	}
+	return s.Snapshot()
+}
+
+// Snapshot passes through: reads are never logged, so a pinned view
+// needs nothing from the WAL.
+func (lb *LogBackend) Snapshot() (View, error) {
+	s, ok := lb.inner.(Snapshottable)
+	if !ok {
+		return nil, errNotSnapshottable(lb.inner)
+	}
+	return s.Snapshot()
+}
+
+// Snapshot establishes the drain boundary: every buffer is flushed
+// ONCE — the only drain a snapshot ever costs — and the fully-applied
+// inner backend is pinned. Writers that enqueue after the flush land
+// beyond the boundary and are invisible to the view, exactly the
+// point-in-time contract. The flush's error is the queue's sticky
+// first drain error; a queue that has ever failed to apply a batch
+// cannot certify a consistent boundary, so the snapshot is refused.
+func (q *AsyncQueue) Snapshot() (View, error) {
+	if err := q.Flush(); err != nil {
+		return nil, err
+	}
+	s, ok := q.inner.(Snapshottable)
+	if !ok {
+		return nil, errNotSnapshottable(q.inner)
+	}
+	return s.Snapshot()
+}
+
+// PlanView is a frozen Planner: the same routing table (top-open
+// family → top-open view, reflected shapes → mirror views, rest →
+// general view) over pinned views instead of live backends.
+type PlanView struct {
+	topOpen View
+	general View
+	mirrors []*MirrorView
+	views   []View // distinct views, for Release
+}
+
+// Snapshot pins every registered backend once — a backend registered
+// for several roles (the sharded engine serves both families) is
+// pinned a single time, so the roles answer from the SAME point in
+// time — and freezes the routing table. On any failure the views
+// already pinned are released. The returned View is a *PlanView; the
+// interface return type is what lets the wrapping layers (queue, WAL,
+// cache) pass Snapshot calls through to the planner uniformly.
+func (pl *Planner) Snapshot() (View, error) {
+	views := make(map[Backend]View, len(pl.backends))
+	pv := &PlanView{}
+	for _, b := range pl.backends {
+		s, ok := b.(Snapshottable)
+		if !ok {
+			pv.Release()
+			return nil, errNotSnapshottable(b)
+		}
+		v, err := s.Snapshot()
+		if err != nil {
+			pv.Release()
+			return nil, err
+		}
+		views[b] = v
+		pv.views = append(pv.views, v)
+	}
+	if pl.topOpen != nil {
+		pv.topOpen = views[pl.topOpen]
+	}
+	if pl.general != nil {
+		pv.general = views[pl.general]
+	}
+	for _, m := range pl.mirrors {
+		pv.mirrors = append(pv.mirrors, views[m].(*MirrorView))
+	}
+	return pv, nil
+}
+
+// Route returns the view that answers q, mirroring Planner.Route:
+// top-open family to the top-open view, then the first mirror whose
+// reflection grounds q's top edge, then the general view.
+func (pv *PlanView) Route(q geom.Rect) View {
+	if Classify(q).TopOpenFamily() && pv.topOpen != nil {
+		return pv.topOpen
+	}
+	for _, m := range pv.mirrors {
+		if m.Serves(q) {
+			return m
+		}
+	}
+	return pv.general
+}
+
+// RangeSkyline answers q through the routed view.
+func (pv *PlanView) RangeSkyline(q geom.Rect) []geom.Point {
+	v := pv.Route(q)
+	if v == nil {
+		panic(fmt.Sprintf("engine: no view pinned for %v (%v)", q, Classify(q)))
+	}
+	return v.RangeSkyline(q)
+}
+
+// Release unpins every view. Idempotent (each underlying retention
+// release is).
+func (pv *PlanView) Release() {
+	for _, v := range pv.views {
+		v.Release()
+	}
+}
+
+// retirementCounter is what a storage unit (an emio.Disk, or the
+// sharded engine summing its shard disks) reports about snapshot
+// retirement: blocks freed by the live index but deferred for open
+// retentions, and the number of open retentions.
+type retirementCounter interface {
+	DeferredBlocks() int
+	Retained() int
+}
+
+// DeferredBlocks sums the deferred-free queues of every distinct
+// storage unit behind the planner — blocks the live index has retired
+// that are held alive for open snapshots. Zero once every snapshot is
+// released: the no-leak invariant of the generation accounting.
+func (pl *Planner) DeferredBlocks() int {
+	return pl.sumRetirement(func(rc retirementCounter) int { return rc.DeferredBlocks() })
+}
+
+// Retained sums the open retentions of every distinct storage unit
+// behind the planner (one per unit per unreleased snapshot).
+func (pl *Planner) Retained() int {
+	return pl.sumRetirement(func(rc retirementCounter) int { return rc.Retained() })
+}
+
+func (pl *Planner) sumRetirement(get func(retirementCounter) int) int {
+	total := 0
+	seen := make(map[any]bool, len(pl.backends))
+	for _, b := range pl.backends {
+		k := statsKey(b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if rc, ok := k.(retirementCounter); ok {
+			total += get(rc)
+		}
+	}
+	return total
+}
+
+// assert the stack's layers all thread snapshots.
+var (
+	_ Snapshottable = (*TopOpenBackend)(nil)
+	_ Snapshottable = (*DynTopBackend)(nil)
+	_ Snapshottable = (*FourSidedBackend)(nil)
+	_ Snapshottable = (*MirrorBackend)(nil)
+	_ Snapshottable = (*CacheBackend)(nil)
+	_ Snapshottable = (*LogBackend)(nil)
+	_ Snapshottable = (*AsyncQueue)(nil)
+	_ Snapshottable = (*Planner)(nil)
+	_ View          = (*PlanView)(nil)
+	_ View          = (*MirrorView)(nil)
+)

@@ -42,13 +42,15 @@ type node struct {
 	ptsWords int
 
 	// Internal nodes: the right-open secondary over the subtree,
-	// i.e. a dyntop tree on transposed points.
-	r *dyntop.Tree
+	// i.e. a dyntop tree on transposed points. Live nodes hold the
+	// mutable tree in r; snapshot clones hold a pinned handle in rh.
+	r  *dyntop.Tree
+	rh *dyntop.Handle
 
 	minX, maxX geom.Coord
 }
 
-func (nd *node) leaf() bool { return nd.r == nil && nd.children == nil }
+func (nd *node) leaf() bool { return nd.r == nil && nd.rh == nil && nd.children == nil }
 
 // Index is the 4-sided range skyline structure.
 type Index struct {
@@ -167,9 +169,16 @@ func (ix *Index) refreshInternal(nd *node) {
 func (ix *Index) Len() int { return ix.n }
 
 // bandSkyline answers the right-open query (-∞,∞) × [y1, y2] on R(u):
-// the skyline of P(u) within the y-band, in increasing-x order.
-func bandSkyline(r *dyntop.Tree, y1, y2 geom.Coord) []geom.Point {
-	tq := r.Query(y1, y2, geom.NegInf)
+// the skyline of P(u) within the y-band, in increasing-x order. The
+// node dispatches to its live tree or, on snapshot clones, the pinned
+// handle — both run the same Theorem 4 query.
+func (nd *node) bandSkyline(y1, y2 geom.Coord) []geom.Point {
+	var tq []geom.Point
+	if nd.rh != nil {
+		tq = nd.rh.Query(y1, y2, geom.NegInf)
+	} else {
+		tq = nd.r.Query(y1, y2, geom.NegInf)
+	}
 	out := make([]geom.Point, len(tq))
 	for i, p := range tq {
 		// Transposed results ascend in y of the original points;
@@ -179,17 +188,28 @@ func bandSkyline(r *dyntop.Tree, y1, y2 geom.Coord) []geom.Point {
 	return out
 }
 
+// view is the read-only query machinery, shared between the live Index
+// and its pinned snapshots.
+type view struct {
+	disk *emio.Disk
+	root *node
+}
+
 // leafSkyline computes the skyline of the leaf's points inside rect,
 // charging the leaf read.
-func (ix *Index) leafSkyline(nd *node, r geom.Rect) []geom.Point {
-	ix.disk.ReadSpan(nd.ptsBlock, nd.ptsWords)
+func (v view) leafSkyline(nd *node, r geom.Rect) []geom.Point {
+	v.disk.ReadSpan(nd.ptsBlock, nd.ptsWords)
 	return geom.RangeSkyline(nd.pts, r)
 }
 
 // Query answers the 4-sided range skyline query [x1,x2] × [y1,y2] in
 // O((n/B)^ε + k/B) I/Os, returning the maxima in increasing-x order.
 func (ix *Index) Query(q geom.Rect) []geom.Point {
-	if ix.root == nil || q.X1 > q.X2 || q.Y1 > q.Y2 {
+	return view{disk: ix.disk, root: ix.root}.query(q)
+}
+
+func (v view) query(q geom.Rect) []geom.Point {
+	if v.root == nil || q.X1 > q.X2 || q.Y1 > q.Y2 {
 		return nil
 	}
 	// Canonical decomposition of [x1,x2]: partial leaves on the two
@@ -224,7 +244,7 @@ func (ix *Index) Query(q geom.Rect) []geom.Point {
 			}
 		}
 	}
-	walk(ix.root)
+	walk(v.root)
 
 	// Sweep right to left maintaining β*, the highest y seen so far
 	// (any point below it is dominated by a point to its right
@@ -236,9 +256,9 @@ func (ix *Index) Query(q geom.Rect) []geom.Point {
 		band := geom.Rect{X1: q.X1, X2: q.X2, Y1: betaStar, Y2: q.Y2}
 		var res []geom.Point
 		if p.leafNode != nil {
-			res = ix.leafSkyline(p.leafNode, band)
+			res = v.leafSkyline(p.leafNode, band)
 		} else {
-			res = bandSkyline(p.inner.r, betaStar, q.Y2)
+			res = p.inner.bandSkyline(betaStar, q.Y2)
 		}
 		groups[i] = res
 		if len(res) > 0 {
@@ -286,9 +306,13 @@ func (ix *Index) Insert(p geom.Point) {
 	}
 	ix.disk.ReadSpan(nd.ptsBlock, nd.ptsWords)
 	i := sort.Search(len(nd.pts), func(j int) bool { return nd.pts[j].X >= p.X })
-	nd.pts = append(nd.pts, geom.Point{})
-	copy(nd.pts[i+1:], nd.pts[i:])
-	nd.pts[i] = p
+	// Copy-on-write: a pinned snapshot may share the old array, so the
+	// insert builds a fresh one instead of shifting in place.
+	np := make([]geom.Point, len(nd.pts)+1)
+	copy(np, nd.pts[:i])
+	np[i] = p
+	copy(np[i+1:], nd.pts[i:])
+	nd.pts = np
 	ix.refreshLeaf(nd)
 	ix.n++
 	ix.splitUp(nd)
@@ -333,7 +357,11 @@ func (ix *Index) Delete(p geom.Point) bool {
 		}
 		u = next
 	}
-	nd.pts = append(nd.pts[:i], nd.pts[i+1:]...)
+	// Copy-on-write, as in Insert: never shift a possibly-shared array.
+	np := make([]geom.Point, 0, len(nd.pts)-1)
+	np = append(np, nd.pts[:i]...)
+	np = append(np, nd.pts[i+1:]...)
+	nd.pts = np
 	ix.refreshLeaf(nd)
 	ix.n--
 	if len(nd.pts) == 0 {
@@ -461,3 +489,72 @@ func (ix *Index) Height() int {
 	}
 	return h
 }
+
+// Handle is an immutable point-in-time view of an Index, pinned by
+// Snapshot. As with dyntop, the payloads (leaf point arrays, CPQA
+// queues inside the secondaries, block ids) are shared with the live
+// index and immutable from the snapshot's perspective; the node graph
+// and the secondaries' node graphs are copied, because the live index
+// mutates both in place. The spans the live index recycles under the
+// snapshot (leaf spans, secondary-internal spans) must be held by an
+// emio retention (Disk.RetainFrees) opened before the Snapshot call.
+type Handle struct {
+	view
+	n int
+}
+
+// Snapshot captures the current index as an immutable Handle: zero
+// simulated I/Os, O(n/B) host words for the primary node graph plus
+// the secondaries' graphs. Rebuilds and splits in the live index
+// replace secondaries wholesale (old spans are retired, never reused),
+// so a pinned secondary handle stays valid for the snapshot's
+// lifetime.
+func (ix *Index) Snapshot() *Handle {
+	return &Handle{view: view{disk: ix.disk, root: cloneNodes(ix.root, nil)}, n: ix.n}
+}
+
+// cloneNodes deep-copies the node graph, pinning each internal node's
+// secondary via dyntop's own Snapshot.
+func cloneNodes(nd, parent *node) *node {
+	if nd == nil {
+		return nil
+	}
+	c := &node{
+		parent:   parent,
+		pts:      nd.pts,
+		ptsBlock: nd.ptsBlock,
+		ptsWords: nd.ptsWords,
+		minX:     nd.minX,
+		maxX:     nd.maxX,
+	}
+	if nd.r != nil {
+		c.rh = nd.r.Snapshot()
+	}
+	if nd.children != nil {
+		c.children = make([]*node, len(nd.children))
+		for i, ch := range nd.children {
+			c.children[i] = cloneNodes(ch, c)
+		}
+	}
+	return c
+}
+
+// Query answers the 4-sided query against the pinned state,
+// byte-identically to what the live index would have answered at the
+// pin point.
+func (h *Handle) Query(q geom.Rect) []geom.Point { return h.view.query(q) }
+
+// LeftOpen answers the left-open query (-∞,x] × [y1,y2] on the pinned
+// state.
+func (h *Handle) LeftOpen(x, y1, y2 geom.Coord) []geom.Point {
+	return h.Query(geom.LeftOpen(x, y1, y2))
+}
+
+// AntiDominance answers the anti-dominance query (-∞,x] × (-∞,y] on
+// the pinned state.
+func (h *Handle) AntiDominance(x, y geom.Coord) []geom.Point {
+	return h.Query(geom.AntiDominance(x, y))
+}
+
+// Len returns the number of points in the pinned state.
+func (h *Handle) Len() int { return h.n }

@@ -113,6 +113,14 @@ func (ix *Index) SpaceWords() int {
 	return ix.xmax.Blocks()*ix.disk.Config().B + ix.segs.SpaceWords()
 }
 
+// Snapshot returns a point-in-time handle on the index. A static Index
+// never mutates after Build — queries only read and the CPQA internals
+// are confluently persistent — so the handle IS the index: pinning is
+// free and the caller only has to keep the index's spans from being
+// Freed (an emio retention, or simply not calling Free) while the
+// handle is in use.
+func (ix *Index) Snapshot() *Index { return ix }
+
 // Free releases all blocks of the index.
 func (ix *Index) Free() {
 	ix.xmax.Free()

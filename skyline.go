@@ -61,8 +61,17 @@
 // index's — and a cache composes underneath the queue: one drain costs
 // one shard-aware invalidation sweep instead of one per point.
 // DB.QueueCounters reports enqueued/drained/coalesced/forced-drain
-// totals, and DB.Close quiesces the index (drains the queue, stops its
+// totals plus ReadDrains (buffered writes applied by read-forced
+// drains — the write work reads pay for on the drain-on-read path),
+// and DB.Close quiesces the index (drains the queue, stops its
 // background drainer, waits out in-flight shard workers).
+//
+// DB.Snapshot pins a consistent point-in-time view at a drain boundary
+// and serves every Figure-2 shape from it without shard write locks or
+// forced drains — writers keep streaming while snapshot reads stay
+// byte-identical to the live index's answers at the pin point.
+// Snapshots must be Closed: retired storage spans are held (deferred,
+// not reclaimed) while any snapshot that pinned them is open.
 //
 // Opening with Options{Dir: path} makes the index durable: two real
 // files under the directory — a 4 KB-paged snapshot of the live point
@@ -112,9 +121,11 @@ type (
 	// IOStats counts block transfers.
 	IOStats = emio.Stats
 	// QueueCounters are the async write queue's operation totals
-	// (enqueued, drained, coalesced, forced drains); see
+	// (enqueued, drained, coalesced, forced drains, read drains); see
 	// Options.AsyncWrites and DB.QueueCounters.
 	QueueCounters = engine.QueueCounters
+	// Snapshot is a pinned point-in-time view of a DB; see DB.Snapshot.
+	Snapshot = core.Snapshot
 	// PQAElem is an element of a priority queue with attrition.
 	PQAElem = pqa.Elem
 )
