@@ -1,0 +1,261 @@
+// Command errlint is the repository's dropped-error linter: it flags
+// call statements and all-blank assignments that discard a returned
+// error. Silent error drops are exactly how a storage fault turns into
+// silent data loss, so the rule here is the one the durable stack
+// documents — every error is handled, latched, or EXPLICITLY waived
+// with an //errlint:ok comment naming the reason.
+//
+// Usage:
+//
+//	go run ./cmd/errlint [packages...]   (default ./...)
+//
+// A finding is either
+//
+//	f()          // expression statement whose result includes an error
+//	_, _ = g()   // assignment discarding every result, one an error
+//
+// in a non-test file. Waivers: a line containing //errlint:ok (with a
+// reason) or //nolint:errcheck is skipped. A small allowlist covers
+// APIs whose error results are documented never to fail or to be
+// write-to-memory only (fmt print family, strings.Builder,
+// bytes.Buffer).
+//
+// The linter is self-contained: types come from export data produced
+// by `go list -export`, so it needs nothing outside the standard
+// library and the go toolchain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the slice of `go list -json` output errlint reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// allowlist are call prefixes whose dropped errors are fine by
+// convention: the fmt print family (stdout/stderr diagnostics),
+// strings.Builder and bytes.Buffer (documented to never return a
+// non-nil error).
+var allowlist = []string{
+	"fmt.Print",
+	"fmt.Fprint",
+	"fmt.Sprint", // Sprint has no error, but a future refactor keeps this harmless
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "errlint: %v\n", err)
+		os.Exit(2)
+	}
+	exports := make(map[string]string)
+	var targets []listedPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	findings := 0
+	for _, p := range targets {
+		n, err := lintPackage(p, exports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errlint: %s: %v\n", p.ImportPath, err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "errlint: %d dropped error(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// goList runs `go list -export -deps -json` over the patterns and
+// decodes the package stream. -export compiles export data for every
+// package, which is what the type-checker imports from.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lintPackage type-checks one package from source (imports resolved
+// from export data) and reports dropped errors in its non-test files.
+func lintPackage(p listedPackage, exports map[string]string) (int, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	srcs := make(map[string][]string) // filename -> lines, for waiver comments
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+		srcs[path] = strings.Split(string(data), "\n")
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+		return 0, fmt.Errorf("typecheck: %w", err)
+	}
+
+	findings := 0
+	report := func(n ast.Node, call *ast.CallExpr, what string) {
+		pos := fset.Position(n.Pos())
+		if waived(srcs[pos.Filename], pos.Line) || allowed(info, call) {
+			return
+		}
+		fmt.Printf("%s:%d: %s\n", pos.Filename, pos.Line, what)
+		findings++
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && returnsError(info, call) {
+					report(s, call, "result includes an error; handle it or waive with //errlint:ok <reason>")
+				}
+			case *ast.AssignStmt:
+				// Only all-blank assignments: `n, err := f()` with err
+				// used later is the type-checker's business, and a
+				// deliberately named-but-unused err already fails to
+				// compile.
+				if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+					return true
+				}
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && returnsError(info, call) {
+					report(s, call, "error discarded into _; handle it or waive with //errlint:ok <reason>")
+				}
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// returnsError reports whether the call's result type includes error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isError(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isError(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isError(t types.Type) bool { return types.Identical(t, errorType) }
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// allowed reports whether the callee is on the allowlist.
+func allowed(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	name := fn.FullName()
+	for _, prefix := range allowlist {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// waived reports whether the 1-based line carries a waiver comment.
+func waived(lines []string, line int) bool {
+	if line < 1 || line > len(lines) {
+		return false
+	}
+	text := lines[line-1]
+	return strings.Contains(text, "errlint:ok") || strings.Contains(text, "nolint:errcheck")
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/pager"
 	"repro/internal/shard"
 	"repro/internal/topopen"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -156,6 +157,26 @@ type Options struct {
 	// the simulated machine's frame/pin/eviction discipline
 	// (emio.FrameTable) over real 4 KB pages.
 	PageCacheFrames int
+	// FS is the filesystem the durable files live on; nil means the
+	// real one (vfs.OS). Fault-injection tests and the E18 resilience
+	// experiment pass a vfs.FaultFS to fail chosen operations
+	// deterministically. Ignored without Dir.
+	FS vfs.FS
+	// Retry bounds how the pager and WAL retry transient storage
+	// failures (vfs.Transient): the zero value means
+	// vfs.DefaultRetryPolicy (4 retries, exponential backoff
+	// 500µs→4ms); set Retry.Disabled to fail fast. Errors that outlive
+	// the budget surface as ErrRetryExhausted and latch degraded
+	// read-only mode. Ignored without Dir.
+	Retry vfs.RetryPolicy
+	// MaxBuffered caps each async-queue slab buffer when AsyncWrites
+	// is set: a write that would push a slab past the cap blocks (the
+	// writer drains the slab inline) or, with ShedWrites, is rejected
+	// with ErrBackpressure. Zero means unlimited.
+	MaxBuffered int
+	// ShedWrites selects shedding over blocking for MaxBuffered
+	// overflow. Ignored unless AsyncWrites and MaxBuffered are set.
+	ShedWrites bool
 }
 
 // DB is a planar range skyline index over a simulated EM machine. All
@@ -198,6 +219,12 @@ type DB struct {
 	closed  atomic.Bool
 	closeMu sync.Mutex
 
+	// degrade is the fatal-storage-error latch (see DB.Degraded): once
+	// set, writes return ErrDegraded, checkpoints are skipped so the
+	// WAL keeps its replayable records, and reads serve the applied
+	// state until a reopen recovers.
+	degrade degradeState
+
 	// Sharded engine serving every query shape; non-nil iff
 	// Options.Shards > 1, replacing the single-disk backends.
 	eng *shard.Engine
@@ -236,7 +263,7 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	var dur *durable
 	if opts.Dir != "" {
 		var err error
-		dur, err = openDurable(opts.Dir, opts.PageCacheFrames, opts.SyncWAL, sorted)
+		dur, err = openDurable(opts, sorted)
 		if err != nil {
 			return nil, err
 		}
@@ -333,6 +360,8 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 		queue, err := engine.NewAsyncQueue(db.front, engine.QueueOptions{
 			FlushPoints:   opts.FlushPoints,
 			FlushInterval: opts.FlushInterval,
+			MaxBuffered:   opts.MaxBuffered,
+			ShedWrites:    opts.ShedWrites,
 		})
 		if err != nil {
 			return nil, err
@@ -429,24 +458,37 @@ func (db *DB) QueueCounters() engine.QueueCounters {
 // background or drain-on-read pass latched).
 //
 // When the drain reports an error — this pass's or a latched earlier
-// one — the checkpoint is SKIPPED and the error returned: the live set
-// is missing the failed applies, and checkpointing it would truncate
-// the WAL records that still hold them, turning a recoverable failure
-// (reopen and replay) into a permanent loss. Flush on a closed index
-// returns an error instead of touching closed file descriptors.
+// one — or the index is degraded, the checkpoint is SKIPPED and the
+// error returned: the live set is missing the failed applies, and
+// checkpointing it would truncate the WAL records that still hold
+// them, turning a recoverable failure (reopen and replay) into a
+// permanent loss. Flush on a closed index returns ErrClosed instead of
+// touching closed file descriptors.
 func (db *DB) Flush() error {
 	db.closeMu.Lock()
 	defer db.closeMu.Unlock()
 	if db.closed.Load() {
-		return fmt.Errorf("core: index is closed")
+		return fmt.Errorf("core: flush: %w", engine.ErrClosed)
 	}
 	if db.queue != nil {
 		if err := db.queue.Flush(); err != nil {
+			db.noteWriteErr(err)
+			// A storage-fault drain error has latched by now; return the
+			// wrapped form so callers match ErrDegraded. Other errors
+			// pass through unchanged.
+			if d := db.Degraded(); d != nil {
+				return d
+			}
 			return err
 		}
 	}
+	if err := db.Degraded(); err != nil {
+		return err
+	}
 	if db.logb != nil {
-		return db.checkpoint()
+		err := db.checkpoint()
+		db.noteWriteErr(err)
+		return err
 	}
 	return nil
 }
@@ -470,6 +512,14 @@ func (db *DB) Close() error {
 		// second caller cannot return before the first finished
 		// draining and quiescing.
 		firstErr = db.queue.Close()
+		db.noteWriteErr(firstErr)
+		if firstErr != nil {
+			// As in Flush: surface the latched ErrDegraded-wrapped form
+			// of a storage-fault drain error.
+			if d := db.Degraded(); d != nil {
+				firstErr = d
+			}
+		}
 	}
 	if alreadyClosed {
 		return firstErr
@@ -487,10 +537,15 @@ func (db *DB) Close() error {
 		// nothing new can arrive (closed flag): checkpoint, then
 		// release the files. Only the FIRST Close runs this — a second
 		// would checkpoint through closed file descriptors. A drain
-		// error skips the checkpoint, like Flush: the WAL must keep the
-		// records whose apply failed so a reopen can replay them.
+		// error or a degraded latch skips the checkpoint, like Flush:
+		// the WAL must keep the records whose apply failed so a reopen
+		// can replay them.
+		if firstErr == nil {
+			firstErr = db.Degraded()
+		}
 		if firstErr == nil {
 			firstErr = db.checkpoint()
+			db.noteWriteErr(firstErr)
 		}
 		if err := db.wal.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -516,7 +571,7 @@ func (db *DB) Disk() *emio.Disk { return db.disk }
 // the count stays exact, at the cost of making Len a flushing read.
 func (db *DB) Len() int {
 	if db.queue != nil {
-		db.queue.Flush()
+		db.queue.Flush() //errlint:ok Len cannot surface drain errors; they latch sticky and degrade
 		return int(db.n.Load() + db.queue.AppliedDelta())
 	}
 	return int(db.n.Load())
@@ -573,15 +628,18 @@ func (db *DB) Contour(x geom.Coord) []geom.Point {
 	return db.RangeSkyline(geom.Contour(x))
 }
 
-// writable reports why the index rejects writes: opened static, or
-// closed. Reads are always allowed — a closed index is quiesced, not
-// destroyed.
+// writable reports why the index rejects writes: opened static,
+// closed, or degraded. Reads are always allowed — a closed index is
+// quiesced, a degraded one keeps serving the applied state.
 func (db *DB) writable() error {
 	if !db.opts.Dynamic {
 		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
 	}
 	if db.closed.Load() {
-		return fmt.Errorf("core: index is closed")
+		return fmt.Errorf("core: write: %w", engine.ErrClosed)
+	}
+	if err := db.Degraded(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -594,6 +652,7 @@ func (db *DB) Insert(p geom.Point) error {
 		return err
 	}
 	if err := db.front.Insert(p); err != nil {
+		db.noteWriteErr(err)
 		return err
 	}
 	if db.queue == nil {
@@ -614,6 +673,7 @@ func (db *DB) Delete(p geom.Point) (bool, error) {
 		return false, err
 	}
 	ok, err := db.front.Delete(p)
+	db.noteWriteErr(err)
 	if ok && db.queue == nil {
 		// Even when err reports backend disagreement, the primary
 		// backend did remove the point; keep n consistent with it.
@@ -630,6 +690,7 @@ func (db *DB) BatchInsert(pts []geom.Point) error {
 		return err
 	}
 	if err := db.front.BatchInsert(pts); err != nil {
+		db.noteWriteErr(err)
 		return err
 	}
 	if db.queue == nil {
@@ -647,6 +708,7 @@ func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
 		return 0, err
 	}
 	removed, err := db.front.BatchDelete(pts)
+	db.noteWriteErr(err)
 	if db.queue == nil {
 		db.n.Add(-int64(removed))
 	}

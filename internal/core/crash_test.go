@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
-	"repro/internal/pager"
+	"repro/internal/vfs"
 )
 
 // Crash-injection tests: a child process (this test binary re-executed
@@ -120,28 +120,32 @@ func TestCrashChild(t *testing.T) {
 		applyOps(t, db, 100, 160)
 	case "snapwritten", "snapinstalled":
 		// Die INSIDE a checkpoint's snapshot install — the window the
-		// shadow-file rename makes atomic. "snapwritten" kills after
-		// the shadow is durable but before the rename: the old
-		// snapshot must recover, with the full WAL tail replayed over
-		// it. "snapinstalled" kills after the rename but before the
-		// WAL truncate: the new snapshot must recover, its metadata
-		// sequence filtering out every (now-duplicate) WAL record.
-		db := mustOpenCrashDB(t, dir, false)
+		// shadow-file rename makes atomic. The vfs hook observes every
+		// filesystem op BEFORE it runs, so exiting at the install's
+		// rename kills after the shadow is durable but before the
+		// rename ("snapwritten": the old snapshot must recover, with
+		// the full WAL tail replayed over it), and exiting at the
+		// directory sync kills after the rename but before the WAL
+		// truncate ("snapinstalled": the new snapshot must recover,
+		// its metadata sequence filtering out every now-duplicate WAL
+		// record).
+		ffs := vfs.NewFaultFS(vfs.OS, 1)
+		db := mustOpenCrashDBFS(t, dir, false, ffs)
 		applyOps(t, db, 0, 100)
 		if err := db.Flush(); err != nil { // hook not armed yet
 			t.Fatalf("checkpoint: %v", err)
 		}
 		applyOps(t, db, 100, 160)
-		stage := "snapshot-written"
+		stage := vfs.OpRename
 		if mode == "snapinstalled" {
-			stage = "snapshot-installed"
+			stage = vfs.OpSyncDir
 		}
-		pager.TestCrashHook = func(s string) {
-			if s == stage {
+		ffs.Hook = func(op vfs.Op, path string) {
+			if op == stage {
 				os.Exit(137)
 			}
 		}
-		db.Flush()
+		db.Flush() //nolint:errcheck // the hook exits inside this call
 		t.Fatalf("survived the checkpoint; install hook never fired")
 	default:
 		t.Fatalf("unknown crash mode %q", mode)
@@ -151,7 +155,12 @@ func TestCrashChild(t *testing.T) {
 
 func mustOpenCrashDB(t *testing.T, dir string, async bool) *DB {
 	t.Helper()
-	o := Options{Machine: smallMachine, Dynamic: true, Dir: dir}
+	return mustOpenCrashDBFS(t, dir, async, nil)
+}
+
+func mustOpenCrashDBFS(t *testing.T, dir string, async bool, fsys vfs.FS) *DB {
+	t.Helper()
+	o := Options{Machine: smallMachine, Dynamic: true, Dir: dir, FS: fsys}
 	if async {
 		o.AsyncWrites = true
 		o.FlushPoints = 1 << 20

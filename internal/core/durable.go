@@ -21,6 +21,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/pager"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -80,40 +82,47 @@ type durable struct {
 	recov  RecoveryStats
 }
 
-// openDurable opens (or initializes) the two files under dir. seed is
-// the caller's x-sorted seed set; a fresh directory checkpoints it
-// immediately — the acknowledged-write guarantee starts at Open, not
-// at the first Flush — while an existing directory rejects a non-empty
-// seed rather than guess how to merge two point sets.
-func openDurable(dir string, cacheFrames int, syncWAL bool, seed []geom.Point) (*durable, error) {
+// openDurable opens (or initializes) the two files under opts.Dir on
+// opts.FS (nil means the real filesystem) with opts.Retry bounding
+// transient-failure retries. seed is the caller's x-sorted seed set; a
+// fresh directory checkpoints it immediately — the acknowledged-write
+// guarantee starts at Open, not at the first Flush — while an existing
+// directory rejects a non-empty seed rather than guess how to merge
+// two point sets.
+func openDurable(opts Options, seed []geom.Point) (*durable, error) {
+	dir := opts.Dir
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: create durable dir: %w", err)
 	}
 	pagesPath := filepath.Join(dir, pagesFile)
 	walPath := filepath.Join(dir, walFile)
-	_, statErr := os.Stat(pagesPath)
-	fresh := os.IsNotExist(statErr)
+	_, statErr := fsys.Stat(pagesPath)
+	fresh := errors.Is(statErr, os.ErrNotExist)
 	if fresh {
 		// A WAL without a page file is ambiguous — a half-deleted
 		// index, or foreign files. Refuse BEFORE creating anything, so
 		// the refused open leaves the directory exactly as it found it.
-		if st, err := os.Stat(walPath); err == nil && st.Size() > 0 {
+		if st, err := fsys.Stat(walPath); err == nil && st.Size() > 0 {
 			return nil, fmt.Errorf("core: %s has a WAL but no page file; refusing to guess", dir)
 		}
 	}
-	p, err := pager.Open(pagesPath, cacheFrames)
+	p, err := pager.OpenFS(pagesPath, opts.PageCacheFrames, fsys, opts.Retry)
 	if err != nil {
 		return nil, err
 	}
-	l, scan, err := wal.Open(walPath)
+	l, scan, err := wal.OpenFS(walPath, fsys, opts.Retry)
 	if err != nil {
-		p.Close()
+		p.Close() //errlint:ok open failed half-way; best-effort release
 		return nil, err
 	}
-	d := &durable{pager: p, wal: l, sink: &walSink{log: l, sync: syncWAL}}
+	d := &durable{pager: p, wal: l, sink: &walSink{log: l, sync: opts.SyncWAL}}
 	fail := func(err error) (*durable, error) {
-		l.Close()
-		p.Close()
+		l.Close() //errlint:ok open failed half-way; the original error wins
+		p.Close() //errlint:ok open failed half-way; the original error wins
 		return nil, err
 	}
 
@@ -223,7 +232,7 @@ func (db *DB) WAL() *wal.Log { return db.wal }
 // file descriptor; it is also the failure-path twin of Close.
 func (db *DB) cleanup() {
 	if db.queue != nil {
-		db.queue.Close()
+		db.queue.Close() //errlint:ok failure-path teardown; the construction error wins
 	}
 	for _, b := range db.plan.Backends() {
 		if m, ok := b.(*engine.MirrorBackend); ok {
@@ -234,9 +243,9 @@ func (db *DB) cleanup() {
 		}
 	}
 	if db.wal != nil {
-		db.wal.Close()
+		db.wal.Close() //errlint:ok failure-path teardown; the construction error wins
 	}
 	if db.pager != nil {
-		db.pager.Close()
+		db.pager.Close() //errlint:ok failure-path teardown; the construction error wins
 	}
 }

@@ -1,0 +1,141 @@
+// Typed sentinel errors and the degraded-mode machinery of core.DB.
+//
+// The sentinels re-export the engine's and vfs's so callers (and the
+// repro root package) classify failures with errors.Is against ONE
+// package instead of importing internals:
+//
+//	ErrClosed          write after Close — the index is gone on purpose
+//	ErrDegraded        write after a fatal storage error latched; reads,
+//	                   Len and Snapshot keep serving, reopen recovers
+//	ErrBackpressure    write shed by the async queue's MaxBuffered cap
+//	                   (shed policy only); retry after a Flush
+//	ErrRetryExhausted  a transient storage fault outlived the bounded
+//	                   retry budget; chains inside the latched error
+//
+// Degraded mode is the DB-level half of the queue's freeze-on-fatal
+// rule: the first fatal storage error — surfaced by a synchronous
+// write, a queue drain, or a checkpoint — latches, writes are rejected
+// with ErrDegraded from then on, and checkpoints are skipped so the
+// WAL keeps the records a reopen needs to replay. The latch is never
+// cleared in-process; reopening the directory is the recovery path.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/vfs"
+)
+
+// Sentinel errors, matched with errors.Is. See the package comment of
+// this file for the contract each one carries.
+var (
+	ErrClosed         = engine.ErrClosed
+	ErrDegraded       = engine.ErrDegraded
+	ErrBackpressure   = engine.ErrBackpressure
+	ErrRetryExhausted = vfs.ErrRetryExhausted
+)
+
+// degradeState is the DB's sticky fatal-error latch.
+type degradeState struct {
+	mu  sync.Mutex
+	err error
+}
+
+// latch records err as the degradation cause, wrapping it so the chain
+// always carries ErrDegraded. First error wins.
+func (d *degradeState) latch(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		if errors.Is(err, engine.ErrDegraded) {
+			d.err = err
+		} else {
+			d.err = fmt.Errorf("%w: %w", engine.ErrDegraded, err)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// get returns the latched error, or nil.
+func (d *degradeState) get() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// noteWriteErr inspects an error a write path surfaced and latches
+// degraded mode when it is a storage fault (vfs.OpError anywhere in
+// the chain — the WAL append, a page write-back, a checkpoint) or the
+// queue's own degradation. Contract violations (static index, general
+// position, closed) never latch: nothing about the storage is wrong.
+func (db *DB) noteWriteErr(err error) {
+	if err == nil {
+		return
+	}
+	if vfs.IsStorageErr(err) || errors.Is(err, engine.ErrDegraded) {
+		db.degrade.latch(err)
+	}
+}
+
+// Degraded returns the latched fatal storage error, or nil while the
+// index is healthy. A degraded index keeps serving reads, Len and
+// Snapshot from the applied state — byte-identical to what a
+// reopen-replay of the WAL reconstructs — and rejects writes with
+// ErrDegraded. Reopening Options.Dir recovers every acknowledged
+// write.
+func (db *DB) Degraded() error {
+	if err := db.degrade.get(); err != nil {
+		return err
+	}
+	// The queue latches drain errors on paths that never return them
+	// to a DB method (background ticks, drain-on-read); adopt its
+	// sticky error so Degraded is authoritative either way.
+	if db.queue != nil {
+		if err := db.queue.Err(); err != nil {
+			db.degrade.latch(err)
+			return db.degrade.get()
+		}
+	}
+	return nil
+}
+
+// ResilienceStats aggregates what the storage stack absorbed or shed;
+// see DB.Resilience.
+type ResilienceStats struct {
+	// Retried counts transient storage-operation failures the pager
+	// and WAL retried (each backoff counts one).
+	Retried uint64
+	// Exhausted counts operations whose transient failures outlived
+	// the whole retry budget and surfaced ErrRetryExhausted.
+	Exhausted uint64
+	// Shed and Blocked are the async queue's backpressure totals
+	// (writes rejected with ErrBackpressure; writes that drained their
+	// slab inline before admission).
+	Shed, Blocked uint64
+	// Degraded reports the fatal-error latch (see DB.Degraded).
+	Degraded bool
+}
+
+// Resilience reports the fault-handling counters of the whole stack:
+// pager and WAL retry totals, queue backpressure totals, and the
+// degraded latch. Safe to call concurrently; zero without the
+// corresponding options.
+func (db *DB) Resilience() ResilienceStats {
+	var rs ResilienceStats
+	if db.pager != nil {
+		rs.Retried += db.pager.Retries().Retried()
+		rs.Exhausted += db.pager.Retries().Exhausted()
+	}
+	if db.wal != nil {
+		rs.Retried += db.wal.Retries().Retried()
+		rs.Exhausted += db.wal.Retries().Exhausted()
+	}
+	if db.queue != nil {
+		c := db.queue.Counters()
+		rs.Shed, rs.Blocked = c.Shed, c.Blocked
+	}
+	rs.Degraded = db.Degraded() != nil
+	return rs
+}

@@ -1,0 +1,26 @@
+// Typed sentinel errors of the engine's write path. Callers match them
+// with errors.Is; every path that returns one wraps it with context
+// (which slab, what latched), so the sentinel match and the diagnostic
+// text are both available. core and the repro root re-export all three
+// so applications never import internal packages to classify failures.
+package engine
+
+import "errors"
+
+var (
+	// ErrClosed rejects writes arriving after Close. The index is gone
+	// on purpose; nothing about the data is wrong.
+	ErrClosed = errors.New("engine: index is closed")
+
+	// ErrDegraded rejects writes after a fatal storage error latched:
+	// the queue froze with the error sticky, reads and snapshots keep
+	// serving the applied (WAL-replayable) state, and a reopen-replay
+	// recovers every acknowledged write. The chain carries the latched
+	// error too, so errors.Is sees both.
+	ErrDegraded = errors.New("engine: degraded read-only mode (storage error latched)")
+
+	// ErrBackpressure sheds a write whose slab buffer is at
+	// MaxBuffered under the shed policy. The write was NOT accepted;
+	// the caller may retry after a Flush or with backoff.
+	ErrBackpressure = errors.New("engine: write shed by queue backpressure")
+)

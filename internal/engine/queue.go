@@ -67,6 +67,19 @@ type QueueOptions struct {
 	// entirely (reads, FlushPoints and explicit Flush still drain —
 	// the deterministic configuration the E15 gate runs).
 	FlushInterval time.Duration
+	// MaxBuffered is the admission-control cap: the maximum number of
+	// distinct points one slab buffer may hold. A write that would
+	// push a slab past the cap either blocks (default: the writer
+	// drains the slab inline and retries — backpressure as latency) or
+	// is shed with ErrBackpressure (ShedWrites true — backpressure as
+	// load shedding). Zero means unlimited; negative is an error.
+	// MaxBuffered below FlushPoints is legal but pointless: the
+	// FlushPoints trigger drains first.
+	MaxBuffered int
+	// ShedWrites selects the shed policy for MaxBuffered overflow:
+	// reject the write with ErrBackpressure instead of blocking the
+	// writer behind an inline drain.
+	ShedWrites bool
 }
 
 // QueueCounters are an AsyncQueue's operation totals. At quiescence
@@ -94,6 +107,14 @@ type QueueCounters struct {
 	// snapshot read (which never drains) removes, and what skybench E17
 	// measures.
 	ReadDrains uint64
+	// Shed counts writes rejected with ErrBackpressure by the
+	// MaxBuffered cap under the shed policy. A shed write was never
+	// accepted — it is absent from Enqueued.
+	Shed uint64
+	// Blocked counts writes that hit the MaxBuffered cap under the
+	// block policy and had to drain their slab inline before being
+	// accepted (each admission retry counts one).
+	Blocked uint64
 }
 
 // pendingState is a point's buffered-write state inside one slab.
@@ -146,6 +167,8 @@ type AsyncQueue struct {
 	coalesced   atomic.Uint64
 	forced      atomic.Uint64
 	readDrained atomic.Uint64
+	shed        atomic.Uint64
+	blocked     atomic.Uint64
 
 	closed atomic.Bool
 	// closeMu serializes Close callers, so a second Close cannot
@@ -172,6 +195,9 @@ type AsyncQueue struct {
 func NewAsyncQueue(inner Backend, opts QueueOptions) (*AsyncQueue, error) {
 	if opts.FlushPoints < 0 {
 		return nil, fmt.Errorf("engine: queue FlushPoints %d < 0", opts.FlushPoints)
+	}
+	if opts.MaxBuffered < 0 {
+		return nil, fmt.Errorf("engine: queue MaxBuffered %d < 0", opts.MaxBuffered)
 	}
 	if opts.FlushPoints == 0 {
 		opts.FlushPoints = 128
@@ -213,7 +239,7 @@ func (q *AsyncQueue) drainLoop() {
 		case <-t.C:
 			// Errors are not lost here: drainSlab latches the first one
 			// and the next explicit Flush or Close surfaces it.
-			q.Flush()
+			q.Flush() //errlint:ok error latches sticky; surfaced by Flush/Close/Err
 		}
 	}
 }
@@ -237,6 +263,8 @@ func (q *AsyncQueue) Counters() QueueCounters {
 		Coalesced:    q.coalesced.Load(),
 		ForcedDrains: q.forced.Load(),
 		ReadDrains:   q.readDrained.Load(),
+		Shed:         q.shed.Load(),
+		Blocked:      q.blocked.Load(),
 	}
 }
 
@@ -261,7 +289,7 @@ func (q *AsyncQueue) Buffered() int {
 func (q *AsyncQueue) AppliedDelta() int64 { return q.applied.Load() }
 
 // errQueueClosed is returned by writes arriving after Close.
-func errQueueClosed() error { return fmt.Errorf("engine: async queue is closed") }
+func errQueueClosed() error { return fmt.Errorf("engine: async queue rejects write: %w", ErrClosed) }
 
 // enqueue buffers one write (del=false for insert) and reports the
 // buffer's pending size so the caller can apply the FlushPoints
@@ -271,14 +299,45 @@ func errQueueClosed() error { return fmt.Errorf("engine: async queue is closed")
 // slab lock: Close sets the flag before its final flush, and that
 // flush must take this same lock to swap the buffer — so a write
 // racing Close is either rejected here or included in the final flush,
-// never accepted into a buffer nothing will ever drain.
+// never accepted into a buffer nothing will ever drain. A latched
+// drain error rejects the write with ErrDegraded under the same lock,
+// so no write is ever accepted into a frozen buffer. The MaxBuffered
+// admission check applies only to writes that would add a NEW point
+// (state transitions of already-buffered points change no depth):
+// under the shed policy the write is rejected with ErrBackpressure;
+// under the block policy the writer drains the slab inline and
+// retries — it pays the latency its own backlog created.
 func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error) {
 	slab = bucketFor(q.cuts, p.X)
 	s := q.slabs[slab]
 	s.mu.Lock()
-	if q.closed.Load() {
+	for {
+		if q.closed.Load() {
+			s.mu.Unlock()
+			return slab, 0, errQueueClosed()
+		}
+		if derr := q.Err(); derr != nil {
+			s.mu.Unlock()
+			return slab, 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
+		}
+		_, buffered := s.pending[p]
+		if q.opts.MaxBuffered <= 0 || buffered || len(s.pending) < q.opts.MaxBuffered {
+			break
+		}
 		s.mu.Unlock()
-		return slab, 0, errQueueClosed()
+		if q.opts.ShedWrites {
+			q.shed.Add(1)
+			return slab, 0, fmt.Errorf("engine: slab %d at MaxBuffered %d: %w",
+				slab, q.opts.MaxBuffered, ErrBackpressure)
+		}
+		q.blocked.Add(1)
+		if derr := q.drainSlab(slab, false); derr != nil {
+			// The drain failed and latched; the write was never
+			// accepted. Without this return the loop would spin on a
+			// frozen, forever-full slab.
+			return slab, 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
+		}
+		s.mu.Lock()
 	}
 	st, buffered := s.pending[p]
 	if !del {
@@ -328,10 +387,20 @@ func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error)
 // drains, which must finish before this one can acquire the lock.
 // forced marks a drain triggered by a read (counted only when the
 // buffer was non-empty).
+//
+// Once a drain error latches, the queue is FROZEN: drainSlab returns
+// the sticky error without swapping any buffer, so no further batch is
+// ever pushed at a backend whose last batch failed. Whatever is
+// buffered stays buffered (stranded, unacknowledged — enqueue rejects
+// new writes with ErrDegraded), and reads serve the applied state,
+// which is exactly the state a reopen-replay of the WAL reconstructs.
 func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 	s := q.slabs[i]
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
+	if err := q.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	if len(s.pending) == 0 {
 		// Nothing pending; cancelled stragglers in order are dead.
@@ -376,15 +445,26 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 			q.applied.Add(-int64(n))
 			firstErr = err
 		}
-		q.drained.Add(uint64(len(dels)))
-	}
-	if len(inss) > 0 {
-		err := q.inner.BatchInsert(inss)
-		q.applied.Add(int64(len(inss)))
-		q.drained.Add(uint64(len(inss)))
 		if firstErr == nil {
-			firstErr = err
+			q.drained.Add(uint64(len(dels)))
 		}
+	}
+	// The insert half runs only if the delete half applied: a failed
+	// dels batch followed by an applied inss batch could re-insert a
+	// pendingDelIns point whose delete never happened — resurrecting a
+	// point the caller deleted. On a dels failure the whole batch is
+	// abandoned (the WAL-first rule makes the failed half all-or-
+	// nothing, so nothing partial was applied either). Applied/drained
+	// counters move only on success for the same reason: a failed batch
+	// applied NOTHING, and core.Len leans on AppliedDelta being exact in
+	// degraded mode.
+	if len(inss) > 0 && firstErr == nil {
+		err := q.inner.BatchInsert(inss)
+		if err == nil {
+			q.applied.Add(int64(len(inss)))
+			q.drained.Add(uint64(len(inss)))
+		}
+		firstErr = err
 	}
 	q.recordErr(firstErr)
 	return firstErr
@@ -436,7 +516,7 @@ func (q *AsyncQueue) drainFor(r geom.Rect) error {
 // and is a no-op on an already-empty queue.
 func (q *AsyncQueue) Flush() error {
 	for i := range q.slabs {
-		q.drainSlab(i, false) // errors latch; surfaced below
+		q.drainSlab(i, false) //errlint:ok errors latch; surfaced below
 	}
 	return q.Err()
 }
@@ -466,8 +546,9 @@ func (q *AsyncQueue) RangeSkyline(r geom.Rect) []geom.Point {
 	// A drain error cannot be surfaced from a query; the planner
 	// convention applies (corruption errors panic in tests via the
 	// differential harness, and the read still reflects every write
-	// the drain managed to apply).
-	q.drainFor(r)
+	// the drain managed to apply). On a frozen (degraded) queue the
+	// drain is a no-op and the read serves the applied state.
+	q.drainFor(r) //errlint:ok reads cannot surface drain errors; error latches sticky
 	return q.inner.RangeSkyline(r)
 }
 

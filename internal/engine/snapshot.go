@@ -183,13 +183,18 @@ func (lb *LogBackend) Snapshot() (View, error) {
 // ONCE — the only drain a snapshot ever costs — and the fully-applied
 // inner backend is pinned. Writers that enqueue after the flush land
 // beyond the boundary and are invisible to the view, exactly the
-// point-in-time contract. The flush's error is the queue's sticky
-// first drain error; a queue that has ever failed to apply a batch
-// cannot certify a consistent boundary, so the snapshot is refused.
+// point-in-time contract.
+//
+// A degraded (frozen) queue still snapshots: the flush returns the
+// sticky drain error without swapping anything, and the view pins the
+// applied state — every batch that failed was abandoned whole, so the
+// applied state is consistent and identical to what a reopen-replay of
+// the WAL reconstructs. Stranded buffered writes were never
+// acknowledged as drained and are invisible, exactly like writes
+// enqueued after the boundary. This is the "reads and Snapshot keep
+// serving" half of the degradation contract.
 func (q *AsyncQueue) Snapshot() (View, error) {
-	if err := q.Flush(); err != nil {
-		return nil, err
-	}
+	q.Flush() //errlint:ok degraded queues pin the applied state; error stays latched for writers
 	s, ok := q.inner.(Snapshottable)
 	if !ok {
 		return nil, errNotSnapshottable(q.inner)

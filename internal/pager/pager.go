@@ -25,10 +25,21 @@
 // longer WAL suffix onto it and converges to the same state) or the
 // complete new one. A shadow file orphaned by such a crash is deleted
 // at the next Open; the data file is always the authority.
+//
+// All filesystem access goes through a vfs.FS (vfs.OS by default), so
+// tests and resilience experiments can stand a vfs.FaultFS between the
+// pager and the disk. Transient failures (see vfs.Transient) are
+// absorbed below the API with bounded exponential backoff
+// (vfs.RetryPolicy); every write here is positional, so a retry at the
+// same offset is idempotent. Errors that escape the retry loop are
+// fatal and surface to the caller. Crash-injection tests that used to
+// hang on pager.TestCrashHook now die inside vfs.FaultFS.Hook at the
+// exact operation they target (the rename, the directory sync, …).
 package pager
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -36,6 +47,7 @@ import (
 
 	"repro/internal/emio"
 	"repro/internal/geom"
+	"repro/internal/vfs"
 )
 
 // PageSize is the fixed page size: 4 KB, matching the OS page size so
@@ -52,14 +64,6 @@ const DefaultCacheFrames = 64
 // shadowSuffix names the shadow file WriteSnapshot builds next to the
 // data file before renaming it into place.
 const shadowSuffix = ".tmp"
-
-// TestCrashHook, when non-nil, is called at named points inside
-// WriteSnapshot's install sequence: "snapshot-written" after the
-// shadow file is durable but before the rename, "snapshot-installed"
-// after the rename but before the directory sync. Crash-injection
-// tests use it to die inside the exact windows the atomicity argument
-// is about; it must be nil outside tests.
-var TestCrashHook func(stage string)
 
 // magic opens every data file.
 var magic = [8]byte{'S', 'K', 'Y', 'P', 'A', 'G', 'E', '1'}
@@ -93,8 +97,11 @@ type Stats struct {
 
 // Pager is a file-backed page store with an LRU page cache.
 type Pager struct {
-	f       *os.File
+	fs      vfs.FS
+	f       vfs.File
 	path    string
+	retry   vfs.RetryPolicy
+	retries vfs.RetryCounters
 	meta    Meta
 	cache   *emio.FrameTable
 	frames  int // cache capacity, for resets after a snapshot install
@@ -108,23 +115,41 @@ type Pager struct {
 	evictErr error
 }
 
-// Open opens (creating if necessary) the data file at path with a
-// cache of cacheFrames pages (0 means DefaultCacheFrames). A fresh
-// file is initialized with an empty, fsynced metadata page; an
-// existing file's metadata is validated (magic, version, CRC).
+// Open opens the data file at path on the real filesystem with the
+// default retry policy. See OpenFS.
 func Open(path string, cacheFrames int) (*Pager, error) {
+	return OpenFS(path, cacheFrames, vfs.OS, vfs.RetryPolicy{})
+}
+
+// OpenFS opens (creating if necessary) the data file at path on fsys
+// (nil means vfs.OS) with a cache of cacheFrames pages (0 means
+// DefaultCacheFrames), retrying transient I/O failures per retry (the
+// zero policy means vfs.DefaultRetryPolicy). A fresh file is
+// initialized with an empty, fsynced metadata page; an existing file's
+// metadata is validated (magic, version, CRC).
+func OpenFS(path string, cacheFrames int, fsys vfs.FS, retry vfs.RetryPolicy) (*Pager, error) {
 	if cacheFrames <= 0 {
 		cacheFrames = DefaultCacheFrames
 	}
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	p := &Pager{fs: fsys, path: path, retry: retry, frames: cacheFrames, pages: make(map[uint64][]byte)}
 	// A shadow file here is a snapshot install a crash interrupted
 	// before the rename; the data file is the authority, the shadow is
 	// garbage.
-	os.Remove(path + shadowSuffix)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
+	if err := fsys.Remove(path + shadowSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("pager: remove stale shadow of %s: %w", path, err)
+	}
+	var f vfs.File
+	if err := p.retry.Do(&p.retries, func() error {
+		var err error
+		f, err = fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
-	p := &Pager{f: f, path: path, frames: cacheFrames, pages: make(map[uint64][]byte)}
+	p.f = f
 	p.onEvict = func(fr *emio.Frame) {
 		if fr.Dirty {
 			if err := p.writePage(fr.ID, p.pages[fr.ID]); err != nil && p.evictErr == nil {
@@ -134,29 +159,33 @@ func Open(path string, cacheFrames int) (*Pager, error) {
 		delete(p.pages, fr.ID)
 	}
 	p.cache = emio.NewFrameTable(cacheFrames, p.onEvict)
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	var size int64
+	if err := p.retry.Do(&p.retries, func() error {
+		var err error
+		size, err = f.Size()
+		return err
+	}); err != nil {
+		f.Close() //errlint:ok open failed half-way; best-effort release
+		return nil, fmt.Errorf("pager: size %s: %w", path, err)
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		// Fresh file: write an empty metadata page so a reopen —
 		// even one racing a crash before the first checkpoint — finds
 		// a valid (empty) snapshot.
 		p.meta = Meta{Version: version}
 		if err := p.writeMeta(); err != nil {
-			f.Close()
+			f.Close() //errlint:ok open failed half-way; best-effort release
 			return nil, err
 		}
-		if err := f.Sync(); err != nil {
-			f.Close()
+		if err := p.retry.Do(&p.retries, f.Sync); err != nil {
+			f.Close() //errlint:ok open failed half-way; best-effort release
 			return nil, fmt.Errorf("pager: sync fresh %s: %w", path, err)
 		}
 		return p, nil
 	}
 	m, err := p.readMeta()
 	if err != nil {
-		f.Close()
+		f.Close() //errlint:ok open failed half-way; best-effort release
 		return nil, err
 	}
 	p.meta = m
@@ -169,19 +198,33 @@ func (p *Pager) Meta() Meta { return p.meta }
 // Stats returns the real-I/O counters.
 func (p *Pager) Stats() Stats { return p.stats }
 
-// writePage writes one page at its aligned offset.
+// Retries exposes the transient-failure counters of the pager's retry
+// loop; DB.Resilience aggregates them.
+func (p *Pager) Retries() *vfs.RetryCounters { return &p.retries }
+
+// writePage writes one page at its aligned offset, retrying transient
+// failures (positional writes are idempotent).
 func (p *Pager) writePage(id uint64, data []byte) error {
-	if _, err := p.f.WriteAt(data, int64(id)*PageSize); err != nil {
+	err := p.retry.Do(&p.retries, func() error {
+		_, err := p.f.WriteAt(data, int64(id)*PageSize)
+		return err
+	})
+	if err != nil {
 		return fmt.Errorf("pager: write page %d: %w", id, err)
 	}
 	p.stats.Writes++
 	return nil
 }
 
-// readPage reads one page at its aligned offset.
+// readPage reads one page at its aligned offset, retrying transient
+// failures.
 func (p *Pager) readPage(id uint64) ([]byte, error) {
 	buf := make([]byte, PageSize)
-	if _, err := p.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+	err := p.retry.Do(&p.retries, func() error {
+		_, err := p.f.ReadAt(buf, int64(id)*PageSize)
+		return err
+	})
+	if err != nil {
 		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
 	p.stats.Reads++
@@ -307,7 +350,7 @@ func (p *Pager) Flush() error {
 	if firstErr != nil {
 		return firstErr
 	}
-	if err := p.f.Sync(); err != nil {
+	if err := p.retry.Do(&p.retries, p.f.Sync); err != nil {
 		return fmt.Errorf("pager: sync %s: %w", p.path, err)
 	}
 	return nil
@@ -329,18 +372,18 @@ const metaLen = 8 + 4 + 8 + 8 + 8 + 4
 // writeMeta encodes p.meta into page 0 of the data file (direct, not
 // through the cache: metadata must never be evicted-then-reordered
 // around the data pages it describes). Only the fresh-file path in
-// Open uses it; snapshot installs write their metadata into the
+// OpenFS uses it; snapshot installs write their metadata into the
 // shadow file instead.
 func (p *Pager) writeMeta() error {
-	if err := writeMetaTo(p.f, p.meta); err != nil {
+	if err := p.writeMetaTo(p.f, p.meta); err != nil {
 		return err
 	}
 	p.stats.Writes++
 	return nil
 }
 
-// writeMetaTo encodes m into page 0 of f.
-func writeMetaTo(f *os.File, m Meta) error {
+// writeMetaTo encodes m into page 0 of f, retrying transient failures.
+func (p *Pager) writeMetaTo(f vfs.File, m Meta) error {
 	var b [PageSize]byte
 	copy(b[0:8], magic[:])
 	binary.LittleEndian.PutUint32(b[8:12], m.Version)
@@ -348,7 +391,11 @@ func writeMetaTo(f *os.File, m Meta) error {
 	binary.LittleEndian.PutUint64(b[20:28], m.WALSeq)
 	binary.LittleEndian.PutUint64(b[28:36], m.Points)
 	binary.LittleEndian.PutUint32(b[metaLen-4:metaLen], crc32.ChecksumIEEE(b[:metaLen-4]))
-	if _, err := f.WriteAt(b[:], 0); err != nil {
+	err := p.retry.Do(&p.retries, func() error {
+		_, err := f.WriteAt(b[:], 0)
+		return err
+	})
+	if err != nil {
 		return fmt.Errorf("pager: write meta: %w", err)
 	}
 	return nil
@@ -357,7 +404,11 @@ func writeMetaTo(f *os.File, m Meta) error {
 // readMeta decodes and validates page 0.
 func (p *Pager) readMeta() (Meta, error) {
 	var b [PageSize]byte
-	if _, err := p.f.ReadAt(b[:], 0); err != nil {
+	err := p.retry.Do(&p.retries, func() error {
+		_, err := p.f.ReadAt(b[:], 0)
+		return err
+	})
+	if err != nil {
 		return Meta{}, fmt.Errorf("pager: read meta of %s: %w", p.path, err)
 	}
 	p.stats.Reads++
@@ -392,13 +443,17 @@ func (p *Pager) readMeta() (Meta, error) {
 // written through the generic Write API included).
 func (p *Pager) WriteSnapshot(pts []geom.Point, walSeq uint64) error {
 	shadowPath := p.path + shadowSuffix
-	shadow, err := os.OpenFile(shadowPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	var shadow vfs.File
+	if err := p.retry.Do(&p.retries, func() error {
+		var err error
+		shadow, err = p.fs.OpenFile(shadowPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		return err
+	}); err != nil {
 		return fmt.Errorf("pager: create shadow %s: %w", shadowPath, err)
 	}
 	abort := func(err error) error {
-		shadow.Close()
-		os.Remove(shadowPath)
+		shadow.Close()          //errlint:ok best-effort cleanup of an aborted install
+		p.fs.Remove(shadowPath) //errlint:ok best-effort cleanup; next Open removes it too
 		return err
 	}
 	m := Meta{Version: version, WALSeq: walSeq, Points: uint64(len(pts))}
@@ -413,26 +468,25 @@ func (p *Pager) WriteSnapshot(pts []geom.Point, walSeq uint64) error {
 			buf[i] = 0
 		}
 		m.Pages++
-		if _, err := shadow.WriteAt(buf[:], int64(m.Pages)*PageSize); err != nil {
+		if err := p.retry.Do(&p.retries, func() error {
+			_, err := shadow.WriteAt(buf[:], int64(m.Pages)*PageSize)
+			return err
+		}); err != nil {
 			return abort(fmt.Errorf("pager: write shadow page %d: %w", m.Pages, err))
 		}
 		p.stats.Writes++
 	}
-	if err := writeMetaTo(shadow, m); err != nil {
+	if err := p.writeMetaTo(shadow, m); err != nil {
 		return abort(err)
 	}
 	p.stats.Writes++
-	if err := shadow.Sync(); err != nil {
+	if err := p.retry.Do(&p.retries, shadow.Sync); err != nil {
 		return abort(fmt.Errorf("pager: sync shadow %s: %w", shadowPath, err))
 	}
-	if TestCrashHook != nil {
-		TestCrashHook("snapshot-written")
-	}
-	if err := os.Rename(shadowPath, p.path); err != nil {
+	if err := p.retry.Do(&p.retries, func() error {
+		return p.fs.Rename(shadowPath, p.path)
+	}); err != nil {
 		return abort(fmt.Errorf("pager: install snapshot %s: %w", p.path, err))
-	}
-	if TestCrashHook != nil {
-		TestCrashHook("snapshot-installed")
 	}
 	// Past the rename the install has happened: the shadow fd now IS
 	// the data file (rename does not invalidate it). Retire the old fd,
@@ -440,26 +494,18 @@ func (p *Pager) WriteSnapshot(pts []geom.Point, walSeq uint64) error {
 	// reporting any remaining durability error.
 	old := p.f
 	p.f = shadow
-	old.Close()
+	old.Close() //errlint:ok fd superseded by the installed shadow
 	p.meta = m
 	p.cache = emio.NewFrameTable(p.frames, p.onEvict)
 	p.pages = make(map[uint64][]byte)
 	p.evictErr = nil
 	// The rename is durable only once the directory entry is.
-	return syncDir(filepath.Dir(p.path))
+	return p.syncDir(filepath.Dir(p.path))
 }
 
 // syncDir fsyncs a directory, making renames inside it durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("pager: open dir %s: %w", dir, err)
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil && cerr != nil {
-		err = cerr
-	}
-	if err != nil {
+func (p *Pager) syncDir(dir string) error {
+	if err := p.retry.Do(&p.retries, func() error { return p.fs.SyncDir(dir) }); err != nil {
 		return fmt.Errorf("pager: sync dir %s: %w", dir, err)
 	}
 	return nil

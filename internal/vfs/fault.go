@@ -1,0 +1,304 @@
+package vfs
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is one injection rule: which operation class it targets, when
+// it fires, and what happens then. The zero trigger fields mean "every
+// matching operation" — a permanent failure; Nth, Every and Prob make
+// it one-shot, periodic or probabilistic (first non-zero wins, in that
+// order). All matching is counted per rule, so two rules on the same
+// op fire independently.
+type Fault struct {
+	// Op is the operation class the rule targets.
+	Op Op
+	// Path, when non-empty, restricts the rule to paths containing it
+	// as a substring (e.g. ".wal" to fault only the log).
+	Path string
+	// After skips the first After matching operations before the
+	// trigger logic runs — "the burst starts mid-workload".
+	After uint64
+	// Nth fires exactly once, on the Nth matching operation past
+	// After (1-based).
+	Nth uint64
+	// Every fires on every Every-th matching operation past After.
+	Every uint64
+	// Prob fires each matching operation past After with this
+	// probability, drawn from the FaultFS's seeded generator —
+	// deterministic for a fixed seed and op stream.
+	Prob float64
+	// Limit caps the total number of fires; 0 means unlimited (Nth
+	// rules fire once regardless).
+	Limit int
+	// Err is the injected error; nil means ErrInjected (transient).
+	// Inject syscall.ENOSPC, syscall.EIO, … for fatal faults.
+	Err error
+	// Short makes a WriteAt rule write roughly half the buffer before
+	// failing — a torn write. The retry at the same offset repairs it.
+	Short bool
+	// Latency sleeps this long whenever the rule fires, before any
+	// error is returned. A rule with Latency alone (no Err, no Short)
+	// injects pure slowness.
+	Latency time.Duration
+
+	seen  uint64
+	fired int
+}
+
+// fire decides whether the rule triggers for its (already matched)
+// seen-counter value; rng is the FaultFS's seeded generator.
+func (f *Fault) fire(rng *rand.Rand) bool {
+	f.seen++
+	if f.seen <= f.After {
+		return false
+	}
+	if f.Limit > 0 && f.fired >= f.Limit {
+		return false
+	}
+	hit := false
+	switch {
+	case f.Nth > 0:
+		hit = f.seen == f.After+f.Nth
+	case f.Every > 0:
+		hit = (f.seen-f.After)%f.Every == 0
+	case f.Prob > 0:
+		hit = rng.Float64() < f.Prob
+	default:
+		hit = true
+	}
+	if hit {
+		f.fired++
+	}
+	return hit
+}
+
+// FaultFS wraps an FS with deterministic fault injection. A fixed seed
+// and a fixed operation stream produce the same faults every run, so
+// sweeps are reproducible and benchguard can gate on injected-fault
+// metrics. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	// Hook, when non-nil, observes every operation before the fault
+	// rules run — crash-style tests os.Exit inside it to die at an
+	// exact point in the op stream. Set it before handing the FS to
+	// the storage stack.
+	Hook func(op Op, path string)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	faults   []*Fault
+	opSeen   map[Op]uint64
+	opFired  map[Op]uint64
+	injected uint64
+}
+
+// NewFaultFS wraps inner with the given rules. seed fixes the
+// probabilistic rules' generator.
+func NewFaultFS(inner FS, seed int64, faults ...Fault) *FaultFS {
+	fs := &FaultFS{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		opSeen:  make(map[Op]uint64),
+		opFired: make(map[Op]uint64),
+	}
+	for i := range faults {
+		f := faults[i]
+		fs.faults = append(fs.faults, &f)
+	}
+	return fs
+}
+
+// AddFault installs another rule; its counters start at zero.
+func (fs *FaultFS) AddFault(f Fault) {
+	fs.mu.Lock()
+	fs.faults = append(fs.faults, &f)
+	fs.mu.Unlock()
+}
+
+// ClearFaults drops every rule — "the disk recovered".
+func (fs *FaultFS) ClearFaults() {
+	fs.mu.Lock()
+	fs.faults = nil
+	fs.mu.Unlock()
+}
+
+// Injected returns the total number of faults fired so far.
+func (fs *FaultFS) Injected() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.injected
+}
+
+// OpCount returns how many operations of class op the stack performed
+// through this FS.
+func (fs *FaultFS) OpCount(op Op) uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.opSeen[op]
+}
+
+// FiredOps returns the operation classes at which at least one fault
+// fired, in AllOps order — the coverage record the fault-sweep harness
+// asserts over.
+func (fs *FaultFS) FiredOps() []Op {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []Op
+	for _, op := range AllOps() {
+		if fs.opFired[op] > 0 {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// check runs the hook and the rules for one operation. It returns the
+// injected error (nil when no rule fired, or for a latency-only rule)
+// and whether a torn write was requested.
+func (fs *FaultFS) check(op Op, path string) (error, bool) {
+	if h := fs.Hook; h != nil {
+		h(op, path)
+	}
+	fs.mu.Lock()
+	fs.opSeen[op]++
+	var latency time.Duration
+	var injected error
+	short := false
+	for _, f := range fs.faults {
+		if f.Op != op || (f.Path != "" && !strings.Contains(path, f.Path)) {
+			continue
+		}
+		if !f.fire(fs.rng) {
+			continue
+		}
+		fs.opFired[op]++
+		fs.injected++
+		if f.Latency > latency {
+			latency = f.Latency
+		}
+		if f.Short {
+			short = true
+		}
+		if injected == nil && (f.Err != nil || f.Short || f.Latency == 0) {
+			injected = f.Err
+			if injected == nil {
+				injected = ErrInjected
+			}
+		}
+	}
+	fs.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if injected != nil {
+		return wrapOp(op, path, injected), short
+	}
+	return nil, false
+}
+
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := fs.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, path: name, inner: f}, nil
+}
+
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := fs.check(OpRename, oldpath); err != nil {
+		return err
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+func (fs *FaultFS) Remove(name string) error {
+	if err, _ := fs.check(OpRemove, name); err != nil {
+		return err
+	}
+	return fs.inner.Remove(name)
+}
+
+func (fs *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err, _ := fs.check(OpStat, name); err != nil {
+		return nil, err
+	}
+	return fs.inner.Stat(name)
+}
+
+func (fs *FaultFS) SyncDir(dir string) error {
+	if err, _ := fs.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return fs.inner.SyncDir(dir)
+}
+
+// faultFile threads every file operation back through the rules.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err, _ := f.fs.check(OpReadAt, f.path); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	err, short := f.fs.check(OpWriteAt, f.path)
+	if err != nil {
+		if short && len(p) > 1 {
+			// Torn write: half the buffer lands before the failure, as
+			// a real partial write would leave it. The caller's retry
+			// rewrites the whole buffer at the same offset.
+			n, werr := f.inner.WriteAt(p[:len(p)/2], off)
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Sync() error {
+	if err, _ := f.fs.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err, _ := f.fs.check(OpTruncate, f.path); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Size() (int64, error) {
+	if err, _ := f.fs.check(OpSize, f.path); err != nil {
+		return 0, err
+	}
+	return f.inner.Size()
+}
+
+func (f *faultFile) Close() error {
+	if err, _ := f.fs.check(OpClose, f.path); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}
+
+var _ FS = (*FaultFS)(nil)

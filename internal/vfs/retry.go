@@ -1,0 +1,106 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRetryExhausted marks an operation that kept failing transiently
+// until the retry budget ran out. The chain also carries the last
+// underlying error (and its *OpError), so IsStorageErr still holds.
+var ErrRetryExhausted = errors.New("vfs: retry budget exhausted")
+
+// RetryPolicy bounds how the storage stack retries transient failures:
+// up to MaxRetries re-attempts with exponential backoff from BaseDelay
+// capped at MaxDelay. Fatal errors (see Transient) never retry.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure.
+	// Zero means DefaultRetryPolicy's budget when the policy is the
+	// zero value; set Disabled to retry nothing.
+	MaxRetries int
+	// BaseDelay is the first backoff; it doubles per retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// Disabled turns retrying off entirely (a zero policy otherwise
+	// means DefaultRetryPolicy).
+	Disabled bool
+	// Sleep replaces time.Sleep; tests and deterministic benchmarks
+	// set it to a no-op so backoff costs no wall clock.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the budget pager and WAL use when the caller
+// passes a zero policy: 4 retries backing off 500µs → 4ms, under 8ms
+// of worst-case sleep per operation.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, BaseDelay: 500 * time.Microsecond, MaxDelay: 4 * time.Millisecond}
+}
+
+// orDefault resolves the zero value to DefaultRetryPolicy and fills
+// missing fields.
+func (p RetryPolicy) orDefault() RetryPolicy {
+	if p.Disabled {
+		return RetryPolicy{Disabled: true, Sleep: p.Sleep}
+	}
+	d := DefaultRetryPolicy()
+	if p.MaxRetries == 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	return p
+}
+
+// RetryCounters counts what a retry loop absorbed. One instance lives
+// in the pager and one in the WAL; DB.Resilience aggregates them.
+type RetryCounters struct {
+	retried   atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+// Retried counts transient failures that were retried (each backoff
+// sleep counts one, whether or not the retry then succeeded).
+func (c *RetryCounters) Retried() uint64 { return c.retried.Load() }
+
+// Exhausted counts operations that failed transiently past the whole
+// budget and surfaced ErrRetryExhausted.
+func (c *RetryCounters) Exhausted() uint64 { return c.exhausted.Load() }
+
+// Do runs op, retrying transient failures with exponential backoff
+// until it succeeds, fails fatally, or the budget is spent (then the
+// returned error chains ErrRetryExhausted AND the last failure). c may
+// be nil.
+func (p RetryPolicy) Do(c *RetryCounters, op func() error) error {
+	p = p.orDefault()
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := p.BaseDelay
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !Transient(err) {
+			return err
+		}
+		if p.Disabled || attempt >= p.MaxRetries {
+			if c != nil {
+				c.exhausted.Add(1)
+			}
+			return fmt.Errorf("%w (%d attempts): %w", ErrRetryExhausted, attempt+1, err)
+		}
+		if c != nil {
+			c.retried.Add(1)
+		}
+		sleep(delay)
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package vfs is the fault seam of the durable storage stack: a small
+// filesystem interface covering exactly the operations the pager and
+// the WAL perform (open, positional read/write, fsync, truncate,
+// rename, remove, directory sync), an OsFS passthrough to the real
+// filesystem, and a deterministic, seedable fault injector (FaultFS)
+// that can fail any of those operations on demand — error on the Nth
+// op, probabilistically, with ENOSPC, with a short (torn) write, with
+// a failing fsync, or with added latency.
+//
+// Everything internal/pager and internal/wal do to the host filesystem
+// goes through an FS, so a test (or skybench's E18 resilience
+// experiment) can stand a FaultFS between the storage stack and the
+// disk and exercise every failure path the real filesystem could take,
+// deterministically. This generalizes the ad-hoc crash hook the
+// snapshot-install tests began with: a crash window is "the op stream
+// up to here", a fault is "this op fails instead".
+//
+// The package also fixes the error taxonomy of the storage stack:
+//
+//   - every failing operation is wrapped in an *OpError naming the
+//     operation and the path, so layers above can recognize a storage
+//     fault (IsStorageErr) without string matching;
+//   - Transient classifies an error as retryable (EINTR, EAGAIN, torn
+//     writes, injected transient faults) or fatal (ENOSPC, EIO,
+//     corruption — everything else);
+//   - RetryPolicy.Do retries transient failures with bounded
+//     exponential backoff, counting retries and marking budget
+//     exhaustion with ErrRetryExhausted.
+//
+// The contract the layers above rely on: a transient fault is absorbed
+// below this seam (retried until it clears or the budget is spent); an
+// error that escapes the retry loop is fatal, and core.DB reacts by
+// latching degraded read-only mode rather than limping on.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the slice of *os.File the storage stack uses: positional
+// reads and writes (never offset-carrying Write), fsync, truncate.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Size returns the file's current size.
+	Size() (int64, error)
+	// Close releases the descriptor.
+	Close() error
+}
+
+// FS is the filesystem the durable storage stack runs on. OsFS is the
+// real one; FaultFS wraps any FS with deterministic fault injection.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (rename(2)).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; removing a missing file is an error
+	// (callers that do not care ignore os.IsNotExist).
+	Remove(name string) error
+	// Stat describes name.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs the directory at dir, making renames and removes
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// Op names one filesystem operation class — the injection points a
+// FaultFS can fire on. AllOps enumerates them for coverage sweeps.
+type Op uint8
+
+const (
+	// OpOpen is FS.OpenFile.
+	OpOpen Op = iota
+	// OpReadAt is File.ReadAt.
+	OpReadAt
+	// OpWriteAt is File.WriteAt.
+	OpWriteAt
+	// OpSync is File.Sync.
+	OpSync
+	// OpTruncate is File.Truncate.
+	OpTruncate
+	// OpSize is File.Size.
+	OpSize
+	// OpClose is File.Close.
+	OpClose
+	// OpRename is FS.Rename.
+	OpRename
+	// OpRemove is FS.Remove.
+	OpRemove
+	// OpStat is FS.Stat.
+	OpStat
+	// OpSyncDir is FS.SyncDir.
+	OpSyncDir
+)
+
+var opNames = [...]string{
+	OpOpen:     "open",
+	OpReadAt:   "readat",
+	OpWriteAt:  "writeat",
+	OpSync:     "sync",
+	OpTruncate: "truncate",
+	OpSize:     "size",
+	OpClose:    "close",
+	OpRename:   "rename",
+	OpRemove:   "remove",
+	OpStat:     "stat",
+	OpSyncDir:  "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// AllOps enumerates every injection point, in declaration order. The
+// fault-sweep harness iterates it to prove each point fired at least
+// once.
+func AllOps() []Op {
+	return []Op{OpOpen, OpReadAt, OpWriteAt, OpSync, OpTruncate, OpSize,
+		OpClose, OpRename, OpRemove, OpStat, OpSyncDir}
+}
+
+// OpError wraps every error the storage stack's filesystem layer
+// returns, naming the operation and the path. Layers above recognize
+// storage faults with IsStorageErr instead of string matching.
+type OpError struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("vfs: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// wrapOp wraps err (non-nil) in an *OpError unless it already is one
+// (FaultFS over OsFS must not double-wrap).
+func wrapOp(op Op, path string, err error) error {
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return err
+	}
+	return &OpError{Op: op, Path: path, Err: err}
+}
+
+// IsStorageErr reports whether err originated in the filesystem layer
+// (it chains through an *OpError). core.DB uses it to decide that a
+// failed write is a storage fault — grounds for degraded mode — rather
+// than a caller-contract violation.
+func IsStorageErr(err error) bool {
+	var oe *OpError
+	return errors.As(err, &oe)
+}
+
+// ErrInjected is the default error a FaultFS rule injects. It is
+// classified transient: the retry loop absorbs it.
+var ErrInjected = errors.New("injected transient fault")
+
+// Transient reports whether err is worth retrying: the interrupted-
+// or-busy syscall flavors (EINTR, EAGAIN), a short/torn write (the
+// rewrite at the same offset is idempotent — the storage stack only
+// writes positionally), and injected transient faults. Everything
+// else — ENOSPC, EIO, EBADF, checksum mismatches, closed files — is
+// fatal: retrying cannot help, and the caller must fail the operation.
+func Transient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, syscall.EINTR), errors.Is(err, syscall.EAGAIN):
+		return true
+	case errors.Is(err, io.ErrShortWrite):
+		return true
+	case errors.Is(err, ErrInjected):
+		return true
+	}
+	return false
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+// osFS passes through to package os, wrapping failures in OpError.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, wrapOp(OpOpen, name, err)
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return wrapOp(OpRename, oldpath, err)
+	}
+	return nil
+}
+
+func (osFS) Remove(name string) error {
+	if err := os.Remove(name); err != nil {
+		return wrapOp(OpRemove, name, err)
+	}
+	return nil
+}
+
+func (osFS) Stat(name string) (os.FileInfo, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return nil, wrapOp(OpStat, name, err)
+	}
+	return fi, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return wrapOp(OpSyncDir, dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return wrapOp(OpSyncDir, dir, err)
+	}
+	return nil
+}
+
+// osFile wraps *os.File into the File slice, wrapping errors.
+type osFile struct{ f *os.File }
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := o.f.ReadAt(p, off)
+	if err != nil {
+		return n, wrapOp(OpReadAt, o.f.Name(), err)
+	}
+	return n, nil
+}
+
+func (o osFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := o.f.WriteAt(p, off)
+	if err != nil {
+		return n, wrapOp(OpWriteAt, o.f.Name(), err)
+	}
+	return n, nil
+}
+
+func (o osFile) Sync() error {
+	if err := o.f.Sync(); err != nil {
+		return wrapOp(OpSync, o.f.Name(), err)
+	}
+	return nil
+}
+
+func (o osFile) Truncate(size int64) error {
+	if err := o.f.Truncate(size); err != nil {
+		return wrapOp(OpTruncate, o.f.Name(), err)
+	}
+	return nil
+}
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, wrapOp(OpSize, o.f.Name(), err)
+	}
+	return st.Size(), nil
+}
+
+func (o osFile) Close() error {
+	if err := o.f.Close(); err != nil {
+		return wrapOp(OpClose, o.f.Name(), err)
+	}
+	return nil
+}

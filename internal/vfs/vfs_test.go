@@ -1,0 +1,370 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOsFSRoundTrip drives the whole File surface through OsFS and
+// checks errors come back wrapped in OpError.
+func TestOsFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Size(); err != nil || n != 11 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "g")
+	if err := OS.Rename(path, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := OS.Stat(newPath); err != nil || fi.Size() != 5 {
+		t.Fatalf("Stat after rename: %v, %v", fi, err)
+	}
+	if err := OS.Remove(newPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failures are OpErrors: both the sentinel and the syscall detail
+	// survive the wrap.
+	_, err = OS.Stat(newPath)
+	if err == nil || !IsStorageErr(err) {
+		t.Fatalf("Stat of removed file: %v, want a storage OpError", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Op != OpStat {
+		t.Fatalf("OpError.Op = %v, want stat", err)
+	}
+	if !os.IsNotExist(err) && !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("wrapped error lost os.ErrNotExist: %v", err)
+	}
+}
+
+// TestTransientClassification pins the retryable-vs-fatal split.
+func TestTransientClassification(t *testing.T) {
+	transient := []error{
+		syscall.EINTR,
+		syscall.EAGAIN,
+		io.ErrShortWrite,
+		ErrInjected,
+		&OpError{Op: OpWriteAt, Path: "x", Err: syscall.EINTR},
+		&OpError{Op: OpSync, Path: "x", Err: ErrInjected},
+	}
+	for _, err := range transient {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	fatal := []error{
+		nil,
+		syscall.ENOSPC,
+		syscall.EIO,
+		syscall.EBADF,
+		errors.New("pager: checksum mismatch"),
+		&OpError{Op: OpWriteAt, Path: "x", Err: syscall.ENOSPC},
+	}
+	for _, err := range fatal {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestRetryAbsorbsTransient: a fault that clears within the budget is
+// invisible to the caller; the counters record the work.
+func TestRetryAbsorbsTransient(t *testing.T) {
+	var c RetryCounters
+	fails := 3
+	calls := 0
+	err := RetryPolicy{Sleep: func(time.Duration) {}}.Do(&c, func() error {
+		calls++
+		if calls <= fails {
+			return &OpError{Op: OpWriteAt, Path: "x", Err: syscall.EINTR}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry did not absorb transient failures: %v", err)
+	}
+	if calls != fails+1 || c.Retried() != uint64(fails) || c.Exhausted() != 0 {
+		t.Fatalf("calls=%d retried=%d exhausted=%d", calls, c.Retried(), c.Exhausted())
+	}
+}
+
+// TestRetryExhausted: a fault that never clears surfaces
+// ErrRetryExhausted with the cause still in the chain.
+func TestRetryExhausted(t *testing.T) {
+	var c RetryCounters
+	calls := 0
+	err := RetryPolicy{MaxRetries: 2, Sleep: func(time.Duration) {}}.Do(&c, func() error {
+		calls++
+		return &OpError{Op: OpSync, Path: "x", Err: syscall.EINTR}
+	})
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("err = %v, want ErrRetryExhausted", err)
+	}
+	if !IsStorageErr(err) {
+		t.Fatalf("exhausted error lost the OpError chain: %v", err)
+	}
+	if calls != 3 || c.Exhausted() != 1 {
+		t.Fatalf("calls=%d exhausted=%d, want 3 attempts and 1 exhaustion", calls, c.Exhausted())
+	}
+}
+
+// TestRetryFatalNoRetry: fatal errors return immediately, unretried.
+func TestRetryFatalNoRetry(t *testing.T) {
+	var c RetryCounters
+	calls := 0
+	fatal := &OpError{Op: OpWriteAt, Path: "x", Err: syscall.ENOSPC}
+	err := RetryPolicy{Sleep: func(time.Duration) {}}.Do(&c, func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, syscall.ENOSPC) || calls != 1 || c.Retried() != 0 {
+		t.Fatalf("fatal error was retried: calls=%d err=%v", calls, err)
+	}
+	if errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("fatal error mislabeled as exhaustion: %v", err)
+	}
+}
+
+// TestFaultFSNth: an error-on-Nth-op rule fires exactly once, at the
+// right op, and the coverage counters record it.
+func TestFaultFSNth(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS, 1, Fault{Op: OpWriteAt, Nth: 3})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		_, err := f.WriteAt([]byte("x"), int64(i))
+		if (i == 2) != (err != nil) {
+			t.Fatalf("write %d: err = %v (rule targets the 3rd)", i, err)
+		}
+		if i == 2 && !Transient(err) {
+			t.Fatalf("default injected fault should be transient: %v", err)
+		}
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	if ops := fs.FiredOps(); len(ops) != 1 || ops[0] != OpWriteAt {
+		t.Fatalf("FiredOps = %v", ops)
+	}
+	if fs.OpCount(OpWriteAt) != 5 {
+		t.Fatalf("OpCount(writeat) = %d, want 5", fs.OpCount(OpWriteAt))
+	}
+}
+
+// TestFaultFSEveryAndPath: Every-periodic rules respect the path
+// filter, and After offsets the phase.
+func TestFaultFSEveryAndPath(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS, 1, Fault{Op: OpSync, Path: "b", After: 1, Every: 2})
+	open := func(name string) File {
+		f, err := fs.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := open("a"), open("b")
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 6; i++ {
+		if err := a.Sync(); err != nil {
+			t.Fatalf("sync of unmatched path faulted: %v", err)
+		}
+	}
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		errs = append(errs, b.Sync() != nil)
+	}
+	// seen=1 skipped (After), then every 2nd: fires at seen 3, 5.
+	want := []bool{false, false, true, false, true, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("sync fire pattern %v, want %v", errs, want)
+		}
+	}
+}
+
+// TestFaultFSProbDeterministic: the same seed over the same op stream
+// fires at the same ops.
+func TestFaultFSProbDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		fs := NewFaultFS(OS, seed, Fault{Op: OpWriteAt, Prob: 0.5})
+		f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var fires []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.WriteAt([]byte("x"), int64(i))
+			fires = append(fires, err != nil)
+		}
+		return fires
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical fire patterns (suspicious)")
+	}
+}
+
+// TestFaultFSShortWrite: a torn write leaves half the buffer, and the
+// idempotent retry at the same offset repairs it.
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS, 1, Fault{Op: OpWriteAt, Nth: 1, Short: true})
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := []byte("0123456789abcdef")
+	n, werr := f.WriteAt(payload, 0)
+	if werr == nil || n != len(payload)/2 {
+		t.Fatalf("torn write: n=%d err=%v, want half the buffer and an error", n, werr)
+	}
+	if !Transient(werr) {
+		t.Fatalf("torn write error should be transient: %v", werr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload[:len(payload)/2]) {
+		t.Fatalf("file holds %q after tear", got)
+	}
+	// The retry: same buffer, same offset.
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("file holds %q after retry, want full payload", got)
+	}
+}
+
+// TestFaultFSFatalInjection: an injected ENOSPC is fatal and keeps its
+// identity through the OpError wrap.
+func TestFaultFSFatalInjection(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS, 1, Fault{Op: OpWriteAt, Err: syscall.ENOSPC})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, werr := f.WriteAt([]byte("x"), 0)
+	if !errors.Is(werr, syscall.ENOSPC) || Transient(werr) || !IsStorageErr(werr) {
+		t.Fatalf("injected ENOSPC misclassified: %v", werr)
+	}
+}
+
+// TestFaultFSLimitAndClear: Limit caps fires; ClearFaults heals the
+// disk.
+func TestFaultFSLimitAndClear(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS, 1, Fault{Op: OpSync, Limit: 2})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if f.Sync() != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("Limit 2 rule fired %d times", fails)
+	}
+	fs.AddFault(Fault{Op: OpSync})
+	if f.Sync() == nil {
+		t.Fatal("added permanent rule did not fire")
+	}
+	fs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("cleared FS still faults: %v", err)
+	}
+}
+
+// TestFaultFSHook observes the op stream in order.
+func TestFaultFSHook(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS, 1)
+	var ops []Op
+	fs.Hook = func(op Op, path string) { ops = append(ops, op) }
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{OpOpen, OpWriteAt, OpSync, OpClose}
+	if len(ops) != len(want) {
+		t.Fatalf("hook saw %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", ops, want)
+		}
+	}
+}

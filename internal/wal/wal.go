@@ -30,20 +30,27 @@
 // sequence counter.
 //
 // Durability scope: Append hands records to the OS with a single
-// plain write on the file descriptor — no user-space buffering — so an
-// appended record survives any death of the process (os.Exit, panic,
-// kill -9). Surviving kernel death or power loss additionally needs
-// Sync, which callers opt into per-batch (core.Options.SyncWAL).
+// positional write on the file descriptor — no user-space buffering —
+// so an appended record survives any death of the process (os.Exit,
+// panic, kill -9). Surviving kernel death or power loss additionally
+// needs Sync, which callers opt into per-batch (core.Options.SyncWAL).
+//
+// All filesystem access goes through a vfs.FS (vfs.OS by default).
+// Append writes the record with WriteAt at the current end of the
+// valid log, never with a cursored Write, so retrying a transiently
+// failed or torn append rewrites the same bytes at the same offset —
+// idempotent by construction. A tear that outlives the retry budget is
+// exactly what the next Open's scan truncates away.
 package wal
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 
 	"repro/internal/geom"
+	"repro/internal/vfs"
 )
 
 // recordMagic starts every record ("WAL1", little-endian).
@@ -89,27 +96,45 @@ type ScanResult struct {
 
 // Log is an append-only write-ahead log backed by one file.
 type Log struct {
-	f    *os.File
-	path string
-	seq  uint64 // last assigned sequence number
-	size int64  // current valid file size
-	buf  []byte // append encoding buffer, reused
+	f       vfs.File
+	path    string
+	retry   vfs.RetryPolicy
+	retries vfs.RetryCounters
+	seq     uint64 // last assigned sequence number
+	size    int64  // current valid file size
+	buf     []byte // append encoding buffer, reused
 }
 
-// Open opens (creating if necessary) the log at path and scans it,
-// truncating an invalid tail so the file ends on a record boundary.
-// The returned ScanResult holds every valid record for replay; the
-// next Append continues after the highest sequence seen. Callers
-// whose checkpoints outpaced the log re-base with SetSeq.
+// Open opens the log at path on the real filesystem with the default
+// retry policy. See OpenFS.
 func Open(path string) (*Log, ScanResult, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
+	return OpenFS(path, vfs.OS, vfs.RetryPolicy{})
+}
+
+// OpenFS opens (creating if necessary) the log at path on fsys (nil
+// means vfs.OS), retrying transient I/O failures per retry (the zero
+// policy means vfs.DefaultRetryPolicy), and scans it, truncating an
+// invalid tail so the file ends on a record boundary. The returned
+// ScanResult holds every valid record for replay; the next Append
+// continues after the highest sequence seen. Callers whose checkpoints
+// outpaced the log re-base with SetSeq.
+func OpenFS(path string, fsys vfs.FS, retry vfs.RetryPolicy) (*Log, ScanResult, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	l := &Log{path: path, retry: retry}
+	var f vfs.File
+	if err := l.retry.Do(&l.retries, func() error {
+		var err error
+		f, err = fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		return err
+	}); err != nil {
 		return nil, ScanResult{}, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{f: f, path: path}
+	l.f = f
 	res, err := l.scan()
 	if err != nil {
-		f.Close()
+		f.Close() //errlint:ok open failed half-way; best-effort release
 		return nil, ScanResult{}, err
 	}
 	return l, res, nil
@@ -118,9 +143,22 @@ func Open(path string) (*Log, ScanResult, error) {
 // scan reads the whole file, validating records and truncating the
 // tail at the first invalid byte.
 func (l *Log) scan() (ScanResult, error) {
-	data, err := io.ReadAll(l.f)
-	if err != nil {
-		return ScanResult{}, fmt.Errorf("wal: scan %s: %w", l.path, err)
+	var size int64
+	if err := l.retry.Do(&l.retries, func() error {
+		var err error
+		size, err = l.f.Size()
+		return err
+	}); err != nil {
+		return ScanResult{}, fmt.Errorf("wal: size %s: %w", l.path, err)
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if err := l.retry.Do(&l.retries, func() error {
+			_, err := l.f.ReadAt(data, 0)
+			return err
+		}); err != nil {
+			return ScanResult{}, fmt.Errorf("wal: scan %s: %w", l.path, err)
+		}
 	}
 	var res ScanResult
 	off := 0
@@ -141,14 +179,13 @@ func (l *Log) scan() (ScanResult, error) {
 	if off < len(data) {
 		res.Torn = true
 		res.DroppedBytes = int64(len(data) - off)
-		if err := l.f.Truncate(int64(off)); err != nil {
+		if err := l.retry.Do(&l.retries, func() error {
+			return l.f.Truncate(int64(off))
+		}); err != nil {
 			return res, fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
 		}
 	}
 	l.size = int64(off)
-	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
-		return res, fmt.Errorf("wal: seek %s: %w", l.path, err)
-	}
 	return res, nil
 }
 
@@ -198,10 +235,12 @@ func decodeRecord(data []byte) (Record, int, bool) {
 
 // Append logs one update batch — deletes applying before inserts —
 // and returns its sequence number. The record reaches the OS before
-// Append returns (one plain write, no user-space buffering), so an
-// acknowledged batch survives process death; call Sync to also survive
-// power loss. An empty batch is rejected: it would burn a sequence
-// number for a record that changes nothing.
+// Append returns (one positional write, no user-space buffering), so
+// an acknowledged batch survives process death; call Sync to also
+// survive power loss. Transient write failures are retried in place:
+// the record always lands at the same offset, so a torn first attempt
+// is simply overwritten by the retry. An empty batch is rejected: it
+// would burn a sequence number for a record that changes nothing.
 func (l *Log) Append(dels, inss []geom.Point) (uint64, error) {
 	if len(dels)+len(inss) == 0 {
 		return 0, fmt.Errorf("wal: empty batch")
@@ -225,7 +264,10 @@ func (l *Log) Append(dels, inss []geom.Point) (uint64, error) {
 		}
 	}
 	binary.LittleEndian.PutUint32(b[total-4:total], crc32.ChecksumIEEE(b[:total-4]))
-	if _, err := l.f.Write(b); err != nil {
+	if err := l.retry.Do(&l.retries, func() error {
+		_, err := l.f.WriteAt(b, l.size)
+		return err
+	}); err != nil {
 		// The write may have landed partially; the torn record is
 		// exactly what the next Open's scan truncates away, and the
 		// caller treats the batch as unacknowledged.
@@ -236,9 +278,10 @@ func (l *Log) Append(dels, inss []geom.Point) (uint64, error) {
 	return seq, nil
 }
 
-// Sync flushes the log to stable storage (fsync).
+// Sync flushes the log to stable storage (fsync), retrying transient
+// failures.
 func (l *Log) Sync() error {
-	if err := l.f.Sync(); err != nil {
+	if err := l.retry.Do(&l.retries, l.f.Sync); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
@@ -249,6 +292,10 @@ func (l *Log) Seq() uint64 { return l.seq }
 
 // Size returns the current log size in bytes.
 func (l *Log) Size() int64 { return l.size }
+
+// Retries exposes the transient-failure counters of the log's retry
+// loop; DB.Resilience aggregates them.
+func (l *Log) Retries() *vfs.RetryCounters { return &l.retries }
 
 // SetSeq raises the sequence counter to at least seq. Recovery uses it
 // when the checkpoint metadata names a higher sequence than the
@@ -265,11 +312,10 @@ func (l *Log) SetSeq(seq uint64) {
 // NOT reset — sequences are never reused, which is what keeps replay
 // idempotent across overlapping histories.
 func (l *Log) Reset() error {
-	if err := l.f.Truncate(0); err != nil {
+	if err := l.retry.Do(&l.retries, func() error {
+		return l.f.Truncate(0)
+	}); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
-	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("wal: reset seek: %w", err)
 	}
 	l.size = 0
 	return nil
@@ -277,8 +323,8 @@ func (l *Log) Reset() error {
 
 // Close syncs and closes the file.
 func (l *Log) Close() error {
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
+	if err := l.retry.Do(&l.retries, l.f.Sync); err != nil {
+		l.f.Close() //errlint:ok close after failed sync; sync error wins
 		return fmt.Errorf("wal: close sync: %w", err)
 	}
 	if err := l.f.Close(); err != nil {

@@ -87,6 +87,19 @@
 // keeps everything on the simulated machine: deterministic I/O counts,
 // nothing on the host filesystem.
 //
+// Durable indexes tolerate transient storage faults: every pager and
+// WAL operation retries with bounded exponential backoff (Options.Retry),
+// so an EINTR, EAGAIN or short write never surfaces to a caller. A
+// FATAL fault (ENOSPC, I/O error, or a transient one that exhausts the
+// retry budget) latches the DB into degraded read-only mode instead of
+// corrupting it: queries, Len and Snapshot keep serving the applied
+// state — byte-identical to what reopening the directory reconstructs —
+// while writes return ErrDegraded until the directory is reopened.
+// Options.MaxBuffered caps the async queue's buffered slabs; an
+// over-cap write either drains its slab inline before admission (the
+// default) or is shed with ErrBackpressure (Options.ShedWrites).
+// DB.Resilience reports the counters behind all of this.
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
@@ -126,6 +139,10 @@ type (
 	QueueCounters = engine.QueueCounters
 	// Snapshot is a pinned point-in-time view of a DB; see DB.Snapshot.
 	Snapshot = core.Snapshot
+	// ResilienceStats aggregates the storage stack's fault-handling
+	// counters (retries, backpressure, degraded latch); see
+	// DB.Resilience.
+	ResilienceStats = core.ResilienceStats
 	// PQAElem is an element of a priority queue with attrition.
 	PQAElem = pqa.Elem
 )
@@ -134,6 +151,32 @@ type (
 const (
 	NegInf = geom.NegInf
 	PosInf = geom.PosInf
+)
+
+// Typed failure sentinels, matched with errors.Is. Write paths return
+// wrapped chains carrying exactly one of these (plus detail):
+//
+//   - ErrClosed: the write arrived after DB.Close; the index is gone on
+//     purpose and no retry helps.
+//   - ErrDegraded: a fatal storage error latched the DB into degraded
+//     read-only mode. Queries, Len and Snapshot keep serving the
+//     applied state — byte-identical to what reopening Options.Dir
+//     reconstructs from the snapshot and WAL — while every write is
+//     rejected. The latch never clears in-process; reopen to recover.
+//   - ErrBackpressure: the async queue's Options.MaxBuffered cap shed
+//     the write (Options.ShedWrites policy only). The index is healthy;
+//     retry after a DB.Flush or back off.
+//   - ErrRetryExhausted: a transient storage fault (EINTR, EAGAIN,
+//     short write) outlived the bounded retry budget of Options.Retry.
+//     It surfaces inside the ErrDegraded chain that latched it.
+//
+// DB.Resilience reports the matching counters (retries absorbed,
+// retries exhausted, writes shed/blocked, degraded flag).
+var (
+	ErrClosed         = core.ErrClosed
+	ErrDegraded       = core.ErrDegraded
+	ErrBackpressure   = core.ErrBackpressure
+	ErrRetryExhausted = core.ErrRetryExhausted
 )
 
 // Open builds a range skyline index over pts. See core.Open.
