@@ -1,0 +1,168 @@
+// E19: the serving tier end to end — internal/serve behind a real
+// HTTP listener, driven by internal/load (the same engine cmd/skyload
+// runs). Three legs:
+//
+//   - mixed: read-heavy seeded workload against an in-memory sharded
+//     namespace with measure_io on; the per-query simulated-I/O
+//     percentiles are deterministic (closed loop, concurrency 1) and
+//     gate strictly.
+//   - zipf: the same workload with Zipf-skewed query anchors against a
+//     cached namespace — the hot-spot case the cache exists for; the
+//     percentiles gate strictly too.
+//   - drain: write-heavy workload against a durable async namespace,
+//     then a graceful server Close (drain + checkpoint) and a reopen of
+//     the directory; lostacks counts acknowledged writes the reopened
+//     index is missing, and its 0.0 baseline is the serving tier's
+//     no-lost-acks contract under graceful shutdown.
+//
+// Wall-clock throughput/latency go to E19-WALL lines, which
+// cmd/benchguard never gates (host-dependent).
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+func e19() {
+	fmt.Println("E19 serving tier: skylined over HTTP, seeded load, graceful-drain acks")
+	fmt.Println("    internal/serve behind a real listener, driven by internal/load exactly")
+	fmt.Println("    as cmd/skyload drives a production process. Simulated-I/O percentiles")
+	fmt.Println("    and the drain leg's lostacks count are seeded and deterministic; wall")
+	fmt.Println("    clock reports as E19-WALL (never gated).")
+
+	ops := sizes([]int{4000}, []int{16000})[0]
+	drainOps := sizes([]int{2000}, []int{8000})[0]
+	span := int64(1 << 16)
+
+	fmt.Printf("%8s %8s %8s %8s %8s %10s %10s\n",
+		"leg", "ops", "iop50", "iop99", "iop999", "errors", "lostacks")
+
+	// Mixed and zipf legs share one in-memory two-namespace server.
+	{
+		srv, err := serve.New(serve.Config{
+			MeasureIO: true,
+			Namespaces: map[string]serve.NamespaceConfig{
+				"mixed": {B: cfg.B, M: cfg.M, Shards: 4, Workers: 4},
+				"zipf":  {B: cfg.B, M: cfg.M, Shards: 4, Workers: 4, CacheEntries: 256},
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("E19 serve.New: %v", err))
+		}
+		hs := httptest.NewServer(srv.Handler())
+		legs := []struct {
+			name string
+			zipf float64
+		}{{"mixed", 0}, {"zipf", 1.3}}
+		for _, leg := range legs {
+			res, err := load.Run(load.Config{
+				BaseURL:   hs.URL,
+				Namespace: leg.name,
+				Ops:       ops,
+				Conc:      1,
+				ReadFrac:  0.9,
+				ZipfS:     leg.zipf,
+				Span:      span,
+				Seed:      191,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("E19 %s run: %v", leg.name, err))
+			}
+			if res.Errors > 0 {
+				panic(fmt.Sprintf("E19 %s leg saw %d request errors", leg.name, res.Errors))
+			}
+			if len(res.IOs) == 0 {
+				panic("E19 measure_io returned no per-query costs: the gated metrics would be vacuous")
+			}
+			fmt.Printf("%8s %8d %8d %8d %8d %10d %10s\n",
+				leg.name, res.Ops, res.IOPercentile(50), res.IOPercentile(99),
+				res.IOPercentile(99.9), res.Errors, "-")
+			fmt.Printf("E19-METRIC leg=%s ops=%d conc=1 iop50=%.1f iop99=%.1f iop999=%.1f errors=%.1f\n",
+				leg.name, res.Ops,
+				float64(res.IOPercentile(50)), float64(res.IOPercentile(99)),
+				float64(res.IOPercentile(99.9)), float64(res.Errors))
+			fmt.Printf("E19-WALL leg=%s ops=%d qps=%.0f p50us=%.0f p99us=%.0f p999us=%.0f\n",
+				leg.name, res.Ops, res.QPS(),
+				float64(res.WallPercentile(50).Microseconds()),
+				float64(res.WallPercentile(99).Microseconds()),
+				float64(res.WallPercentile(99.9).Microseconds()))
+		}
+		hs.Close()
+		if err := srv.Close(); err != nil {
+			panic(fmt.Sprintf("E19 close: %v", err))
+		}
+	}
+
+	// Drain leg: acknowledged writes must survive a graceful shutdown.
+	{
+		tmp, err := os.MkdirTemp("", "skybench-e19-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(tmp)
+		srv, err := serve.New(serve.Config{
+			Namespaces: map[string]serve.NamespaceConfig{
+				"drain": {B: cfg.B, M: cfg.M, Dir: tmp,
+					AsyncWrites: true, FlushPoints: 128, FlushIntervalMS: -1},
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("E19 drain serve.New: %v", err))
+		}
+		hs := httptest.NewServer(srv.Handler())
+		res, err := load.Run(load.Config{
+			BaseURL:   hs.URL,
+			Namespace: "drain",
+			Ops:       drainOps,
+			Conc:      1,
+			ReadFrac:  0.3,
+			Span:      span,
+			Seed:      193,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("E19 drain run: %v", err))
+		}
+		if res.Errors > 0 {
+			panic(fmt.Sprintf("E19 drain leg saw %d request errors", res.Errors))
+		}
+		// Graceful shutdown: listener first, then drain + checkpoint.
+		hs.Close()
+		if err := srv.Close(); err != nil {
+			panic(fmt.Sprintf("E19 drain close: %v", err))
+		}
+		// Reopen the directory cold and diff against every acknowledged
+		// write: the count must match, and a seeded sample must answer
+		// point-membership queries.
+		want := res.Expected()
+		re, err := core.Open(core.Options{Machine: cfg, Dynamic: true, Dir: tmp}, nil)
+		if err != nil {
+			panic(fmt.Sprintf("E19 drain reopen: %v", err))
+		}
+		lost := len(want) - re.Len()
+		probed := 0
+		for p := range want {
+			if probed >= 200 {
+				break
+			}
+			probed++
+			hit := re.RangeSkyline(geom.Rect{X1: p.X, X2: p.X, Y1: p.Y, Y2: p.Y})
+			if len(hit) != 1 || hit[0] != p {
+				panic(fmt.Sprintf("E19 drain: acknowledged insert %v missing after reopen", p))
+			}
+		}
+		if err := re.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8s %8d %8s %8s %8s %10d %10d\n",
+			"drain", res.Ops, "-", "-", "-", res.Errors, lost)
+		fmt.Printf("E19-METRIC leg=drain ops=%d acked=%d lostacks=%.1f errors=%.1f\n",
+			res.Ops, len(want), float64(lost), float64(res.Errors))
+	}
+}

@@ -133,6 +133,7 @@ func main() {
 	run("E16", e16)
 	run("E17", e17)
 	run("E18", e18)
+	run("E19", e19)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {

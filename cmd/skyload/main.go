@@ -1,0 +1,98 @@
+// Command skyload drives a running skylined with a seeded workload
+// and reports what it measured — the load harness half of the
+// serving tier (internal/load is the shared engine; skybench's E19
+// runs the same code in-process for the CI-gated numbers).
+//
+// Usage:
+//
+//	skyload -base http://127.0.0.1:8787 -ns demo -ops 20000 \
+//	        -read-frac 0.9 -conc 8 [-qps 5000] [-zipf 1.2] \
+//	        [-seed 42] [-csv skyload.csv] [-metric-id E19]
+//
+// Closed loop by default (-conc workers issuing back-to-back
+// requests); -qps switches to an open loop that schedules arrivals at
+// the target rate and measures latency from the SCHEDULED start, so
+// queueing delay lands in the tail instead of being coordinated away.
+//
+// Output: a human summary, optional deterministic <id>-METRIC lines
+// (simulated-I/O percentiles — meaningful only when the server runs
+// with measure_io and the run is -conc 1 with no -qps) plus <id>-WALL
+// lines (wall-clock qps and latency percentiles, never gated), and an
+// optional CSV artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		flagBase   = flag.String("base", "http://127.0.0.1:8787", "server base URL")
+		flagNS     = flag.String("ns", "demo", "namespace")
+		flagOps    = flag.Int("ops", 10000, "total operations")
+		flagConc   = flag.Int("conc", 1, "closed-loop concurrency")
+		flagQPS    = flag.Float64("qps", 0, "open-loop target QPS (0: closed loop)")
+		flagRead   = flag.Float64("read-frac", 0.9, "fraction of ops that are queries")
+		flagZipf   = flag.Float64("zipf", 0, "query-anchor Zipf skew s (>1; 0: uniform)")
+		flagSpan   = flag.Int64("span", 1<<20, "coordinate universe [0,span)")
+		flagSeed   = flag.Int64("seed", 1, "workload seed")
+		flagCSV    = flag.String("csv", "", "write a CSV artifact here")
+		flagMetric = flag.String("metric-id", "", "emit <id>-METRIC/<id>-WALL lines (e.g. E19)")
+	)
+	flag.Parse()
+	res, err := load.Run(load.Config{
+		BaseURL:   *flagBase,
+		Namespace: *flagNS,
+		Ops:       *flagOps,
+		Conc:      *flagConc,
+		TargetQPS: *flagQPS,
+		ReadFrac:  *flagRead,
+		ZipfS:     *flagZipf,
+		Span:      *flagSpan,
+		Seed:      *flagSeed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("skyload: %d ops (%d reads, %d inserts, %d deletes) in %.2fs = %.0f qps\n",
+		res.Ops, res.Reads, res.Inserts, res.Deletes, res.Elapsed.Seconds(), res.QPS())
+	fmt.Printf("skyload: wall latency p50=%v p99=%v p999=%v\n",
+		res.WallPercentile(50), res.WallPercentile(99), res.WallPercentile(99.9))
+	if len(res.IOs) > 0 {
+		fmt.Printf("skyload: simulated I/O per query p50=%d p99=%d p999=%d\n",
+			res.IOPercentile(50), res.IOPercentile(99), res.IOPercentile(99.9))
+	}
+	fmt.Printf("skyload: errors=%d backpressure_429=%d\n", res.Errors, res.Backpressure)
+
+	if id := *flagMetric; id != "" {
+		// METRIC values carry a decimal point (gated); run facts are
+		// integer labels. Only deterministic quantities may appear
+		// here — wall-clock numbers go to the <id>-WALL lines below,
+		// which cmd/benchguard never gates.
+		fmt.Printf("%s-METRIC leg=mixed ops=%d conc=%d iop50=%.1f iop99=%.1f iop999=%.1f errors=%.1f\n",
+			id, res.Ops, *flagConc,
+			float64(res.IOPercentile(50)), float64(res.IOPercentile(99)), float64(res.IOPercentile(99.9)),
+			float64(res.Errors))
+		fmt.Printf("%s-WALL ops=%d conc=%d qps=%.0f p50us=%.0f p99us=%.0f p999us=%.0f\n",
+			id, res.Ops, *flagConc, res.QPS(),
+			float64(res.WallPercentile(50).Microseconds()),
+			float64(res.WallPercentile(99).Microseconds()),
+			float64(res.WallPercentile(99.9).Microseconds()))
+	}
+	if *flagCSV != "" {
+		if err := res.WriteCSV(*flagCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "skyload: csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("skyload: wrote %s\n", *flagCSV)
+	}
+	if res.Errors > 0 {
+		os.Exit(2)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro"
+	"repro/examples/internal/demo"
 	"repro/internal/geom"
 )
 
@@ -24,10 +25,7 @@ func main() {
 	for i, p := range raw {
 		pts[i] = repro.Point{X: -p.X, Y: p.Y} // X = -price, Y = quality
 	}
-	db, err := repro.Open(repro.Options{Machine: repro.MachineConfig{B: 256, M: 256 * 64}}, pts)
-	if err != nil {
-		panic(err)
-	}
+	db := demo.MustOpen(repro.Options{Machine: demo.Machine(256)}, pts)
 
 	fmt.Printf("catalogue: %d products\n", db.Len())
 

@@ -3,9 +3,8 @@
 package main
 
 import (
-	"fmt"
-
 	"repro"
+	"repro/examples/internal/demo"
 )
 
 func main() {
@@ -14,25 +13,15 @@ func main() {
 		{X: 1, Y: 9}, {X: 2, Y: 4}, {X: 3, Y: 7}, {X: 5, Y: 6},
 		{X: 6, Y: 2}, {X: 7, Y: 5}, {X: 8, Y: 1}, {X: 9, Y: 3},
 	}
-	db, err := repro.Open(repro.Options{}, pts)
-	if err != nil {
-		panic(err)
-	}
+	db := demo.MustOpen(repro.Options{}, pts)
 
-	show := func(name string, fn func() []repro.Point) {
-		db.Disk().DropCache() // cold-cache cost of each query
-		db.ResetStats()
-		ans := fn()
-		fmt.Printf("%-16s -> %v  (%v)\n", name, ans, db.Stats())
-	}
-
-	show("skyline", db.Skyline)
-	show("top-open", func() []repro.Point { return db.TopOpen(2, 8, 2) })
-	show("dominance", func() []repro.Point { return db.Dominance(2, 2) })
-	show("contour", func() []repro.Point { return db.Contour(7) })
-	show("left-open", func() []repro.Point { return db.LeftOpen(8, 2, 6) })
-	show("anti-dominance", func() []repro.Point { return db.AntiDominance(8, 6) })
-	show("4-sided", func() []repro.Point {
+	demo.Show(db, "skyline", db.Skyline)
+	demo.Show(db, "top-open", func() []repro.Point { return db.TopOpen(2, 8, 2) })
+	demo.Show(db, "dominance", func() []repro.Point { return db.Dominance(2, 2) })
+	demo.Show(db, "contour", func() []repro.Point { return db.Contour(7) })
+	demo.Show(db, "left-open", func() []repro.Point { return db.LeftOpen(8, 2, 6) })
+	demo.Show(db, "anti-dominance", func() []repro.Point { return db.AntiDominance(8, 6) })
+	demo.Show(db, "4-sided", func() []repro.Point {
 		return db.RangeSkyline(repro.Rect{X1: 2, X2: 8, Y1: 2, Y2: 6})
 	})
 }

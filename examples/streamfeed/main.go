@@ -1,137 +1,242 @@
-// Streamfeed: a dynamic workload for the Theorem 4 structure — a rolling
-// window of events where each arrival inserts a point, old events are
-// deleted, and top-open range skyline queries ("best items in this time
-// range scoring at least s") run continuously. Demonstrates the
-// O(log²_{B^ε}(n/B)) update / O(log²_{B^ε}(n/B) + k/B^{1−ε}) query
-// trade-off of the dynamic index, and — the part a live feed cares
-// about — paginating the result via DB.Snapshot, so pages fetched
-// while the window keeps rolling stitch together with no tearing: no
-// event vanishes between pages, none appears twice.
+// Streamfeed: the rolling-window feed as a NETWORK client — the same
+// workload examples/streamfeed ran against the library now runs
+// against skylined's wire protocol (docs/API.md). A window of events
+// rolls via /insert and /delete, top-open queries run continuously
+// (oracle-checked client-side), and the feed is paginated through a
+// server-pinned snapshot with limit/after_x resume tokens, so pages
+// fetched while the window keeps rolling stitch together with no
+// tearing: no event vanishes between pages, none appears twice.
+//
+// By default the example embeds a skylined-equivalent server in
+// process, so `go run ./examples/streamfeed` is self-contained; point
+// -base at a running skylined (with a "feed" namespace) to drive a
+// real process instead.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
 
 	"repro"
 	"repro/internal/geom"
+	"repro/internal/serve"
 )
 
-func main() {
-	const window = 20000
-	rng := rand.New(rand.NewSource(7))
+// ---- a minimal wire client (the whole protocol is this small) ------
 
-	db, err := repro.Open(repro.Options{
-		Machine: repro.MachineConfig{B: 128, M: 128 * 64},
-		Epsilon: 0.5,
-		Dynamic: true,
-	}, nil)
+type wirePoint struct {
+	X repro.Coord `json:"x"`
+	Y repro.Coord `json:"y"`
+}
+
+type client struct {
+	base, ns string
+}
+
+func (c *client) post(path string, body, out any) {
+	blob, err := json.Marshal(body)
 	if err != nil {
 		panic(err)
 	}
+	resp, err := http.Post(c.base+"/v1/"+c.ns+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close() //errlint:ok example client
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("%s: %s: %s", path, resp.Status, raw))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			panic(err)
+		}
+	}
+}
 
+// del issues a DELETE (the snapshot-release verb).
+func (c *client) del(path string) {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/"+c.ns+path, nil)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close() //errlint:ok example client
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body) //errlint:ok best-effort detail for the panic below
+		panic(fmt.Sprintf("DELETE %s: %s: %s", path, resp.Status, raw))
+	}
+}
+
+func (c *client) insert(pts ...repro.Point) {
+	wps := make([]wirePoint, len(pts))
+	for i, p := range pts {
+		wps[i] = wirePoint{p.X, p.Y}
+	}
+	c.post("/insert", map[string]any{"points": wps}, nil)
+}
+
+func (c *client) delete(p repro.Point) bool {
+	var resp struct {
+		Removed int `json:"removed"`
+	}
+	c.post("/delete", map[string]any{"point": wirePoint{p.X, p.Y}}, &resp)
+	return resp.Removed == 1
+}
+
+type queryResp struct {
+	Points     []wirePoint  `json:"points"`
+	More       bool         `json:"more"`
+	NextAfterX *repro.Coord `json:"next_after_x"`
+}
+
+func (c *client) query(req map[string]any) queryResp {
+	var resp queryResp
+	c.post("/query", req, &resp)
+	return resp
+}
+
+func pointsOf(resp queryResp) []repro.Point {
+	out := make([]repro.Point, len(resp.Points))
+	for i, p := range resp.Points {
+		out[i] = repro.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// --------------------------------------------------------------------
+
+func main() {
+	base := flag.String("base", "", "skylined base URL (default: embed a server in-process)")
+	ns := flag.String("ns", "feed", "namespace")
+	flag.Parse()
+
+	if *base == "" {
+		// Self-contained mode: an in-process server on a loopback port,
+		// exactly what `skylined -config` would build for this config.
+		srv, err := serve.New(serve.Config{Namespaces: map[string]serve.NamespaceConfig{
+			*ns: {B: 128, M: 128 * 64},
+		}})
+		if err != nil {
+			panic(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln) //errlint:ok ends with process exit; example server
+		defer srv.Close()
+		*base = "http://" + ln.Addr().String()
+		fmt.Printf("embedded skylined on %s\n", *base)
+	}
+	c := &client{base: *base, ns: *ns}
+
+	const window = 5000
+	rng := rand.New(rand.NewSource(7))
 	var live []repro.Point
 	nextX := repro.Coord(0)
 	usedY := map[repro.Coord]bool{}
-
-	insert := func() {
+	newPoint := func() repro.Point {
 		nextX += 1 + repro.Coord(rng.Int63n(16))
 		y := repro.Coord(rng.Int63n(1 << 30))
 		for usedY[y] {
 			y = repro.Coord(rng.Int63n(1 << 30))
 		}
 		usedY[y] = true
-		p := repro.Point{X: nextX, Y: y}
-		if err := db.Insert(p); err != nil {
-			panic(err)
-		}
-		live = append(live, p)
+		return repro.Point{X: nextX, Y: y}
 	}
 
-	// Fill the window.
-	for i := 0; i < window; i++ {
-		insert()
+	// Fill the window with one batched insert.
+	fill := make([]repro.Point, window)
+	for i := range fill {
+		fill[i] = newPoint()
 	}
+	live = append(live, fill...)
+	c.insert(fill...)
 
-	// Roll the window: each step expires the oldest event and admits a
-	// new one, querying periodically.
-	var queryIOs, updateIOs, queries, updates uint64
-	for step := 0; step < 3000; step++ {
-		db.ResetStats()
+	// Roll the window: each step expires the oldest event over
+	// /delete and admits a new one over /insert, querying
+	// periodically and cross-checking against the in-memory oracle.
+	queries := 0
+	for step := 0; step < 600; step++ {
 		old := live[0]
 		live = live[1:]
-		if ok, err := db.Delete(old); err != nil || !ok {
-			panic(fmt.Sprintf("delete %v: %v %v", old, ok, err))
+		if !c.delete(old) {
+			panic(fmt.Sprintf("step %d: delete %v reported absent", step, old))
 		}
-		insert()
-		updateIOs += db.Stats().IOs()
-		updates += 2
+		p := newPoint()
+		live = append(live, p)
+		c.insert(p)
 
 		if step%50 == 0 {
 			x1 := live[rng.Intn(len(live)/2)].X
 			x2 := x1 + repro.Coord(rng.Int63n(int64(window)*8))
 			beta := repro.Coord(rng.Int63n(1 << 30))
-			db.ResetStats()
-			ans := db.TopOpen(x1, x2, beta)
-			queryIOs += db.Stats().IOs()
-			queries++
+			ans := pointsOf(c.query(map[string]any{"shape": "top-open", "x1": x1, "x2": x2, "beta": beta}))
 			want := geom.RangeSkyline(live, geom.TopOpen(x1, x2, beta))
 			if len(ans) != len(want) {
 				panic(fmt.Sprintf("step %d: answer size %d, oracle %d", step, len(ans), len(want)))
 			}
+			queries++
 		}
 	}
-	fmt.Printf("window=%d events, 3000 roll steps\n", window)
-	fmt.Printf("avg update cost: %.1f I/Os\n", float64(updateIOs)/float64(updates))
-	fmt.Printf("avg query  cost: %.1f I/Os over %d queries (oracle-checked)\n",
-		float64(queryIOs)/float64(queries), queries)
+	fmt.Printf("window=%d events, 600 roll steps, %d oracle-checked queries\n", window, queries)
 
-	// Paginate the feed through a snapshot. A staircase paginates with
-	// a resume token — the last point p of a page: every remaining
-	// skyline point has x > p.X, and any of its dominators does too, so
-	// TopOpen(p.X+1, ∞, beta) is exactly the rest of the staircase
-	// (each fetch then keeps the first pageSize points, a LIMIT). On
-	// the live index the window rolling between fetches could delete a
-	// page boundary or push new maxima into an already-read range; on
-	// the pinned snapshot the pages must stitch into the exact skyline
-	// at pin time, however far the live index has moved on.
-	snap, err := db.Snapshot()
-	if err != nil {
-		panic(err)
+	// Paginate the feed through a server-pinned snapshot. The resume
+	// token is the server's next_after_x: every remaining skyline
+	// point — and any dominator of one — has x past it, so each page
+	// continues the staircase exactly. On the live index the window
+	// rolling between fetches could delete a page boundary or push new
+	// maxima into an already-read range; on the pinned snapshot the
+	// pages must stitch into the exact skyline at pin time, however
+	// far the live index has moved on.
+	var pin struct {
+		Snapshot string `json:"snapshot"`
 	}
+	c.post("/snapshot", nil, &pin)
 	frozen := append([]repro.Point(nil), live...)
 	const pageSize = 4
-	x1, beta := frozen[0].X, repro.Coord(0)
+	x1, x2, beta := frozen[0].X, frozen[len(frozen)-1].X, repro.Coord(0)
+	req := map[string]any{"shape": "top-open", "x1": x1, "x2": x2, "beta": beta,
+		"snapshot": pin.Snapshot, "limit": pageSize}
 	var feed []repro.Point
 	pages := 0
-	for fromX := x1; ; {
-		rest := snap.TopOpen(fromX, repro.PosInf, beta)
-		if len(rest) == 0 {
-			break
-		}
-		page := rest
-		if len(page) > pageSize {
-			page = page[:pageSize]
-		}
-		feed = append(feed, page...)
+	for {
+		resp := c.query(req)
+		feed = append(feed, pointsOf(resp)...)
 		pages++
-		if len(rest) <= pageSize {
+		if !resp.More {
 			break
 		}
-		fromX = page[len(page)-1].X + 1
+		req["after_x"] = *resp.NextAfterX
 		// The stream does not wait for the reader: roll the window
 		// between page fetches.
 		for i := 0; i < 40; i++ {
 			old := live[0]
 			live = live[1:]
-			if ok, err := db.Delete(old); err != nil || !ok {
-				panic(fmt.Sprintf("delete %v: %v %v", old, ok, err))
+			if !c.delete(old) {
+				panic(fmt.Sprintf("pagination roll: delete %v reported absent", old))
 			}
-			insert()
+			p := newPoint()
+			live = append(live, p)
+			c.insert(p)
 		}
 	}
-	snap.Close()
-	want := geom.RangeSkyline(frozen, geom.TopOpen(x1, repro.PosInf, beta))
+	c.del("/snapshot/" + pin.Snapshot) // release the pin
+	want := geom.RangeSkyline(frozen, geom.TopOpen(x1, x2, beta))
 	if len(feed) != len(want) {
 		panic(fmt.Sprintf("paginated feed tore: %d events, want %d", len(feed), len(want)))
 	}

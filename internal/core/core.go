@@ -449,6 +449,16 @@ func (db *DB) QueueCounters() engine.QueueCounters {
 	return db.queue.Counters()
 }
 
+// CacheCounters returns the read-through cache's operation totals
+// (hits, misses, evictions, invalidations); the zero value when the
+// index was opened without CacheEntries.
+func (db *DB) CacheCounters() engine.CacheCounters {
+	if db.cache == nil {
+		return engine.CacheCounters{}
+	}
+	return db.cache.Counters()
+}
+
 // Flush drains every buffered write to the underlying structures and,
 // with Options.Dir, checkpoints: the live point set is snapshotted to
 // the page file and the WAL truncated, so the next Open rebuilds
@@ -633,7 +643,7 @@ func (db *DB) Contour(x geom.Coord) []geom.Point {
 // quiesced, a degraded one keeps serving the applied state.
 func (db *DB) writable() error {
 	if !db.opts.Dynamic {
-		return fmt.Errorf("core: index opened static; reopen with Options.Dynamic")
+		return fmt.Errorf("core: write: %w", ErrStatic)
 	}
 	if db.closed.Load() {
 		return fmt.Errorf("core: write: %w", engine.ErrClosed)
@@ -712,6 +722,40 @@ func (db *DB) BatchDelete(pts []geom.Point) (int, error) {
 	if db.queue == nil {
 		db.n.Add(-int64(removed))
 	}
+	return removed, err
+}
+
+// BatchDeleteRemoved is BatchDelete reporting the removed points
+// themselves — the per-point resolution a caller multiplexing many
+// clients' deletes into one batch (the HTTP front end's group commit)
+// needs to answer each client individually. On a synchronous index the
+// returned slice is the confirmed-removed subset in batch order,
+// straight from the planner's presence-check-first path. With
+// AsyncWrites it is the ACCEPTED batch — the whole of pts, matching
+// Delete's acceptance bool — because hit-or-miss only resolves at
+// drain; a nil slice with a non-nil error means nothing was accepted.
+func (db *DB) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
+	if db.queue != nil {
+		if _, err := db.queue.BatchDelete(pts); err != nil {
+			db.noteWriteErr(err)
+			return nil, err
+		}
+		return pts, nil
+	}
+	rep, ok := db.front.(interface {
+		BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error)
+	})
+	if !ok {
+		// Not a configuration Open builds: every dynamic front
+		// (planner, cache, log backend) reports its removed subset.
+		return nil, fmt.Errorf("core: engine stack cannot report removed points")
+	}
+	removed, err := rep.BatchDeleteRemoved(pts)
+	db.noteWriteErr(err)
+	db.n.Add(-int64(len(removed)))
 	return removed, err
 }
 

@@ -36,6 +36,14 @@ var (
 	ErrDegraded       = engine.ErrDegraded
 	ErrBackpressure   = engine.ErrBackpressure
 	ErrRetryExhausted = vfs.ErrRetryExhausted
+
+	// ErrStatic rejects writes on an index opened without
+	// Options.Dynamic. The index is healthy and serves every query; it
+	// was simply built immutable (the Theorem 1 static structure).
+	// Unlike the sentinels above it can never appear mid-stream: either
+	// every write fails with it or none does, so callers — the HTTP
+	// front end maps it to 409 Conflict — should not retry.
+	ErrStatic = errors.New("index opened static (reads only); reopen with Options.Dynamic")
 )
 
 // degradeState is the DB's sticky fatal-error latch.

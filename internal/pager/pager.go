@@ -32,9 +32,9 @@
 // absorbed below the API with bounded exponential backoff
 // (vfs.RetryPolicy); every write here is positional, so a retry at the
 // same offset is idempotent. Errors that escape the retry loop are
-// fatal and surface to the caller. Crash-injection tests that used to
-// hang on pager.TestCrashHook now die inside vfs.FaultFS.Hook at the
-// exact operation they target (the rename, the directory sync, …).
+// fatal and surface to the caller. Crash-injection tests die inside
+// vfs.FaultFS.Hook at the exact filesystem operation they target (the
+// rename, the directory sync, …); the pager itself has no test hooks.
 package pager
 
 import (

@@ -100,6 +100,16 @@
 // default) or is shed with ErrBackpressure (Options.ShedWrites).
 // DB.Resilience reports the counters behind all of this.
 //
+// Everything above is also served over HTTP/JSON by cmd/skylined
+// (internal/serve): one namespace per DB, every query shape plus
+// snapshot-pinned pagination, group-committed single-point writes
+// through the batched paths, and the typed sentinels mapped to
+// statuses clients can act on (ErrBackpressure → 429 + Retry-After,
+// ErrDegraded → 503 read-only, ErrStatic → 409); SIGTERM drains and
+// checkpoints before exit, so acknowledged writes survive a graceful
+// shutdown. docs/API.md specifies the wire protocol, and cmd/skyload
+// load-tests a running server.
+//
 // The subsystems are importable individually: internal/topopen
 // (Theorem 1), internal/rankspace (Theorem 2 and Corollary 1),
 // internal/cpqa (Theorem 3), internal/dyntop (Theorem 4),
@@ -137,6 +147,13 @@ type (
 	// (enqueued, drained, coalesced, forced drains, read drains); see
 	// Options.AsyncWrites and DB.QueueCounters.
 	QueueCounters = engine.QueueCounters
+	// CacheCounters are the read-through cache's operation totals
+	// (hits, misses, evictions, invalidations); see
+	// Options.CacheEntries and DB.CacheCounters.
+	CacheCounters = engine.CacheCounters
+	// RecoveryStats reports what reopening a durable directory
+	// involved (snapshot size, WAL records replayed); see DB.Recover.
+	RecoveryStats = core.RecoveryStats
 	// Snapshot is a pinned point-in-time view of a DB; see DB.Snapshot.
 	Snapshot = core.Snapshot
 	// ResilienceStats aggregates the storage stack's fault-handling
@@ -177,6 +194,10 @@ var (
 	ErrDegraded       = core.ErrDegraded
 	ErrBackpressure   = core.ErrBackpressure
 	ErrRetryExhausted = core.ErrRetryExhausted
+	// ErrStatic rejects every write on an index opened without
+	// Options.Dynamic: the index is healthy but immutable by
+	// construction, so retrying cannot help.
+	ErrStatic = core.ErrStatic
 )
 
 // Open builds a range skyline index over pts. See core.Open.
