@@ -134,6 +134,7 @@ func main() {
 	run("E17", e17)
 	run("E18", e18)
 	run("E19", e19)
+	run("E20", e20)
 	if *flagJSON != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {

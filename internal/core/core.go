@@ -177,6 +177,27 @@ type Options struct {
 	// ShedWrites selects shedding over blocking for MaxBuffered
 	// overflow. Ignored unless AsyncWrites and MaxBuffered are set.
 	ShedWrites bool
+	// Rebalance enables online shard rebalancing: the sharded engines
+	// (the primary and, with Mirrors, the transposed mirror on its own
+	// axis) track per-shard load and split hot shards / merge cold
+	// neighbors live, rebuilding off to the side and swapping under a
+	// brief topology lock. Cut changes propagate to the cache's slab
+	// tags and the async queue's buffers automatically; open snapshots
+	// keep serving the topology they pinned. Requires Dynamic and
+	// Shards > 1. Answers are unaffected — only the work distribution
+	// moves (DB.RebalanceStats reports the activity).
+	Rebalance bool
+	// MaxShardSkew is the rebalance trigger ratio: a shard hotter than
+	// MaxShardSkew × the mean per-shard load splits, an adjacent pair
+	// jointly colder than mean/MaxShardSkew merges. Zero means 2.0.
+	// Ignored without Rebalance.
+	MaxShardSkew float64
+	// AdaptiveFlush lets each async-queue slab adapt its drain
+	// threshold to its traffic (hot slabs drain bigger batches, slabs
+	// that readers keep draining stay shallow). Ignored without
+	// AsyncWrites; off by default so drain points stay fixed for
+	// deterministic I/O accounting.
+	AdaptiveFlush bool
 }
 
 // DB is a planar range skyline index over a simulated EM machine. All
@@ -229,6 +250,11 @@ type DB struct {
 	// Options.Shards > 1, replacing the single-disk backends.
 	eng *shard.Engine
 
+	// meng is the sharded mirror engine; non-nil iff Shards > 1 and
+	// Mirrors. Kept so rebalancing can be wired and forced on the
+	// mirror's axis too.
+	meng *shard.Engine
+
 	// n is atomic so Len and the update paths are safe for the
 	// concurrent callers the sharded engine admits. The single-disk
 	// backends themselves serialize nothing — concurrent updates are
@@ -254,6 +280,14 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	}
 	if !geom.IsGeneralPosition(pts) {
 		return nil, fmt.Errorf("core: input not in general position (duplicate x or y)")
+	}
+	if opts.Rebalance {
+		if !opts.Dynamic {
+			return nil, fmt.Errorf("core: Rebalance requires Options.Dynamic (transitions rebuild shard structures)")
+		}
+		if opts.Shards <= 1 {
+			return nil, fmt.Errorf("core: Rebalance requires Options.Shards > 1 (nothing to rebalance unsharded)")
+		}
 	}
 	sorted := append([]geom.Point(nil), pts...)
 	geom.SortByX(sorted)
@@ -290,11 +324,13 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 	db.n.Store(int64(len(sorted)))
 	if opts.Shards > 1 {
 		eng, err := shard.New(shard.Options{
-			Machine: opts.Machine,
-			Epsilon: opts.Epsilon,
-			Shards:  opts.Shards,
-			Workers: opts.Workers,
-			Dynamic: opts.Dynamic,
+			Machine:   opts.Machine,
+			Epsilon:   opts.Epsilon,
+			Shards:    opts.Shards,
+			Workers:   opts.Workers,
+			Dynamic:   opts.Dynamic,
+			Rebalance: opts.Rebalance,
+			MaxSkew:   opts.MaxShardSkew,
 		}, sorted)
 		if err != nil {
 			return nil, err
@@ -362,12 +398,37 @@ func Open(opts Options, pts []geom.Point) (*DB, error) {
 			FlushInterval: opts.FlushInterval,
 			MaxBuffered:   opts.MaxBuffered,
 			ShedWrites:    opts.ShedWrites,
+			AdaptiveFlush: opts.AdaptiveFlush,
 		})
 		if err != nil {
 			return nil, err
 		}
 		db.queue = queue
 		db.front = queue
+	}
+	if opts.Rebalance {
+		// Wire cut propagation last, once every layer exists: a primary
+		// transition moves the cache's x-slab tags and re-learns the
+		// queue's slabs (migrating buffered ops); a mirror transition
+		// moves the cache's y-slab tags (the mirrored frame's x is the
+		// original y — the queue slabs only by original x). The
+		// listeners run with no engine locks held, so they may call
+		// back into any layer.
+		db.eng.SetCutsListener(func(cuts []geom.Coord) {
+			if db.cache != nil {
+				db.cache.SetXCuts(cuts)
+			}
+			if db.queue != nil {
+				db.queue.SetCuts(cuts)
+			}
+		})
+		if db.meng != nil {
+			db.meng.SetCutsListener(func(cuts []geom.Coord) {
+				if db.cache != nil {
+					db.cache.SetYCuts(cuts)
+				}
+			})
+		}
 	}
 	ok = true
 	return db, nil
@@ -400,16 +461,19 @@ func (db *DB) addMirror(sorted []geom.Point) error {
 	var inner engine.Backend
 	if db.opts.Shards > 1 {
 		meng, err := shard.New(shard.Options{
-			Machine: db.opts.Machine,
-			Epsilon: db.opts.Epsilon,
-			Shards:  db.opts.Shards,
-			Workers: db.opts.Workers,
-			Dynamic: db.opts.Dynamic,
-			TopOnly: true,
+			Machine:   db.opts.Machine,
+			Epsilon:   db.opts.Epsilon,
+			Shards:    db.opts.Shards,
+			Workers:   db.opts.Workers,
+			Dynamic:   db.opts.Dynamic,
+			TopOnly:   true,
+			Rebalance: db.opts.Rebalance,
+			MaxSkew:   db.opts.MaxShardSkew,
 		}, mirrored)
 		if err != nil {
 			return err
 		}
+		db.meng = meng
 		inner = meng
 	} else {
 		// Guarded for the same reason as the primary disk: snapshot
@@ -427,6 +491,74 @@ func (db *DB) addMirror(sorted []geom.Point) error {
 // Sharded returns the sharded concurrent engine serving every query
 // shape, or nil when the index was opened with Shards <= 1.
 func (db *DB) Sharded() *shard.Engine { return db.eng }
+
+// RebalanceStats reports the online-rebalancing activity of both
+// sharded engines: splits/merges completed, current shard counts, and
+// the load skew (max/mean per-shard load) accumulated since the last
+// transition. Zero value without Options.Rebalance.
+type RebalanceStats struct {
+	// Splits and Merges count the primary engine's completed
+	// transitions; Shards is its current partition count; Skew its
+	// current max/mean load ratio (0 while idle).
+	Splits uint64  `json:"splits"`
+	Merges uint64  `json:"merges"`
+	Shards int     `json:"shards"`
+	Skew   float64 `json:"skew"`
+	// MirrorSplits/MirrorMerges/MirrorShards are the transposed mirror
+	// engine's counterparts (it rebalances on the original y-axis).
+	MirrorSplits uint64 `json:"mirror_splits,omitempty"`
+	MirrorMerges uint64 `json:"mirror_merges,omitempty"`
+	MirrorShards int    `json:"mirror_shards,omitempty"`
+}
+
+// RebalanceStats returns the current rebalancing totals; the zero value
+// when the index was opened without Options.Rebalance (or unsharded).
+func (db *DB) RebalanceStats() RebalanceStats {
+	if db.eng == nil || !db.opts.Rebalance {
+		return RebalanceStats{}
+	}
+	c := db.eng.RebalanceCounters()
+	st := RebalanceStats{Splits: c.Splits, Merges: c.Merges, Shards: c.Shards, Skew: c.Skew}
+	if db.meng != nil {
+		m := db.meng.RebalanceCounters()
+		st.MirrorSplits, st.MirrorMerges, st.MirrorShards = m.Splits, m.Merges, m.Shards
+	}
+	return st
+}
+
+// ForceSplit splits shard i of the primary engine regardless of load
+// (i < 0 selects the most populous shard); with Mirrors, the transposed
+// mirror engine splits its own most populous shard too, so both axes
+// transition. A test and operational hook — the load policy exercises
+// the identical transition path. Requires Options.Rebalance.
+func (db *DB) ForceSplit(i int) error {
+	if db.eng == nil || !db.opts.Rebalance {
+		return fmt.Errorf("core: rebalancing disabled; open with Options.Rebalance")
+	}
+	err := db.eng.ForceSplit(i)
+	if db.meng != nil {
+		if merr := db.meng.ForceSplit(-1); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	return err
+}
+
+// ForceMerge merges shards i and i+1 of the primary engine (i < 0
+// selects the least populous adjacent pair); with Mirrors, the mirror
+// engine merges its own coldest pair. Requires Options.Rebalance.
+func (db *DB) ForceMerge(i int) error {
+	if db.eng == nil || !db.opts.Rebalance {
+		return fmt.Errorf("core: rebalancing disabled; open with Options.Rebalance")
+	}
+	err := db.eng.ForceMerge(i)
+	if db.meng != nil {
+		if merr := db.meng.ForceMerge(-1); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	return err
+}
 
 // Cache returns the read-through cache in front of the planner, or nil
 // when the index was opened with CacheEntries <= 0. Its Counters

@@ -118,18 +118,23 @@ type CacheBackend struct {
 	inner Backend
 	cap   int
 
+	mu sync.Mutex
 	// xcuts/ycuts are the partition boundaries learned from the wrapped
-	// backend (nil = one slab covering the whole axis). Fixed at
-	// construction, like the cuts of the engines they come from.
-	xcuts []geom.Coord
-	ycuts []geom.Coord
-
-	mu      sync.Mutex
+	// backend (nil = one slab covering the whole axis). Learned at
+	// construction; a rebalancing engine moves them through
+	// SetXCuts/SetYCuts. Guarded by mu.
+	xcuts   []geom.Coord
+	ycuts   []geom.Coord
 	entries map[geom.Rect]*list.Element
 	lru     *list.List // front = most recently used
 	// genX[i] counts the applied writes that touched x-slab i; fills
 	// are dropped when a slab generation moved under them.
 	genX []uint64
+	// cutsGen counts SetXCuts/SetYCuts calls: a fill whose slab tags
+	// were computed against old cuts must be dropped, never installed
+	// with stale coordinates (the per-slab generations it snapshotted
+	// index a genX that no longer exists).
+	cutsGen uint64
 
 	hits          uint64
 	misses        uint64
@@ -211,10 +216,55 @@ func (c *CacheBackend) Len() int {
 
 // XCuts returns the x-partition boundaries invalidation is aware of
 // (nil when the wrapped backend exposed none).
-func (c *CacheBackend) XCuts() []geom.Coord { return append([]geom.Coord(nil), c.xcuts...) }
+func (c *CacheBackend) XCuts() []geom.Coord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]geom.Coord(nil), c.xcuts...)
+}
 
 // YCuts returns the y-partition boundaries invalidation is aware of.
-func (c *CacheBackend) YCuts() []geom.Coord { return append([]geom.Coord(nil), c.ycuts...) }
+func (c *CacheBackend) YCuts() []geom.Coord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]geom.Coord(nil), c.ycuts...)
+}
+
+// SetXCuts replaces the x-partition boundaries after the wrapped engine
+// rebalanced. Every resident entry is re-tagged against the new cuts —
+// the memoized ANSWERS stay valid (a cut move changes where points
+// live, not what a rectangle contains), only the slab coordinates used
+// for invalidation change — and the per-slab generations restart at a
+// new cuts generation, so any in-flight fill tagged under the old cuts
+// is dropped instead of installed stale.
+func (c *CacheBackend) SetXCuts(cuts []geom.Coord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xcuts = append([]geom.Coord(nil), cuts...)
+	c.genX = make([]uint64, len(c.xcuts)+1)
+	c.cutsGen++
+	c.retagLocked()
+}
+
+// SetYCuts is SetXCuts for the transpose mirror's axis: the mirrored
+// engine partitions by original y, so its rebalance moves the y-slab
+// tags.
+func (c *CacheBackend) SetYCuts(cuts []geom.Coord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ycuts = append([]geom.Coord(nil), cuts...)
+	c.cutsGen++
+	c.retagLocked()
+}
+
+// retagLocked recomputes every entry's slab interval from the current
+// cuts. Caller holds mu.
+func (c *CacheBackend) retagLocked() {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		e.xLo, e.xHi = buckets(c.xcuts, e.key.X1, e.key.X2)
+		e.yLo, e.yHi = buckets(c.ycuts, e.key.Y1, e.key.Y2)
+	}
+}
 
 // Counters returns the cache's operation totals since the last
 // ResetStats. Safe to call while operations are in flight.
@@ -248,7 +298,6 @@ func buckets(cuts []geom.Coord, x1, x2 geom.Coord) (lo, hi int) {
 // stored answer survives a write that could have changed it.
 func (c *CacheBackend) RangeSkyline(q geom.Rect) []geom.Point {
 	key := CanonicalQuery(q)
-	xLo, xHi := buckets(c.xcuts, key.X1, key.X2)
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -259,6 +308,8 @@ func (c *CacheBackend) RangeSkyline(q geom.Rect) []geom.Point {
 		return ans
 	}
 	c.misses++
+	xLo, xHi := buckets(c.xcuts, key.X1, key.X2)
+	cutsGen := c.cutsGen
 	// Snapshot the generations of every x-slab the rectangle
 	// intersects: a write inside the rectangle must land in one of
 	// them, so an unchanged snapshot proves no such write raced the
@@ -277,6 +328,12 @@ func (c *CacheBackend) RangeSkyline(q geom.Rect) []geom.Point {
 		// A concurrent reader installed the same key first; keep its
 		// entry (the two answers agree — no invalidating write came
 		// between, or both fills would have been dropped).
+		return ans
+	}
+	if c.cutsGen != cutsGen {
+		// The cuts moved while the answer was being computed: the slab
+		// tags and generation snapshot describe a partition that no
+		// longer exists. Late fill against a moved cut — drop it.
 		return ans
 	}
 	for i := xLo; i <= xHi; i++ {
@@ -312,9 +369,13 @@ func (c *CacheBackend) invalidate(pts []geom.Point) {
 	if len(pts) == 0 {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Dedup the touched (x-slab, y-slab) pairs: a batch localized to
 	// one shard scans the cache once, not once per point. Single-point
 	// writes — the Insert/Delete hot path — skip the maps entirely.
+	// Computed under mu so the pairs and the entry tags they are matched
+	// against always describe the same cuts.
 	type slabPair struct{ x, y int }
 	var touched []slabPair
 	if len(pts) == 1 {
@@ -329,8 +390,6 @@ func (c *CacheBackend) invalidate(pts []geom.Point) {
 			}
 		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	bumped := -1 // touched is grouped enough that a last-seen check dedups most bumps
 	for _, pair := range touched {
 		if pair.x != bumped {

@@ -80,6 +80,15 @@ type QueueOptions struct {
 	// reject the write with ErrBackpressure instead of blocking the
 	// writer behind an inline drain.
 	ShedWrites bool
+	// AdaptiveFlush lets each slab adapt its own drain threshold to its
+	// traffic: two consecutive size-triggered drains double the slab's
+	// threshold (up to 8 × FlushPoints — hot slabs drain bigger
+	// batches, amortizing structure work), and any read- or
+	// timer-triggered drain halves it back toward FlushPoints (a slab
+	// that readers keep draining should stay shallow). Off by default:
+	// the adjustment is deterministic per slab, but workloads gated on
+	// exact drain counts (skybench E15) want the fixed threshold.
+	AdaptiveFlush bool
 }
 
 // QueueCounters are an AsyncQueue's operation totals. At quiescence
@@ -115,6 +124,26 @@ type QueueCounters struct {
 	// block policy and had to drain their slab inline before being
 	// accepted (each admission retry counts one).
 	Blocked uint64
+	// Slabs holds the per-slab depth/drain breakdown — the telemetry
+	// the rebalance policy reads, surfaced for operators. Slab i covers
+	// the queue's i-th x-slab; a rebalance reshape replaces the slabs,
+	// so per-slab totals restart at each cut change (pending writes
+	// migrate and stay visible in Depth).
+	Slabs []SlabQueueCounters
+}
+
+// SlabQueueCounters are one x-slab buffer's totals since the slab was
+// created (queue construction, or the last cut change).
+type SlabQueueCounters struct {
+	// Depth is the number of points with pending buffered writes.
+	Depth int
+	// Enqueued counts writes accepted into this slab.
+	Enqueued uint64
+	// Drained counts buffered writes this slab applied to the backend.
+	Drained uint64
+	// FlushAt is the slab's current drain threshold (FlushPoints unless
+	// AdaptiveFlush moved it).
+	FlushAt int
 }
 
 // pendingState is a point's buffered-write state inside one slab.
@@ -145,7 +174,31 @@ type slabBuf struct {
 	// deterministically (map iteration would not); cancelled points
 	// stay in the slice and are skipped at drain.
 	order []geom.Point
+	// flushAt is the slab's drain threshold; fixed at FlushPoints
+	// unless AdaptiveFlush adjusts it. sizeStreak counts consecutive
+	// size-triggered drains (the grow signal). Both guarded by mu.
+	flushAt    int
+	sizeStreak int
+	// enqueued/drained are this slab's telemetry counters.
+	enqueued atomic.Uint64
+	drained  atomic.Uint64
 }
+
+func newSlabBuf(flushAt int) *slabBuf {
+	return &slabBuf{pending: make(map[geom.Point]pendingState), flushAt: flushAt}
+}
+
+// drainReason tags what triggered a drain: the FlushPoints size
+// threshold, a read (drain-on-read), or everything else (timer, explicit
+// Flush, Close, admission control). AdaptiveFlush grows a slab's
+// threshold on consecutive size triggers and shrinks it on the rest.
+type drainReason int8
+
+const (
+	drainSize drainReason = iota
+	drainRead
+	drainTimer
+)
 
 // AsyncQueue is a buffering write-behind layer over any Backend. It
 // implements Backend: writes are buffered per x-slab and applied in
@@ -154,8 +207,24 @@ type slabBuf struct {
 type AsyncQueue struct {
 	inner Backend
 	opts  QueueOptions
-	cuts  []geom.Coord
-	slabs []*slabBuf
+	// topoMu guards cuts and slabs as a pair. Every public operation
+	// holds it shared for its full duration — enqueue through any inline
+	// drain, drain-on-read through the inner query — and a cut change
+	// (reshape) takes it exclusively, so no read can observe the window
+	// where buffered ops are mid-migration between slab sets. The write
+	// lock is only ever taken by the reshape goroutine (never on a
+	// caller's stack, which may already hold the read side through a
+	// drain), so the read side cannot self-deadlock.
+	topoMu sync.RWMutex
+	cuts   []geom.Coord
+	slabs  []*slabBuf
+
+	// reshapeMu guards the pending-cuts mailbox; reshaper reports
+	// whether the goroutine applying mailbox entries is running.
+	reshapeMu sync.Mutex
+	wantCuts  []geom.Coord
+	haveWant  bool
+	reshaper  bool
 
 	// applied is the net point-count delta the drains have applied:
 	// +1 per drained insert, -1 per drained delete that hit. With all
@@ -215,7 +284,7 @@ func NewAsyncQueue(inner Backend, opts QueueOptions) (*AsyncQueue, error) {
 		done:  make(chan struct{}),
 	}
 	for i := range q.slabs {
-		q.slabs[i] = &slabBuf{pending: make(map[geom.Point]pendingState)}
+		q.slabs[i] = newSlabBuf(opts.FlushPoints)
 	}
 	if opts.FlushInterval > 0 {
 		go q.drainLoop()
@@ -249,15 +318,88 @@ func (q *AsyncQueue) Inner() Backend { return q.inner }
 
 // NumSlabs returns the number of per-x-slab buffers (the wrapped
 // engine's shard count, or 1 without partition information).
-func (q *AsyncQueue) NumSlabs() int { return len(q.slabs) }
+func (q *AsyncQueue) NumSlabs() int {
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
+	return len(q.slabs)
+}
+
+// SetCuts re-learns the slab partition after the wrapped engine
+// rebalanced its cuts, migrating every buffered op — coalescing state
+// intact — into the slab set the new cuts define. The reshape is
+// deferred to a dedicated goroutine because SetCuts may be called from
+// a cuts listener firing underneath one of this queue's own drains,
+// whose caller already holds the topology lock the reshape must take
+// exclusively. Consecutive calls coalesce to the latest cut set; until
+// the reshape lands, the old slabs keep serving — slab/cut misalignment
+// affects drain granularity only, never answers (drain-on-read drains
+// every slab whose x-range intersects the query, under either cut set).
+func (q *AsyncQueue) SetCuts(cuts []geom.Coord) {
+	q.reshapeMu.Lock()
+	q.wantCuts = append([]geom.Coord(nil), cuts...)
+	q.haveWant = true
+	if !q.reshaper {
+		q.reshaper = true
+		go q.reshapeLoop()
+	}
+	q.reshapeMu.Unlock()
+}
+
+// reshapeLoop applies mailbox entries until the mailbox is empty, then
+// exits. SetCuts restarts it on demand.
+func (q *AsyncQueue) reshapeLoop() {
+	for {
+		q.reshapeMu.Lock()
+		if !q.haveWant {
+			q.reshaper = false
+			q.reshapeMu.Unlock()
+			return
+		}
+		cuts := q.wantCuts
+		q.wantCuts, q.haveWant = nil, false
+		q.reshapeMu.Unlock()
+		q.applyCuts(cuts)
+	}
+}
+
+// applyCuts performs one reshape under the exclusive topology lock:
+// build empty slabs for the new cuts, then move every pending op across
+// in arrival order. Each point lives in exactly one old slab (the old
+// cuts routed it deterministically), so its state lands in an empty
+// spot in its new slab and the coalescing state machine carries over
+// verbatim — a pendingDelIns stays a delete-then-reinsert, and later
+// enqueues coalesce against the migrated state exactly as they would
+// have against the original buffer.
+func (q *AsyncQueue) applyCuts(cuts []geom.Coord) {
+	q.topoMu.Lock()
+	defer q.topoMu.Unlock()
+	old := q.slabs
+	q.cuts = append([]geom.Coord(nil), cuts...)
+	q.slabs = make([]*slabBuf, len(q.cuts)+1)
+	for i := range q.slabs {
+		q.slabs[i] = newSlabBuf(q.opts.FlushPoints)
+	}
+	for _, s := range old {
+		for _, p := range s.order {
+			st, ok := s.pending[p]
+			if !ok {
+				continue // coalesced away before the reshape
+			}
+			delete(s.pending, p)
+			d := q.slabs[bucketFor(q.cuts, p.X)]
+			d.pending[p] = st
+			d.order = append(d.order, p)
+		}
+	}
+}
 
 // FlushPoints returns the per-buffer drain threshold in effect.
 func (q *AsyncQueue) FlushPoints() int { return q.opts.FlushPoints }
 
-// Counters returns the queue's operation totals. Safe to call while
-// operations are in flight.
+// Counters returns the queue's operation totals, including the
+// per-slab breakdown. Safe to call while operations are in flight.
 func (q *AsyncQueue) Counters() QueueCounters {
-	return QueueCounters{
+	ctr := QueueCounters{
 		Enqueued:     q.enqueued.Load(),
 		Drained:      q.drained.Load(),
 		Coalesced:    q.coalesced.Load(),
@@ -266,11 +408,27 @@ func (q *AsyncQueue) Counters() QueueCounters {
 		Shed:         q.shed.Load(),
 		Blocked:      q.blocked.Load(),
 	}
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
+	ctr.Slabs = make([]SlabQueueCounters, len(q.slabs))
+	for i, s := range q.slabs {
+		s.mu.Lock()
+		ctr.Slabs[i] = SlabQueueCounters{
+			Depth:    len(s.pending),
+			Enqueued: s.enqueued.Load(),
+			Drained:  s.drained.Load(),
+			FlushAt:  s.flushAt,
+		}
+		s.mu.Unlock()
+	}
+	return ctr
 }
 
 // Buffered returns the number of points with pending buffered writes
 // across all slabs (a delete-then-reinsert pair counts one point).
 func (q *AsyncQueue) Buffered() int {
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
 	n := 0
 	for _, s := range q.slabs {
 		s.mu.Lock()
@@ -307,18 +465,19 @@ func errQueueClosed() error { return fmt.Errorf("engine: async queue rejects wri
 // under the shed policy the write is rejected with ErrBackpressure;
 // under the block policy the writer drains the slab inline and
 // retries — it pays the latency its own backlog created.
-func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error) {
-	slab = bucketFor(q.cuts, p.X)
-	s := q.slabs[slab]
+// Caller holds topoMu shared.
+func (q *AsyncQueue) enqueue(p geom.Point, del bool) (s *slabBuf, size, flushAt int, err error) {
+	slab := bucketFor(q.cuts, p.X)
+	s = q.slabs[slab]
 	s.mu.Lock()
 	for {
 		if q.closed.Load() {
 			s.mu.Unlock()
-			return slab, 0, errQueueClosed()
+			return s, 0, 0, errQueueClosed()
 		}
 		if derr := q.Err(); derr != nil {
 			s.mu.Unlock()
-			return slab, 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
+			return s, 0, 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
 		}
 		_, buffered := s.pending[p]
 		if q.opts.MaxBuffered <= 0 || buffered || len(s.pending) < q.opts.MaxBuffered {
@@ -327,15 +486,15 @@ func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error)
 		s.mu.Unlock()
 		if q.opts.ShedWrites {
 			q.shed.Add(1)
-			return slab, 0, fmt.Errorf("engine: slab %d at MaxBuffered %d: %w",
+			return s, 0, 0, fmt.Errorf("engine: slab %d at MaxBuffered %d: %w",
 				slab, q.opts.MaxBuffered, ErrBackpressure)
 		}
 		q.blocked.Add(1)
-		if derr := q.drainSlab(slab, false); derr != nil {
+		if derr := q.drainSlab(s, drainTimer); derr != nil {
 			// The drain failed and latched; the write was never
 			// accepted. Without this return the loop would spin on a
 			// frozen, forever-full slab.
-			return slab, 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
+			return s, 0, 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
 		}
 		s.mu.Lock()
 	}
@@ -374,10 +533,11 @@ func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error)
 			q.coalesced.Add(1)
 		}
 	}
-	size = len(s.pending)
+	size, flushAt = len(s.pending), s.flushAt
 	s.mu.Unlock()
+	s.enqueued.Add(1)
 	q.enqueued.Add(1)
-	return slab, size, nil
+	return s, size, flushAt, nil
 }
 
 // drainSlab flushes slab i's buffer through the wrapped backend's
@@ -385,8 +545,10 @@ func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error)
 // so when it returns every write buffered in that slab before the call
 // is fully applied — including batches swapped out by concurrent
 // drains, which must finish before this one can acquire the lock.
-// forced marks a drain triggered by a read (counted only when the
-// buffer was non-empty).
+// reason tags the trigger: drainRead marks a drain forced by a read
+// (counted only when the buffer was non-empty), and with AdaptiveFlush
+// the reason steers the slab's threshold — consecutive drainSize
+// triggers grow it, drainRead/drainTimer shrink it back.
 //
 // Once a drain error latches, the queue is FROZEN: drainSlab returns
 // the sticky error without swapping any buffer, so no further batch is
@@ -394,8 +556,7 @@ func (q *AsyncQueue) enqueue(p geom.Point, del bool) (slab, size int, err error)
 // buffered stays buffered (stranded, unacknowledged — enqueue rejects
 // new writes with ErrDegraded), and reads serve the applied state,
 // which is exactly the state a reopen-replay of the WAL reconstructs.
-func (q *AsyncQueue) drainSlab(i int, forced bool) error {
-	s := q.slabs[i]
+func (q *AsyncQueue) drainSlab(s *slabBuf, reason drainReason) error {
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
 	if err := q.Err(); err != nil {
@@ -407,6 +568,21 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 		s.order = s.order[:0]
 		s.mu.Unlock()
 		return nil
+	}
+	if q.opts.AdaptiveFlush {
+		base := q.opts.FlushPoints
+		if reason == drainSize {
+			s.sizeStreak++
+			if s.sizeStreak >= 2 {
+				s.sizeStreak = 0
+				if s.flushAt < 8*base {
+					s.flushAt = min(2*s.flushAt, 8*base)
+				}
+			}
+		} else {
+			s.sizeStreak = 0
+			s.flushAt = max(base, s.flushAt/2)
+		}
 	}
 	order, pending := s.order, s.pending
 	s.order = nil
@@ -427,7 +603,7 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 			inss = append(inss, p)
 		}
 	}
-	if forced {
+	if reason == drainRead {
 		q.forced.Add(1)
 		q.readDrained.Add(uint64(len(dels) + len(inss)))
 	}
@@ -447,6 +623,7 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 		}
 		if firstErr == nil {
 			q.drained.Add(uint64(len(dels)))
+			s.drained.Add(uint64(len(dels)))
 		}
 	}
 	// The insert half runs only if the delete half applied: a failed
@@ -463,6 +640,7 @@ func (q *AsyncQueue) drainSlab(i int, forced bool) error {
 		if err == nil {
 			q.applied.Add(int64(len(inss)))
 			q.drained.Add(uint64(len(inss)))
+			s.drained.Add(uint64(len(inss)))
 		}
 		firstErr = err
 	}
@@ -494,6 +672,7 @@ func (q *AsyncQueue) Err() error {
 // drainFor drains every slab whose x-range intersects r — the
 // drain-on-read rule. An empty rectangle contains no points, so no
 // buffered write can change its (empty) answer and nothing drains.
+// Caller holds topoMu shared.
 func (q *AsyncQueue) drainFor(r geom.Rect) error {
 	key := CanonicalQuery(r)
 	if key.X1 > key.X2 {
@@ -502,7 +681,7 @@ func (q *AsyncQueue) drainFor(r geom.Rect) error {
 	lo, hi := buckets(q.cuts, key.X1, key.X2)
 	var firstErr error
 	for i := lo; i <= hi; i++ {
-		if err := q.drainSlab(i, true); err != nil && firstErr == nil {
+		if err := q.drainSlab(q.slabs[i], drainRead); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -515,9 +694,11 @@ func (q *AsyncQueue) drainFor(r geom.Rect) error {
 // is safe to call concurrently with reads, writes and other flushes,
 // and is a no-op on an already-empty queue.
 func (q *AsyncQueue) Flush() error {
-	for i := range q.slabs {
-		q.drainSlab(i, false) //errlint:ok errors latch; surfaced below
+	q.topoMu.RLock()
+	for _, s := range q.slabs {
+		q.drainSlab(s, drainTimer) //errlint:ok errors latch; surfaced below
 	}
+	q.topoMu.RUnlock()
 	return q.Err()
 }
 
@@ -548,20 +729,24 @@ func (q *AsyncQueue) RangeSkyline(r geom.Rect) []geom.Point {
 	// differential harness, and the read still reflects every write
 	// the drain managed to apply). On a frozen (degraded) queue the
 	// drain is a no-op and the read serves the applied state.
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
 	q.drainFor(r) //errlint:ok reads cannot surface drain errors; error latches sticky
 	return q.inner.RangeSkyline(r)
 }
 
-// Insert buffers p and returns. When the buffer reaches FlushPoints the
-// writer drains it inline — one batch apply per FlushPoints accepted
-// writes, at deterministic points in the op stream.
+// Insert buffers p and returns. When the buffer reaches its threshold
+// the writer drains it inline — one batch apply per threshold's worth
+// of accepted writes, at deterministic points in the op stream.
 func (q *AsyncQueue) Insert(p geom.Point) error {
-	slab, size, err := q.enqueue(p, false)
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
+	s, size, flushAt, err := q.enqueue(p, false)
 	if err != nil {
 		return err
 	}
-	if size >= q.opts.FlushPoints {
-		return q.drainSlab(slab, false)
+	if size >= flushAt {
+		return q.drainSlab(s, drainSize)
 	}
 	return nil
 }
@@ -572,12 +757,14 @@ func (q *AsyncQueue) Insert(p geom.Point) error {
 // nothing anywhere. Callers needing synchronous presence must use an
 // unqueued engine.
 func (q *AsyncQueue) Delete(p geom.Point) (bool, error) {
-	slab, size, err := q.enqueue(p, true)
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
+	s, size, flushAt, err := q.enqueue(p, true)
 	if err != nil {
 		return false, err
 	}
-	if size >= q.opts.FlushPoints {
-		return true, q.drainSlab(slab, false)
+	if size >= flushAt {
+		return true, q.drainSlab(s, drainSize)
 	}
 	return true, nil
 }
@@ -599,24 +786,26 @@ func (q *AsyncQueue) BatchDelete(pts []geom.Point) (int, error) {
 // point; the points enqueued before it are in the final flush's scope,
 // exactly like single writes.
 func (q *AsyncQueue) enqueueBatch(pts []geom.Point, del bool) error {
-	full := make(map[int]bool)
+	q.topoMu.RLock()
+	defer q.topoMu.RUnlock()
+	full := make(map[*slabBuf]bool)
 	var firstErr error
 	for _, p := range pts {
 		// Per-point enqueue keeps the state machine in one place; the
 		// slab mutex is uncontended in the common single-writer case
 		// and the batch's win — one structure lock per shard per
 		// drain — is preserved regardless.
-		slab, size, err := q.enqueue(p, del)
+		s, size, flushAt, err := q.enqueue(p, del)
 		if err != nil {
 			firstErr = err
 			break
 		}
-		if size >= q.opts.FlushPoints {
-			full[slab] = true
+		if size >= flushAt {
+			full[s] = true
 		}
 	}
-	for slab := range full {
-		if err := q.drainSlab(slab, false); err != nil && firstErr == nil {
+	for s := range full {
+		if err := q.drainSlab(s, drainSize); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -86,23 +86,74 @@ type NamespaceConfig struct {
 	// rejected — surfaced to clients as 429 + Retry-After.
 	MaxBuffered int  `json:"max_buffered,omitempty"`
 	ShedWrites  bool `json:"shed_writes,omitempty"`
+	// Rebalance enables online shard rebalancing (requires a dynamic
+	// namespace with shards > 1); MaxShardSkew is its max/mean load
+	// trigger (0 means 2.0).
+	Rebalance    bool    `json:"rebalance,omitempty"`
+	MaxShardSkew float64 `json:"max_shard_skew,omitempty"`
+	// AdaptiveFlush lets each async-queue slab tune its own flush
+	// threshold to the observed drain pattern.
+	AdaptiveFlush bool `json:"adaptive_flush,omitempty"`
+}
+
+// validate rejects a config that core.Open (or the engine below it)
+// would reject later, naming the offending field — so a bad namespace
+// fails at serve.New with a message an operator can act on, not on the
+// namespace's first request.
+func (c NamespaceConfig) validate() error {
+	switch {
+	case c.B < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "b", c.B)
+	case c.M < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "m", c.M)
+	case c.B == 0 && c.M > 0:
+		return fmt.Errorf("field %q: set without %q (both or neither)", "m", "b")
+	case c.Epsilon < 0 || c.Epsilon >= 1:
+		return fmt.Errorf("field %q: must be in [0, 1), got %v", "epsilon", c.Epsilon)
+	case c.Shards < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "shards", c.Shards)
+	case c.Workers < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "workers", c.Workers)
+	case c.CacheEntries < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "cache_entries", c.CacheEntries)
+	case c.FlushPoints < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "flush_points", c.FlushPoints)
+	case c.MaxBuffered < 0:
+		return fmt.Errorf("field %q: must be >= 0, got %d", "max_buffered", c.MaxBuffered)
+	case c.Static && c.AsyncWrites:
+		return fmt.Errorf("field %q: a static namespace has no write path to buffer", "async_writes")
+	case c.Rebalance && c.Static:
+		return fmt.Errorf("field %q: a static namespace cannot rebalance", "rebalance")
+	case c.Rebalance && c.Shards <= 1:
+		return fmt.Errorf("field %q: requires %q > 1, got %d", "rebalance", "shards", c.Shards)
+	case c.MaxShardSkew != 0 && c.MaxShardSkew < 1:
+		return fmt.Errorf("field %q: must be >= 1 (max/mean load ratio), got %v", "max_shard_skew", c.MaxShardSkew)
+	case c.MaxShardSkew != 0 && !c.Rebalance:
+		return fmt.Errorf("field %q: set without %q", "max_shard_skew", "rebalance")
+	case c.AdaptiveFlush && !c.AsyncWrites:
+		return fmt.Errorf("field %q: set without %q", "adaptive_flush", "async_writes")
+	}
+	return nil
 }
 
 // Options translates the wire config into core.Options.
 func (c NamespaceConfig) Options() core.Options {
 	opts := core.Options{
-		Epsilon:      c.Epsilon,
-		Dynamic:      !c.Static,
-		Shards:       c.Shards,
-		Workers:      c.Workers,
-		Mirrors:      c.Mirrors,
-		CacheEntries: c.CacheEntries,
-		AsyncWrites:  c.AsyncWrites,
-		FlushPoints:  c.FlushPoints,
-		Dir:          c.Dir,
-		SyncWAL:      c.SyncWAL,
-		MaxBuffered:  c.MaxBuffered,
-		ShedWrites:   c.ShedWrites,
+		Epsilon:       c.Epsilon,
+		Dynamic:       !c.Static,
+		Shards:        c.Shards,
+		Workers:       c.Workers,
+		Mirrors:       c.Mirrors,
+		CacheEntries:  c.CacheEntries,
+		AsyncWrites:   c.AsyncWrites,
+		FlushPoints:   c.FlushPoints,
+		Dir:           c.Dir,
+		SyncWAL:       c.SyncWAL,
+		MaxBuffered:   c.MaxBuffered,
+		ShedWrites:    c.ShedWrites,
+		Rebalance:     c.Rebalance,
+		MaxShardSkew:  c.MaxShardSkew,
+		AdaptiveFlush: c.AdaptiveFlush,
 	}
 	if c.B > 0 {
 		opts.Machine = emio.Config{B: c.B, M: c.M}
@@ -226,6 +277,9 @@ func New(cfg Config) (*Server, error) {
 	for name, nc := range cfg.Namespaces {
 		if name == "" {
 			return nil, fmt.Errorf("serve: empty namespace name")
+		}
+		if err := nc.validate(); err != nil {
+			return nil, fmt.Errorf("serve: namespace %q: %w", name, err)
 		}
 		s.nss[name] = &namespace{name: name, cfg: nc}
 	}
@@ -851,10 +905,13 @@ type statsResp struct {
 	Resilience core.ResilienceStats `json:"resilience"`
 	Recovery   core.RecoveryStats   `json:"recovery"`
 	Snapshots  int                  `json:"open_snapshots"`
+	// Rebalance reports shard-rebalancing activity; omitted for
+	// namespaces opened without "rebalance": true.
+	Rebalance *core.RebalanceStats `json:"rebalance,omitempty"`
 }
 
 func handleStats(s *Server, ns *namespace, w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResp{
+	resp := statsResp{
 		Len:        ns.db.Len(),
 		IOs:        ns.db.Stats().IOs(),
 		Queue:      ns.db.QueueCounters(),
@@ -862,7 +919,12 @@ func handleStats(s *Server, ns *namespace, w http.ResponseWriter, r *http.Reques
 		Resilience: ns.db.Resilience(),
 		Recovery:   ns.db.Recover(),
 		Snapshots:  ns.db.OpenSnapshots(),
-	})
+	}
+	if ns.cfg.Rebalance {
+		rb := ns.db.RebalanceStats()
+		resp.Rebalance = &rb
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSnapshotPin serves POST /v1/{ns}/snapshot: pin a point-in-time

@@ -1,0 +1,443 @@
+package shard
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// rebalanceOpts is the base rebalancing configuration the tests build
+// engines from: small floors so transitions are easy to force.
+func rebalanceOpts() Options {
+	return Options{
+		Machine: testCfg, Shards: 4, Workers: 2, Dynamic: true,
+		Rebalance: true, MinShardPoints: 4, RebalanceEvery: 8, MaxShards: 16,
+	}
+}
+
+// checkBothFamilies cross-checks both query families against the oracle
+// over ref — the acceptance bar after every topology change.
+func checkBothFamilies(t *testing.T, eng *Engine, ref []geom.Point, span geom.Coord, seed int64, ctx string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for q := 0; q < 30; q++ {
+		x1, x2, beta := randTopOpen(rng, span)
+		samePoints(t, eng.TopOpen(x1, x2, beta),
+			geom.RangeSkyline(ref, geom.TopOpen(x1, x2, beta)), ctx+" top q="+itoa(q))
+		r := randFourSided(rng, span)
+		samePoints(t, eng.FourSided(r), geom.RangeSkyline(ref, r), ctx+" four q="+itoa(q))
+	}
+}
+
+// TestRebalanceValidation pins the option contract: rebalancing needs
+// the dynamic per-shard registry, and a skew trigger below 1 is
+// meaningless.
+func TestRebalanceValidation(t *testing.T) {
+	if _, err := New(Options{Machine: testCfg, Rebalance: true}, nil); err == nil {
+		t.Fatal("Rebalance without Dynamic accepted")
+	}
+	if _, err := New(Options{Machine: testCfg, Dynamic: true, Rebalance: true, MaxSkew: 0.5}, nil); err == nil {
+		t.Fatal("MaxSkew below 1 accepted")
+	}
+}
+
+// TestRebalanceForcedTransitions drives explicit splits and merges
+// through the public Force entry points and checks, after every
+// transition: both query families byte-identical to the oracle, the
+// counters, the cut ordering, and the listener receiving each new cut
+// set in transition order with no engine locks held.
+func TestRebalanceForcedTransitions(t *testing.T) {
+	const n = 600
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 8500)
+	geom.SortByX(pts)
+	eng, err := New(rebalanceOpts(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := eng.RebalanceCounters(); c.Splits != 0 || c.Merges != 0 || c.Shards != 4 || c.Skew != 0 {
+		t.Fatalf("idle counters = %+v", c)
+	}
+	var mu sync.Mutex
+	var heard [][]geom.Coord
+	eng.SetCutsListener(func(cuts []geom.Coord) {
+		// The listener may call back into the engine: no lock is held.
+		_ = eng.NumShards()
+		mu.Lock()
+		heard = append(heard, cuts)
+		mu.Unlock()
+	})
+
+	steps := []struct {
+		name  string
+		run   func() error
+		split bool
+	}{
+		{"split hottest", func() error { return eng.ForceSplit(-1) }, true},
+		{"split 2", func() error { return eng.ForceSplit(2) }, true},
+		{"merge coldest", func() error { return eng.ForceMerge(-1) }, false},
+		{"merge 0", func() error { return eng.ForceMerge(0) }, false},
+	}
+	wantShards, wantSplits, wantMerges := 4, uint64(0), uint64(0)
+	for i, step := range steps {
+		if err := step.run(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		if step.split {
+			wantShards++
+			wantSplits++
+		} else {
+			wantShards--
+			wantMerges++
+		}
+		c := eng.RebalanceCounters()
+		if c.Splits != wantSplits || c.Merges != wantMerges || c.Shards != wantShards {
+			t.Fatalf("%s: counters = %+v, want %d/%d/%d", step.name, c, wantSplits, wantMerges, wantShards)
+		}
+		cuts := eng.Cuts()
+		if len(cuts) != wantShards-1 {
+			t.Fatalf("%s: %d cuts for %d shards", step.name, len(cuts), wantShards)
+		}
+		for j := 1; j < len(cuts); j++ {
+			if cuts[j-1] >= cuts[j] {
+				t.Fatalf("%s: cuts not increasing: %v", step.name, cuts)
+			}
+		}
+		mu.Lock()
+		if len(heard) != i+1 {
+			t.Fatalf("%s: listener heard %d transitions, want %d", step.name, len(heard), i+1)
+		}
+		last := heard[len(heard)-1]
+		mu.Unlock()
+		if len(last) != len(cuts) {
+			t.Fatalf("%s: listener got %v, engine has %v", step.name, last, cuts)
+		}
+		for j := range last {
+			if last[j] != cuts[j] {
+				t.Fatalf("%s: listener got %v, engine has %v", step.name, last, cuts)
+			}
+		}
+		checkBothFamilies(t, eng, pts, span, int64(8600+i), step.name)
+	}
+	if eng.Len() != n {
+		t.Fatalf("Len = %d after transitions, want %d", eng.Len(), n)
+	}
+}
+
+// TestRebalanceForceErrors covers every refusal: disabled engine,
+// out-of-range indices, a shard too small to split, and a single-shard
+// engine with nothing to merge.
+func TestRebalanceForceErrors(t *testing.T) {
+	pts := geom.GenUniform(200, 4000, 8700)
+	geom.SortByX(pts)
+	plain, err := New(Options{Machine: testCfg, Shards: 4, Dynamic: true}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.ForceSplit(0); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("ForceSplit on plain engine: %v", err)
+	}
+	if err := plain.ForceMerge(0); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("ForceMerge on plain engine: %v", err)
+	}
+
+	eng, err := New(rebalanceOpts(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ForceSplit(99); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("ForceSplit(99): %v", err)
+	}
+	if err := eng.ForceMerge(99); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("ForceMerge(99): %v", err)
+	}
+
+	opts := rebalanceOpts()
+	opts.Shards = 1
+	tiny, err := New(opts, pts[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.ForceSplit(0); err == nil || !strings.Contains(err.Error(), "too small") {
+		t.Fatalf("ForceSplit on 1-point shard: %v", err)
+	}
+	// One shard: the coldest-pair pick has no pair, merge must refuse.
+	if err := tiny.ForceMerge(-1); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("ForceMerge on single-shard engine: %v", err)
+	}
+}
+
+// TestRebalancePolicy drives the load policy itself: a stream of
+// inserts landing entirely in the rightmost shard's x-range must trip
+// splits (the hot shard exceeds MaxSkew × mean), and once the shard
+// count hits MaxShards the idle left shards must trip merges (coldest
+// pair far under the mean). Answers stay oracle-identical throughout.
+func TestRebalancePolicy(t *testing.T) {
+	const n, stream = 300, 500
+	span := geom.Coord((n + stream) * 16)
+	// GenUniform returns x-sorted points: the tail of the pool lies
+	// entirely right of the base's cuts, which is exactly the hot
+	// stream the policy exists for.
+	all := geom.GenUniform(n+stream, span, 8800)
+	base := append([]geom.Point(nil), all[:n]...)
+	pool := all[n:]
+	opts := rebalanceOpts()
+	opts.MaxSkew = 1.5
+	opts.MaxShards = 6
+	eng, err := New(opts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]geom.Point(nil), base...)
+	for i, p := range pool {
+		if i%3 == 0 {
+			// Batches exercise the batched cadence accounting.
+			hi := i + 1
+			if hi > len(pool) {
+				hi = len(pool)
+			}
+			if err := eng.BatchInsert(pool[i:hi]); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, pool[i:hi]...)
+		} else {
+			if err := eng.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, p)
+		}
+	}
+	c := eng.RebalanceCounters()
+	if c.Splits == 0 {
+		t.Fatalf("hot stream tripped no splits: %+v", c)
+	}
+	if c.Merges == 0 {
+		t.Fatalf("cold left shards tripped no merges after hitting MaxShards: %+v", c)
+	}
+	if c.Shards > opts.MaxShards {
+		t.Fatalf("shard count %d exceeded MaxShards %d", c.Shards, opts.MaxShards)
+	}
+	if c.Skew < 0 {
+		t.Fatalf("negative skew: %+v", c)
+	}
+	if eng.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", eng.Len(), len(ref))
+	}
+	checkBothFamilies(t, eng, ref, span, 8801, "post-policy")
+
+	// A no-op batch delete must not advance the policy cadence.
+	before := eng.rebalOps.Load()
+	if removed, err := eng.BatchDelete([]geom.Point{{X: -5, Y: -5}}); err != nil || removed != 0 {
+		t.Fatalf("BatchDelete(absent) = %d, %v", removed, err)
+	}
+	if eng.rebalOps.Load() != before {
+		t.Fatal("a removed-nothing batch advanced the rebalance cadence")
+	}
+}
+
+// TestRebalanceGenRetry races an insert/delete storm against forced
+// transitions: the storm moves the victim shards' generations while the
+// replacement structures build unlocked, driving the stale-validation
+// retries (and, when every retry loses, the rebuild-under-exclusive-lock
+// fallback). Whatever path each transition takes, answers and Len must
+// come out oracle-identical.
+func TestRebalanceGenRetry(t *testing.T) {
+	const n = 600
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 8900)
+	geom.SortByX(pts)
+	opts := rebalanceOpts()
+	opts.Shards = 2
+	eng, err := New(opts, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm targets x < 0: always routed to the leftmost shard, no
+	// matter where transitions move the cuts. Odd slots are deleted
+	// again, so generations move on both the insert and delete paths.
+	const stormN = 400
+	storm := make([]geom.Point, stormN)
+	for i := range storm {
+		storm[i] = geom.Point{X: -geom.Coord(i + 1), Y: span + geom.Coord(i) + 1}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			p := storm[i%stormN]
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%(2*stormN) < stormN {
+				if err := eng.Insert(p); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				if ok, err := eng.Delete(p); err != nil || !ok {
+					t.Errorf("Delete(%v) = %t, %v", p, ok, err)
+					return
+				}
+			}
+		}
+	}()
+	for round := 0; round < 6; round++ {
+		if err := eng.ForceSplit(0); err != nil && !strings.Contains(err.Error(), "too small") {
+			t.Fatal(err)
+		}
+		if err := eng.ForceMerge(0); err != nil && !strings.Contains(err.Error(), "out of range") {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain the storm's leftovers to a known state: whatever is still
+	// inserted gets deleted, then the base alone must remain.
+	for _, p := range storm {
+		if _, err := eng.Delete(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Len() != n {
+		t.Fatalf("Len = %d after storm drain, want %d", eng.Len(), n)
+	}
+	checkBothFamilies(t, eng, pts, span, 8901, "post-storm")
+}
+
+// forceStale drives one transition through its stale-validation
+// retries deterministically. The test holds topoMu shared, so the
+// transition — started concurrently — captures its generation, builds
+// unlocked, and then blocks at the exclusive swap. Each round the test
+// bumps the victim shard's generation and releases; the swap proceeds,
+// fails validation, and retries. Because the bump always lands while
+// the swap is blocked, every gated attempt is stale by construction;
+// after rounds > maxRetries the transition must fall back to rebuilding
+// under the exclusive lock rather than spinning forever.
+func forceStale(t *testing.T, eng *Engine, victim *shard, rounds int, run func() error) {
+	t.Helper()
+	errc := make(chan error, 1)
+	eng.topoMu.RLock()
+	go func() {
+		eng.rebalMu.Lock()
+		defer eng.rebalMu.Unlock()
+		errc <- run()
+	}()
+	for round := 0; round < rounds; round++ {
+		// Let the attempt capture and finish its unlocked build; it is
+		// then parked at the exclusive topology lock.
+		time.Sleep(20 * time.Millisecond)
+		victim.mu.Lock()
+		victim.gen++
+		victim.mu.Unlock()
+		eng.topoMu.RUnlock()
+		if round < rounds-1 {
+			eng.topoMu.RLock()
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceStaleRetry forces the generation-validation machinery
+// through both outcomes — retry-and-win and the final
+// rebuild-under-exclusive-lock fallback — for split and merge alike,
+// then checks the answers came out oracle-identical anyway.
+func TestRebalanceStaleRetry(t *testing.T) {
+	const n = 2000
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 9100)
+	geom.SortByX(pts)
+
+	opts := rebalanceOpts()
+	opts.Shards = 1
+	eng, err := New(opts, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four stale rounds: attempts 0–2 retry, attempt 3 exhausts
+	// maxRetries and must take the rebuild-under-lock fallback.
+	forceStale(t, eng, eng.shards[0], 4, func() error { return eng.split(0, 2) })
+	if got := eng.RebalanceCounters(); got.Splits != 1 || got.Shards != 2 {
+		t.Fatalf("after stale split: %+v", got)
+	}
+	checkBothFamilies(t, eng, pts, span, 9101, "stale split")
+
+	// Same protocol against merge, with the second shard as the victim.
+	forceStale(t, eng, eng.shards[1], 4, func() error { return eng.merge(0) })
+	if got := eng.RebalanceCounters(); got.Merges != 1 || got.Shards != 1 {
+		t.Fatalf("after stale merge: %+v", got)
+	}
+	checkBothFamilies(t, eng, pts, span, 9102, "stale merge")
+}
+
+// TestSnapshotAcrossTransition pins a snapshot, then splits and merges
+// the live engine: the pinned view must keep answering from its frozen
+// topology (the retired shards it pinned are never mutated), the
+// retention ledger must keep counting the retired disks, and Release
+// must return every retention and deferred block.
+func TestSnapshotAcrossTransition(t *testing.T) {
+	const n = 500
+	span := geom.Coord(n * 16)
+	pts := geom.GenUniform(n, span, 9000)
+	geom.SortByX(pts)
+	eng, err := New(rebalanceOpts(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := v.(*Snapshot)
+	if got := eng.Retained(); got != 4 {
+		t.Fatalf("Retained = %d at pin, want one per shard", got)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		rng := rand.New(rand.NewSource(9001))
+		for q := 0; q < 25; q++ {
+			x1, x2, beta := randTopOpen(rng, span)
+			samePoints(t, sv.TopOpen(x1, x2, beta),
+				geom.RangeSkyline(pts, geom.TopOpen(x1, x2, beta)), stage+" top q="+itoa(q))
+			r := randFourSided(rng, span)
+			samePoints(t, sv.RangeSkyline(r), geom.RangeSkyline(pts, r), stage+" four q="+itoa(q))
+			top := geom.TopOpen(x1, x2, beta)
+			samePoints(t, sv.RangeSkyline(top), geom.RangeSkyline(pts, top), stage+" routed-top q="+itoa(q))
+		}
+	}
+	check("pre-transition")
+	if err := eng.ForceSplit(-1); err != nil {
+		t.Fatal(err)
+	}
+	check("post-split")
+	if err := eng.ForceMerge(-1); err != nil {
+		t.Fatal(err)
+	}
+	check("post-merge")
+	// The retired shards' retentions are still open and still counted.
+	if got := eng.Retained(); got != 4 {
+		t.Fatalf("Retained = %d after transitions, want the pinned 4", got)
+	}
+	sv.Release()
+	if got := eng.Retained(); got != 0 {
+		t.Fatalf("Retained = %d after Release, want 0", got)
+	}
+	if got := eng.DeferredBlocks(); got != 0 {
+		t.Fatalf("DeferredBlocks = %d after Release, want 0", got)
+	}
+}

@@ -64,6 +64,28 @@ type Options struct {
 	// rectangles, so carrying 4-sided structures in the mirrored frame
 	// would double its space for nothing.
 	TopOnly bool
+	// Rebalance enables online shard rebalancing: per-shard load
+	// counters feed a policy that splits a hot shard's x-range in two or
+	// merges two cold neighbors, rebuilding the affected structures off
+	// to the side and swapping them in under a brief exclusive topology
+	// lock (see rebalance.go for the transition protocol). Requires
+	// Dynamic — a transition is a rebuild, and only dynamic engines keep
+	// the per-shard point registry a rebuild reads.
+	Rebalance bool
+	// MaxSkew is the rebalance trigger: a shard whose load exceeds
+	// MaxSkew × the mean per-shard load is split (and an adjacent pair
+	// jointly colder than mean/MaxSkew is merged). Zero means 2.0;
+	// values below 1 are an error.
+	MaxSkew float64
+	// MinShardPoints refuses splits that would leave a child below this
+	// population; zero means 32.
+	MinShardPoints int
+	// MaxShards caps the shard count growth from splits; zero means
+	// 4 × Shards.
+	MaxShards int
+	// RebalanceEvery is the policy check cadence in applied updates;
+	// zero means 128.
+	RebalanceEvery int
 }
 
 // Counters are the engine-level operation totals, aggregated atomically
@@ -92,17 +114,46 @@ type shard struct {
 	top  topIndex
 	dyn  *dyntop.Tree // non-nil iff the engine is dynamic
 	four *foursided.Index
+	// pts enumerates the shard's live points (rebalancing engines only):
+	// the structures themselves cannot enumerate, and a split/merge
+	// rebuild needs the exact point set. Guarded by mu.
+	pts map[geom.Point]struct{}
+	// gen counts mutations, guarded by mu: a rebuild captured at
+	// generation g is only swapped in if the generation is still g.
+	gen uint64
+	// load counts operations routed to this shard since the last
+	// rebalance decision; the policy reads the skew off these.
+	load atomic.Uint64
 }
 
 // Engine is a sharded concurrent range skyline engine serving every
 // Figure-2 query shape. It implements the engine.Backend interface.
 type Engine struct {
-	opts   Options
+	opts Options
+	// topoMu guards shards and cuts as a pair. Every operation holds it
+	// shared for its full duration (so the shard pointers it routed to
+	// cannot be retired mid-flight); a rebalance transition builds new
+	// shards unlocked and takes it exclusively only for the final swap.
+	topoMu sync.RWMutex
 	shards []*shard
 	// cuts[i] is the largest x owned by shard i (len K-1): shard i
 	// covers (cuts[i-1], cuts[i]], the last shard covers (cuts[K-2], ∞).
 	cuts []geom.Coord
-	sem  chan struct{}
+	// retired holds shards swapped out by transitions: their disks stay
+	// pinned by open snapshots and their I/O history stays in Stats.
+	// Appended under topoMu held exclusively; never mutated again.
+	retired []*shard
+	sem     chan struct{}
+
+	// rebalMu serializes transitions (policy-triggered and forced) and
+	// guards listener. Lock order: rebalMu before topoMu; shard.mu only
+	// innermost. maybeRebalance uses TryLock, so update paths never
+	// block on an in-flight transition.
+	rebalMu  sync.Mutex
+	listener func([]geom.Coord)
+	splits   atomic.Uint64
+	merges   atomic.Uint64
+	rebalOps atomic.Uint64
 
 	n atomic.Int64
 
@@ -130,6 +181,26 @@ func New(opts Options, pts []geom.Point) (*Engine, error) {
 	}
 	if opts.Workers < 1 {
 		opts.Workers = opts.Shards
+	}
+	if opts.Rebalance {
+		if !opts.Dynamic {
+			return nil, fmt.Errorf("shard: Rebalance requires Dynamic")
+		}
+		if opts.MaxSkew == 0 {
+			opts.MaxSkew = 2.0
+		}
+		if opts.MaxSkew < 1 {
+			return nil, fmt.Errorf("shard: MaxSkew %v below 1", opts.MaxSkew)
+		}
+		if opts.MinShardPoints == 0 {
+			opts.MinShardPoints = 32
+		}
+		if opts.MaxShards == 0 {
+			opts.MaxShards = 4 * opts.Shards
+		}
+		if opts.RebalanceEvery == 0 {
+			opts.RebalanceEvery = 128
+		}
 	}
 	for i := 1; i < len(pts); i++ {
 		if pts[i-1].X >= pts[i].X {
@@ -160,6 +231,12 @@ func New(opts Options, pts []geom.Point) (*Engine, error) {
 		if !opts.TopOnly {
 			s.four = foursided.Build(s.disk, opts.Epsilon, chunk)
 		}
+		if opts.Rebalance {
+			s.pts = make(map[geom.Point]struct{}, len(chunk))
+			for _, p := range chunk {
+				s.pts[p] = struct{}{}
+			}
+		}
 		e.shards = append(e.shards, s)
 		if i < k-1 {
 			cut := prevCut
@@ -176,8 +253,13 @@ func New(opts Options, pts []geom.Point) (*Engine, error) {
 // Len returns the number of indexed points.
 func (e *Engine) Len() int { return int(e.n.Load()) }
 
-// NumShards returns the partition count K.
-func (e *Engine) NumShards() int { return len(e.shards) }
+// NumShards returns the partition count K (which rebalancing engines
+// change over time).
+func (e *Engine) NumShards() int {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return len(e.shards)
+}
 
 // Dynamic reports whether the engine accepts updates.
 func (e *Engine) Dynamic() bool { return e.opts.Dynamic }
@@ -192,25 +274,42 @@ func (e *Engine) Counters() Counters {
 	}
 }
 
-// Stats aggregates the I/O counters of every shard disk. Safe to call
-// while operations are in flight (the counters are atomic).
+// Stats aggregates the I/O counters of every shard disk, including
+// shards retired by rebalance transitions, so the totals stay monotonic
+// across topology changes. Safe to call while operations are in flight
+// (the counters are atomic).
 func (e *Engine) Stats() emio.Stats {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	var total emio.Stats
 	for _, s := range e.shards {
+		total = total.Add(s.disk.Stats())
+	}
+	for _, s := range e.retired {
 		total = total.Add(s.disk.Stats())
 	}
 	return total
 }
 
-// ResetStats zeroes every shard disk's I/O counters.
+// ResetStats zeroes every shard disk's I/O counters (retired shards
+// included, so a reset truly re-baselines Stats).
 func (e *Engine) ResetStats() {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	for _, s := range e.shards {
+		s.disk.ResetStats()
+	}
+	for _, s := range e.retired {
 		s.disk.ResetStats()
 	}
 }
 
 // ShardDisk exposes shard i's disk for per-shard measurements.
-func (e *Engine) ShardDisk(i int) *emio.Disk { return e.shards[i].disk }
+func (e *Engine) ShardDisk(i int) *emio.Disk {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return e.shards[i].disk
+}
 
 // Quiesce blocks until every in-flight per-shard task has completed: it
 // fills the worker semaphore (once all slots are held, no pooled
@@ -223,10 +322,12 @@ func (e *Engine) Quiesce() {
 	for i := 0; i < cap(e.sem); i++ {
 		e.sem <- struct{}{}
 	}
+	e.topoMu.RLock()
 	for _, s := range e.shards {
 		s.mu.Lock()
 		s.mu.Unlock() //nolint:staticcheck // empty critical section is the point: a barrier
 	}
+	e.topoMu.RUnlock()
 	for i := 0; i < cap(e.sem); i++ {
 		<-e.sem
 	}
@@ -235,10 +336,15 @@ func (e *Engine) Quiesce() {
 // Cuts returns the x-coordinates partitioning the shards: cut i is the
 // largest x owned by shard i, so shard i covers (cuts[i-1], cuts[i]]
 // and the last shard covers (cuts[K-2], +∞). The cuts are fixed at
-// build time. Cuts implements the engine.Partitioned interface, which
-// is how a caching backend wrapping this engine learns to evict only
-// the entries a write's shard can affect.
-func (e *Engine) Cuts() []geom.Coord { return append([]geom.Coord(nil), e.cuts...) }
+// build time unless Options.Rebalance moves them; SetCutsListener
+// delivers every change. Cuts implements the engine.Partitioned
+// interface, which is how a caching backend wrapping this engine learns
+// to evict only the entries a write's shard can affect.
+func (e *Engine) Cuts() []geom.Coord {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return append([]geom.Coord(nil), e.cuts...)
+}
 
 // shardFor returns the index of the shard owning x.
 func (e *Engine) shardFor(x geom.Coord) int {
@@ -278,6 +384,8 @@ func (e *Engine) fanOut(x1, x2 geom.Coord, query func(*shard) []geom.Point) []ge
 	if x1 > x2 {
 		return nil
 	}
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	lo, hi := e.shardFor(x1), e.shardFor(x2)
 	pp := partsPool.Get().(*[][]geom.Point)
 	parts := *pp
@@ -289,6 +397,7 @@ func (e *Engine) fanOut(x1, x2 geom.Coord, query func(*shard) []geom.Point) []ge
 	var wg sync.WaitGroup
 	for i := lo; i <= hi; i++ {
 		s, slot := e.shards[i], i-lo
+		s.load.Add(1)
 		e.submit(&wg, func() {
 			s.mu.Lock()
 			parts[slot] = query(s)
@@ -399,6 +508,10 @@ func (s *shard) insertLocked(p geom.Point) {
 	if s.four != nil {
 		s.four.Insert(p)
 	}
+	if s.pts != nil {
+		s.pts[p] = struct{}{}
+		s.gen++
+	}
 }
 
 // deleteLocked removes p from both of the shard's structures,
@@ -415,6 +528,10 @@ func (s *shard) deleteLocked(p geom.Point) (bool, error) {
 	if s.four != nil && !s.four.Delete(p) {
 		return true, fmt.Errorf("shard: structures disagree on presence of %v", p)
 	}
+	if s.pts != nil {
+		delete(s.pts, p)
+		s.gen++
+	}
 	return true, nil
 }
 
@@ -424,12 +541,16 @@ func (e *Engine) Insert(p geom.Point) error {
 	if !e.opts.Dynamic {
 		return fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
 	}
+	e.topoMu.RLock()
 	s := e.shards[e.shardFor(p.X)]
+	s.load.Add(1)
 	s.mu.Lock()
 	s.insertLocked(p)
 	s.mu.Unlock()
+	e.topoMu.RUnlock()
 	e.n.Add(1)
 	e.updates.Add(1)
+	e.maybeRebalance(1)
 	return nil
 }
 
@@ -438,13 +559,17 @@ func (e *Engine) Delete(p geom.Point) (bool, error) {
 	if !e.opts.Dynamic {
 		return false, fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
 	}
+	e.topoMu.RLock()
 	s := e.shards[e.shardFor(p.X)]
+	s.load.Add(1)
 	s.mu.Lock()
 	ok, err := s.deleteLocked(p)
 	s.mu.Unlock()
+	e.topoMu.RUnlock()
 	if ok {
 		e.n.Add(-1)
 		e.updates.Add(1)
+		e.maybeRebalance(1)
 	}
 	return ok, err
 }
@@ -468,8 +593,10 @@ func (e *Engine) BatchInsert(pts []geom.Point) error {
 		return fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
 	}
 	var wg sync.WaitGroup
+	e.topoMu.RLock()
 	for i, group := range e.groupByShard(pts) {
 		s, group := e.shards[i], group
+		s.load.Add(uint64(len(group)))
 		e.submit(&wg, func() {
 			s.mu.Lock()
 			for _, p := range group {
@@ -479,8 +606,10 @@ func (e *Engine) BatchInsert(pts []geom.Point) error {
 		})
 	}
 	wg.Wait()
+	e.topoMu.RUnlock()
 	e.n.Add(int64(len(pts)))
 	e.updates.Add(uint64(len(pts)))
+	e.maybeRebalance(len(pts))
 	return nil
 }
 
@@ -504,6 +633,7 @@ func (e *Engine) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
 	if !e.opts.Dynamic {
 		return nil, fmt.Errorf("shard: engine opened static; reopen with Options.Dynamic")
 	}
+	e.topoMu.RLock()
 	groups := e.groupByShard(pts)
 	removedGroups := make([][]geom.Point, len(groups))
 	var errMu sync.Mutex
@@ -512,6 +642,7 @@ func (e *Engine) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
 	next := 0
 	for i, group := range groups {
 		s, group := e.shards[i], group
+		s.load.Add(uint64(len(group)))
 		slot := &removedGroups[next]
 		next++
 		e.submit(&wg, func() {
@@ -534,11 +665,13 @@ func (e *Engine) BatchDeleteRemoved(pts []geom.Point) ([]geom.Point, error) {
 		})
 	}
 	wg.Wait()
+	e.topoMu.RUnlock()
 	var removed []geom.Point
 	for _, g := range removedGroups {
 		removed = append(removed, g...)
 	}
 	e.n.Add(-int64(len(removed)))
 	e.updates.Add(uint64(len(removed)))
+	e.maybeRebalance(len(removed))
 	return removed, firstErr
 }

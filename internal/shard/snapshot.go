@@ -18,6 +18,7 @@
 package shard
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -47,22 +48,33 @@ type fourIndex interface {
 // take no shard locks; Release drops the per-shard retentions (and is
 // idempotent). Concurrent reads on one Snapshot are safe.
 type Snapshot struct {
-	e        *Engine
-	shards   []*shardView
+	e      *Engine
+	shards []*shardView
+	// cuts is the shard partition pinned at snapshot time: a rebalance
+	// transition may move the live engine's cuts afterwards, but this
+	// snapshot keeps routing over the topology its views were captured
+	// from (the retired shards it pins are never mutated again).
+	cuts     []geom.Coord
 	n        int
 	released atomic.Bool
 }
 
-// Snapshot pins the engine's current state. The per-shard locks are
-// all acquired (in shard order — every other locker takes at most one,
-// so the order cannot deadlock), the roots are captured by pointer
-// copy with a retention opened per shard disk first, and the locks are
-// released. It implements engine.Snapshottable.
+// Snapshot pins the engine's current state. Under the shared topology
+// lock the per-shard locks are all acquired (in shard order — every
+// other locker takes at most one, so the order cannot deadlock), the
+// roots and the cut set are captured by pointer copy with a retention
+// opened per shard disk first, and the locks are released. It
+// implements engine.Snapshottable.
 func (e *Engine) Snapshot() (engine.View, error) {
+	e.topoMu.RLock()
 	for _, s := range e.shards {
 		s.mu.Lock()
 	}
-	sv := &Snapshot{e: e, n: int(e.n.Load())}
+	sv := &Snapshot{
+		e:    e,
+		cuts: append([]geom.Coord(nil), e.cuts...),
+		n:    int(e.n.Load()),
+	}
 	for _, s := range e.shards {
 		w := &shardView{ret: s.disk.RetainFrees()}
 		if s.dyn != nil {
@@ -81,6 +93,7 @@ func (e *Engine) Snapshot() (engine.View, error) {
 	for _, s := range e.shards {
 		s.mu.Unlock()
 	}
+	e.topoMu.RUnlock()
 	return sv, nil
 }
 
@@ -106,7 +119,8 @@ func (sv *Snapshot) fanOut(x1, x2 geom.Coord, query func(*shardView) []geom.Poin
 	if x1 > x2 {
 		return nil
 	}
-	lo, hi := sv.e.shardFor(x1), sv.e.shardFor(x2)
+	lo := sort.Search(len(sv.cuts), func(i int) bool { return x1 <= sv.cuts[i] })
+	hi := sort.Search(len(sv.cuts), func(i int) bool { return x2 <= sv.cuts[i] })
 	pp := partsPool.Get().(*[][]geom.Point)
 	parts := *pp
 	if need := hi - lo + 1; cap(parts) < need {
@@ -166,18 +180,30 @@ func (sv *Snapshot) RangeSkyline(q geom.Rect) []geom.Point {
 // quiescence with every snapshot released — the no-leak invariant the
 // race stress asserts.
 func (e *Engine) DeferredBlocks() int {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	total := 0
 	for _, s := range e.shards {
+		total += s.disk.DeferredBlocks()
+	}
+	for _, s := range e.retired {
 		total += s.disk.DeferredBlocks()
 	}
 	return total
 }
 
 // Retained sums the shard disks' open retentions (one per shard per
-// unreleased snapshot).
+// unreleased snapshot), including shards retired by rebalance
+// transitions — a snapshot pinned before a transition still holds
+// retentions on the retired disks.
 func (e *Engine) Retained() int {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	total := 0
 	for _, s := range e.shards {
+		total += s.disk.Retained()
+	}
+	for _, s := range e.retired {
 		total += s.disk.Retained()
 	}
 	return total
